@@ -1,0 +1,98 @@
+// Shared helpers for the figure/table reproduction benches.
+#ifndef FUSIONDB_BENCH_BENCH_UTIL_H_
+#define FUSIONDB_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "fusiondb.h"
+
+namespace fusiondb::bench {
+
+inline void DieIf(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Unwrap(Result<T> result) {
+  DieIf(result.status());
+  return std::move(result).ValueOrDie();
+}
+
+/// Scale factor for benches; override with FUSIONDB_BENCH_SCALE.
+inline double BenchScale() {
+  const char* env = std::getenv("FUSIONDB_BENCH_SCALE");
+  return env != nullptr ? std::atof(env) : 0.05;
+}
+
+/// Builds the benchmark catalog once per process.
+inline const Catalog& BenchCatalog() {
+  static Catalog* catalog = [] {
+    auto* c = new Catalog();
+    tpcds::TpcdsOptions options;
+    options.scale = BenchScale();
+    std::fprintf(stderr, "building TPC-DS catalog at scale %.3f...\n",
+                 options.scale);
+    DieIf(tpcds::BuildTpcdsCatalog(options, c));
+    return c;
+  }();
+  return *catalog;
+}
+
+struct RunStats {
+  double latency_ms = 0.0;
+  int64_t bytes_scanned = 0;
+  int64_t peak_hash_bytes = 0;
+  int64_t rows = 0;
+};
+
+/// Optimizes and executes `plan`; latency is the median of `repeats` runs.
+inline RunStats RunPlan(const PlanPtr& plan, const OptimizerOptions& options,
+                        PlanContext* ctx, int repeats = 3) {
+  Optimizer optimizer(options);
+  PlanPtr optimized = Unwrap(optimizer.Optimize(plan, ctx));
+  RunStats stats;
+  std::vector<double> times;
+  for (int i = 0; i < repeats; ++i) {
+    QueryResult result = Unwrap(ExecutePlan(optimized));
+    times.push_back(result.wall_ms());
+    stats.bytes_scanned = result.metrics().bytes_scanned;
+    stats.peak_hash_bytes = result.metrics().peak_hash_bytes;
+    stats.rows = result.num_rows();
+  }
+  std::sort(times.begin(), times.end());
+  stats.latency_ms = times[times.size() / 2];
+  return stats;
+}
+
+/// Builds, runs baseline and fused, and checks the results agree.
+struct Comparison {
+  RunStats baseline;
+  RunStats fused;
+  bool results_match = false;
+};
+
+inline Comparison CompareQuery(const tpcds::TpcdsQuery& query,
+                               const Catalog& catalog, int repeats = 3) {
+  PlanContext ctx;
+  PlanPtr plan = Unwrap(query.build(catalog, &ctx));
+  PlanPtr baseline =
+      Unwrap(Optimizer(OptimizerOptions::Baseline()).Optimize(plan, &ctx));
+  PlanPtr fused =
+      Unwrap(Optimizer(OptimizerOptions::Fused()).Optimize(plan, &ctx));
+  QueryResult rb = Unwrap(ExecutePlan(baseline));
+  QueryResult rf = Unwrap(ExecutePlan(fused));
+  Comparison out;
+  out.results_match = ResultsEquivalent(rb, rf);
+  out.baseline = RunPlan(plan, OptimizerOptions::Baseline(), &ctx, repeats);
+  out.fused = RunPlan(plan, OptimizerOptions::Fused(), &ctx, repeats);
+  return out;
+}
+
+}  // namespace fusiondb::bench
+
+#endif  // FUSIONDB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,86 @@
+// run_query: execute one TPC-DS query by name under both optimizer
+// configurations, printing plans, results and metrics.
+//
+// Usage: run_query [query=q65] [scale=0.01] [--plans]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "fusiondb.h"
+
+using namespace fusiondb;  // NOLINT: example code
+
+namespace {
+
+void DieIf(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Unwrap(Result<T> result) {
+  DieIf(result.status());
+  return std::move(result).ValueOrDie();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string name = argc > 1 ? argv[1] : "q65";
+  double scale = argc > 2 ? std::atof(argv[2]) : 0.01;
+  bool show_plans = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--plans") == 0) show_plans = true;
+  }
+
+  std::fprintf(stderr, "building TPC-DS catalog at scale %.3f...\n", scale);
+  Catalog catalog;
+  tpcds::TpcdsOptions options;
+  options.scale = scale;
+  DieIf(tpcds::BuildTpcdsCatalog(options, &catalog));
+
+  tpcds::TpcdsQuery query = Unwrap(tpcds::QueryByName(name));
+  PlanContext ctx;
+  PlanPtr plan = Unwrap(query.build(catalog, &ctx));
+
+  std::fprintf(stderr, "optimizing (baseline)...\n");
+  PlanPtr baseline =
+      Unwrap(Optimizer(OptimizerOptions::Baseline()).Optimize(plan, &ctx));
+  std::fprintf(stderr, "optimizing (fused)...\n");
+  PlanPtr fused =
+      Unwrap(Optimizer(OptimizerOptions::Fused()).Optimize(plan, &ctx));
+
+  if (show_plans) {
+    std::printf("== baseline plan ==\n%s\n", PlanToString(baseline).c_str());
+    std::printf("== fused plan ==\n%s\n", PlanToString(fused).c_str());
+  }
+
+  std::fprintf(stderr, "executing (baseline)...\n");
+  QueryResult base_result = Unwrap(ExecutePlan(baseline));
+  std::fprintf(stderr, "executing (fused)...\n");
+  QueryResult fused_result = Unwrap(ExecutePlan(fused));
+
+  std::printf("query %s (%s)\n", name.c_str(),
+              query.fusion_applicable ? "fusion-applicable" : "filler");
+  std::printf("results match: %s\n",
+              ResultsEquivalent(base_result, fused_result) ? "yes" : "NO");
+  std::printf("%-22s %14s %14s\n", "", "baseline", "fused");
+  std::printf("%-22s %14.2f %14.2f\n", "latency (ms)", base_result.wall_ms(),
+              fused_result.wall_ms());
+  std::printf("%-22s %14lld %14lld\n", "bytes scanned",
+              static_cast<long long>(base_result.metrics().bytes_scanned),
+              static_cast<long long>(fused_result.metrics().bytes_scanned));
+  std::printf("%-22s %14lld %14lld\n", "rows scanned",
+              static_cast<long long>(base_result.metrics().rows_scanned),
+              static_cast<long long>(fused_result.metrics().rows_scanned));
+  std::printf("%-22s %14lld %14lld\n", "peak hash bytes",
+              static_cast<long long>(base_result.metrics().peak_hash_bytes),
+              static_cast<long long>(fused_result.metrics().peak_hash_bytes));
+  std::printf("%-22s %14lld %14lld\n", "result rows",
+              static_cast<long long>(base_result.num_rows()),
+              static_cast<long long>(fused_result.num_rows()));
+  std::printf("\nfirst rows:\n%s", fused_result.ToString(5).c_str());
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Section V.C walkthrough (Q23): two branches that compute the same
+// expensive insights (frequent items, best customers) over *different* fact
+// tables. UnionAllOnJoin (IV.C) repeatedly pushes the UNION ALL below the
+// joins, so each common subexpression — and date_dim — is evaluated once,
+// and peak hash-table memory drops since only one instance of each CTE's
+// state is live.
+#include <cstdio>
+#include <cstdlib>
+
+#include "fusiondb.h"
+
+using namespace fusiondb;  // NOLINT: example code
+
+namespace {
+
+void DieIf(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Unwrap(Result<T> result) {
+  DieIf(result.status());
+  return std::move(result).ValueOrDie();
+}
+
+int ScanCount(const PlanPtr& plan, const Catalog& catalog) {
+  int total = 0;
+  for (const std::string& t : catalog.TableNames()) {
+    total += CountTableScans(plan, t);
+  }
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = argc > 1 ? std::atof(argv[1]) : 0.02;
+  Catalog catalog;
+  tpcds::TpcdsOptions options;
+  options.scale = scale;
+  DieIf(tpcds::BuildTpcdsCatalog(options, &catalog));
+
+  tpcds::TpcdsQuery query = Unwrap(tpcds::QueryByName("q23"));
+  PlanContext ctx;
+  PlanPtr plan = Unwrap(query.build(catalog, &ctx));
+
+  PlanPtr baseline =
+      Unwrap(Optimizer(OptimizerOptions::Baseline()).Optimize(plan, &ctx));
+  PlanPtr fused =
+      Unwrap(Optimizer(OptimizerOptions::Fused()).Optimize(plan, &ctx));
+
+  std::printf("total table scans: baseline %d, fused %d\n",
+              ScanCount(baseline, catalog), ScanCount(fused, catalog));
+  std::printf("store_sales scans (the CTE source): baseline %d, fused %d\n",
+              CountTableScans(baseline, "store_sales"),
+              CountTableScans(fused, "store_sales"));
+  std::printf("date_dim scans: baseline %d, fused %d\n\n",
+              CountTableScans(baseline, "date_dim"),
+              CountTableScans(fused, "date_dim"));
+
+  QueryResult rb = Unwrap(ExecutePlan(baseline));
+  QueryResult rf = Unwrap(ExecutePlan(fused));
+  std::printf("results match: %s\n", ResultsEquivalent(rb, rf) ? "yes" : "NO");
+  std::printf("latency: %.2f ms -> %.2f ms (%.2fx)\n", rb.wall_ms(),
+              rf.wall_ms(), rb.wall_ms() / rf.wall_ms());
+  std::printf("bytes scanned: %lld -> %lld\n",
+              static_cast<long long>(rb.metrics().bytes_scanned),
+              static_cast<long long>(rf.metrics().bytes_scanned));
+  std::printf("peak hash memory: %lld -> %lld (%.0f%% less working state)\n",
+              static_cast<long long>(rb.metrics().peak_hash_bytes),
+              static_cast<long long>(rf.metrics().peak_hash_bytes),
+              100.0 * (1.0 - static_cast<double>(rf.metrics().peak_hash_bytes) /
+                                 static_cast<double>(rb.metrics().peak_hash_bytes)));
+  std::printf(
+      "\n(paper, Section V.C: ~2x latency, ~half the bytes; the halved "
+      "intermediate state also avoided spilling at larger scales)\n");
+  return 0;
+}

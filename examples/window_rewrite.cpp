@@ -1,0 +1,68 @@
+// The paper's motivating example (Section I / Q65): a common aggregation
+// block is aggregated again and joined back to itself; the
+// GroupByJoinToWindow rule (IV.A) replaces both instances with a single
+// windowed aggregation, reading store_sales and date_dim once.
+#include <cstdio>
+#include <cstdlib>
+
+#include "fusiondb.h"
+
+using namespace fusiondb;  // NOLINT: example code
+
+namespace {
+
+void DieIf(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Unwrap(Result<T> result) {
+  DieIf(result.status());
+  return std::move(result).ValueOrDie();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = argc > 1 ? std::atof(argv[1]) : 0.02;
+  Catalog catalog;
+  tpcds::TpcdsOptions options;
+  options.scale = scale;
+  DieIf(tpcds::BuildTpcdsCatalog(options, &catalog));
+
+  // The Section I variant of Q65 (36-month window).
+  tpcds::TpcdsQuery query = Unwrap(tpcds::QueryByName("q65v"));
+  PlanContext ctx;
+  PlanPtr plan = Unwrap(query.build(catalog, &ctx));
+
+  PlanPtr baseline =
+      Unwrap(Optimizer(OptimizerOptions::Baseline()).Optimize(plan, &ctx));
+  PlanPtr fused =
+      Unwrap(Optimizer(OptimizerOptions::Fused()).Optimize(plan, &ctx));
+
+  std::printf("baseline reads store_sales %d times; fused %d time(s)\n",
+              CountTableScans(baseline, "store_sales"),
+              CountTableScans(fused, "store_sales"));
+  std::printf("baseline window ops: %d; fused window ops: %d\n\n",
+              CountOps(baseline, OpKind::kWindow),
+              CountOps(fused, OpKind::kWindow));
+  std::printf("== fused plan ==\n%s\n", PlanToString(fused).c_str());
+
+  QueryResult rb = Unwrap(ExecutePlan(baseline));
+  QueryResult rf = Unwrap(ExecutePlan(fused));
+  std::printf("results match: %s\n", ResultsEquivalent(rb, rf) ? "yes" : "NO");
+  std::printf("latency: %.2f ms -> %.2f ms (%.0f%% faster)\n", rb.wall_ms(),
+              rf.wall_ms(), 100.0 * (1.0 - rf.wall_ms() / rb.wall_ms()));
+  std::printf("bytes scanned: %lld -> %lld (%.0f%% less data)\n",
+              static_cast<long long>(rb.metrics().bytes_scanned),
+              static_cast<long long>(rf.metrics().bytes_scanned),
+              100.0 * (1.0 - static_cast<double>(rf.metrics().bytes_scanned) /
+                                 static_cast<double>(rb.metrics().bytes_scanned)));
+  std::printf(
+      "(paper, Section I: this rewrite cut latency 48%% and data scanned "
+      "almost 50%%)\n");
+  return 0;
+}

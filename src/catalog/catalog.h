@@ -1,0 +1,46 @@
+// Catalog: the name -> Table registry a query session resolves against.
+#ifndef FUSIONDB_CATALOG_CATALOG_H_
+#define FUSIONDB_CATALOG_CATALOG_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/table.h"
+#include "common/status.h"
+
+namespace fusiondb {
+
+class Catalog {
+ public:
+  Status RegisterTable(TablePtr table) {
+    if (table == nullptr) return Status::InvalidArgument("null table");
+    if (tables_.count(table->name()) > 0) {
+      return Status::InvalidArgument("duplicate table: " + table->name());
+    }
+    tables_[table->name()] = std::move(table);
+    return Status::OK();
+  }
+
+  Result<TablePtr> GetTable(const std::string& name) const {
+    auto it = tables_.find(name);
+    if (it == tables_.end()) {
+      return Status::InvalidArgument("no such table: " + name);
+    }
+    return it->second;
+  }
+
+  std::vector<std::string> TableNames() const {
+    std::vector<std::string> names;
+    names.reserve(tables_.size());
+    for (const auto& [name, _] : tables_) names.push_back(name);
+    return names;
+  }
+
+ private:
+  std::unordered_map<std::string, TablePtr> tables_;
+};
+
+}  // namespace fusiondb
+
+#endif  // FUSIONDB_CATALOG_CATALOG_H_

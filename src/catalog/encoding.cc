@@ -1,0 +1,166 @@
+#include "catalog/encoding.h"
+
+#include <cstring>
+
+namespace fusiondb {
+
+namespace {
+
+void PutVarint(uint64_t v, std::string* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+bool GetVarint(const std::string& buf, size_t* pos, uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (*pos < buf.size()) {
+    uint8_t byte = static_cast<uint8_t>(buf[(*pos)++]);
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = v;
+      return true;
+    }
+    shift += 7;
+    if (shift > 63) return false;
+  }
+  return false;
+}
+
+uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+}  // namespace
+
+EncodedColumn EncodeColumn(const Column& column) {
+  EncodedColumn page;
+  page.type = column.type();
+  page.num_rows = static_cast<uint32_t>(column.size());
+  std::string& out = page.buffer;
+  size_t n = column.size();
+  // Validity bitmap.
+  out.reserve(n / 8 + n);
+  for (size_t i = 0; i < n; i += 8) {
+    uint8_t byte = 0;
+    for (size_t b = 0; b < 8 && i + b < n; ++b) {
+      if (column.IsValid(i + b)) byte |= static_cast<uint8_t>(1u << b);
+    }
+    out.push_back(static_cast<char>(byte));
+  }
+  switch (PhysicalTypeOf(column.type())) {
+    case PhysicalType::kInt: {
+      int64_t prev = 0;
+      for (size_t i = 0; i < n; ++i) {
+        int64_t v = column.IsValid(i) ? column.IntAt(i) : prev;
+        PutVarint(ZigZag(v - prev), &out);
+        prev = v;
+      }
+      break;
+    }
+    case PhysicalType::kDouble: {
+      uint64_t prev = 0;
+      for (size_t i = 0; i < n; ++i) {
+        double d = column.IsValid(i) ? column.DoubleAt(i) : 0.0;
+        uint64_t bits;
+        std::memcpy(&bits, &d, sizeof(bits));
+        uint64_t xored = bits ^ prev;
+        char word[8];
+        std::memcpy(word, &xored, sizeof(word));
+        out.append(word, sizeof(word));
+        prev = bits;
+      }
+      break;
+    }
+    case PhysicalType::kString: {
+      for (size_t i = 0; i < n; ++i) {
+        if (!column.IsValid(i)) continue;
+        const std::string& s = column.StringAt(i);
+        PutVarint(s.size(), &out);
+        out.append(s);
+      }
+      break;
+    }
+  }
+  return page;
+}
+
+Result<Column> DecodeColumn(const EncodedColumn& page) {
+  Column out(page.type);
+  size_t n = page.num_rows;
+  out.Reserve(n);
+  const std::string& buf = page.buffer;
+  size_t bitmap_bytes = (n + 7) / 8;
+  if (buf.size() < bitmap_bytes) {
+    return Status::ExecutionError("corrupt page: truncated validity bitmap");
+  }
+  auto valid_at = [&](size_t i) {
+    return (static_cast<uint8_t>(buf[i / 8]) >> (i % 8)) & 1;
+  };
+  size_t pos = bitmap_bytes;
+  switch (PhysicalTypeOf(page.type)) {
+    case PhysicalType::kInt: {
+      int64_t prev = 0;
+      for (size_t i = 0; i < n; ++i) {
+        uint64_t raw;
+        if (!GetVarint(buf, &pos, &raw)) {
+          return Status::ExecutionError("corrupt page: truncated varint");
+        }
+        int64_t v = prev + UnZigZag(raw);
+        prev = v;
+        if (valid_at(i)) {
+          out.AppendInt(v);
+        } else {
+          out.AppendNull();
+        }
+      }
+      break;
+    }
+    case PhysicalType::kDouble: {
+      uint64_t prev = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (pos + 8 > buf.size()) {
+          return Status::ExecutionError("corrupt page: truncated float64");
+        }
+        uint64_t xored;
+        std::memcpy(&xored, buf.data() + pos, sizeof(xored));
+        pos += 8;
+        uint64_t bits = xored ^ prev;
+        prev = bits;
+        if (valid_at(i)) {
+          double d;
+          std::memcpy(&d, &bits, sizeof(d));
+          out.AppendDouble(d);
+        } else {
+          out.AppendNull();
+        }
+      }
+      break;
+    }
+    case PhysicalType::kString: {
+      for (size_t i = 0; i < n; ++i) {
+        if (!valid_at(i)) {
+          out.AppendNull();
+          continue;
+        }
+        uint64_t len;
+        if (!GetVarint(buf, &pos, &len) || pos + len > buf.size()) {
+          return Status::ExecutionError("corrupt page: truncated string");
+        }
+        out.AppendString(buf.substr(pos, len));
+        pos += len;
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace fusiondb

@@ -1,0 +1,141 @@
+#include "catalog/table.h"
+
+#include <algorithm>
+
+namespace fusiondb {
+
+int Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int64_t Table::num_rows() const {
+  int64_t n = 0;
+  for (const Partition& p : partitions_) n += static_cast<int64_t>(p.num_rows());
+  return n;
+}
+
+int64_t Table::BytesOf(const std::vector<int>& column_indexes) const {
+  int64_t total = 0;
+  for (const Partition& p : partitions_) {
+    for (int c : column_indexes) {
+      total += p.column_bytes[c];
+    }
+  }
+  return total;
+}
+
+TableBuilder::TableBuilder(std::string name, std::vector<TableColumn> columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {}
+
+Status TableBuilder::PartitionBy(const std::string& column, int64_t width) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == column) {
+      if (PhysicalTypeOf(columns_[i].type) != PhysicalType::kInt) {
+        return Status::InvalidArgument("partition column must be integral: " +
+                                       column);
+      }
+      partition_column_ = static_cast<int>(i);
+      partition_width_ = width;
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("no such partition column: " + column);
+}
+
+Status TableBuilder::SetPrimaryKey(const std::vector<std::string>& key_columns) {
+  primary_key_.clear();
+  for (const std::string& k : key_columns) {
+    bool found = false;
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (columns_[i].name == k) {
+        primary_key_.push_back(static_cast<int>(i));
+        found = true;
+        break;
+      }
+    }
+    if (!found) return Status::InvalidArgument("no such key column: " + k);
+  }
+  return Status::OK();
+}
+
+int TableBuilder::FindBucket(int64_t key) {
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i].first == key) return static_cast<int>(i);
+  }
+  std::vector<DataType> types;
+  types.reserve(columns_.size());
+  for (const TableColumn& c : columns_) types.push_back(c.type);
+  buckets_.emplace_back(key, Chunk::Empty(types));
+  return static_cast<int>(buckets_.size()) - 1;
+}
+
+Status TableBuilder::AppendRow(const std::vector<Value>& row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument("row arity mismatch for table " + name_);
+  }
+  int64_t bucket_key = 0;
+  if (partition_column_ >= 0 && partition_width_ > 0) {
+    const Value& pv = row[partition_column_];
+    bucket_key = pv.is_null() ? std::numeric_limits<int64_t>::min()
+                              : pv.int_value() / partition_width_;
+  }
+  int b = FindBucket(bucket_key);
+  Chunk& chunk = buckets_[b].second;
+  for (size_t i = 0; i < row.size(); ++i) {
+    chunk.columns[i].AppendValue(row[i]);
+  }
+  return Status::OK();
+}
+
+Result<TablePtr> TableBuilder::Build() {
+  // Deterministic partition order.
+  std::sort(buckets_.begin(), buckets_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<Partition> partitions;
+  partitions.reserve(buckets_.size());
+  for (auto& [key, chunk] : buckets_) {
+    Partition p;
+    p.rows = chunk.num_rows();
+    if (partition_column_ >= 0 && chunk.num_rows() > 0) {
+      const Column& pc = chunk.columns[partition_column_];
+      int64_t mn = std::numeric_limits<int64_t>::max();
+      int64_t mx = std::numeric_limits<int64_t>::min();
+      bool any = false;
+      for (size_t r = 0; r < pc.size(); ++r) {
+        if (pc.IsNull(r)) continue;
+        mn = std::min(mn, pc.IntAt(r));
+        mx = std::max(mx, pc.IntAt(r));
+        any = true;
+      }
+      if (any) {
+        p.min_key = mn;
+        p.max_key = mx;
+      }
+    }
+    p.columns.reserve(chunk.columns.size());
+    p.column_bytes.reserve(chunk.columns.size());
+    for (const Column& c : chunk.columns) {
+      EncodedColumn page = EncodeColumn(c);
+      p.column_bytes.push_back(page.ByteSize());
+      p.columns.push_back(std::move(page));
+    }
+    partitions.push_back(std::move(p));
+  }
+  if (partitions.empty()) {
+    // Materialize one empty partition so scans have a schema to stream.
+    Partition p;
+    for (const TableColumn& c : columns_) {
+      p.columns.push_back(EncodeColumn(Column(c.type)));
+      p.column_bytes.push_back(0);
+    }
+    partitions.push_back(std::move(p));
+  }
+  return std::make_shared<const Table>(std::move(name_), std::move(columns_),
+                                       partition_column_, std::move(partitions),
+                                       std::move(primary_key_));
+}
+
+}  // namespace fusiondb

@@ -1,0 +1,19 @@
+// Invariant-checking macros. FUSIONDB_CHECK aborts the process: it is for
+// conditions that indicate a bug in FusionDB itself, never for user errors
+// (those travel as Status).
+#ifndef FUSIONDB_COMMON_CHECK_H_
+#define FUSIONDB_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define FUSIONDB_CHECK(cond, msg)                                            \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "FUSIONDB_CHECK failed at %s:%d: %s (%s)\n",      \
+                   __FILE__, __LINE__, #cond, msg);                          \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#endif  // FUSIONDB_COMMON_CHECK_H_

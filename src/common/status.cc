@@ -1,0 +1,25 @@
+#include "common/status.h"
+
+namespace fusiondb {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotImplemented:
+      return "not_implemented";
+    case StatusCode::kTypeError:
+      return "type_error";
+    case StatusCode::kPlanError:
+      return "plan_error";
+    case StatusCode::kExecutionError:
+      return "execution_error";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+}  // namespace fusiondb

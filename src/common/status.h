@@ -1,0 +1,152 @@
+// Status and Result<T>: exception-free error propagation in the style of
+// Apache Arrow / Abseil. All fallible FusionDB APIs return one of these.
+#ifndef FUSIONDB_COMMON_STATUS_H_
+#define FUSIONDB_COMMON_STATUS_H_
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace fusiondb {
+
+/// Coarse classification of an error. FusionDB never throws; every fallible
+/// operation reports failure through a Status (or Result<T>) carrying one of
+/// these codes plus a human-readable message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kNotImplemented,    // feature intentionally unsupported
+  kTypeError,         // expression/plan type mismatch
+  kPlanError,         // malformed or unbound logical plan
+  kExecutionError,    // runtime failure while evaluating a plan
+  kInternal,          // invariant violation (a bug in FusionDB)
+};
+
+/// Returns the canonical lowercase name of a status code ("ok",
+/// "invalid_argument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// An error indicator. A default-constructed Status is OK and carries no
+/// allocation; error statuses hold a code and message.
+class Status {
+ public:
+  Status() = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(message)});
+    }
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status PlanError(std::string msg) {
+    return Status(StatusCode::kPlanError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->message;
+  }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string out = StatusCodeName(code());
+    out += ": ";
+    out += message();
+    return out;
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // Shared so Status is cheap to copy; errors are immutable once created.
+  std::shared_ptr<const State> state_;
+};
+
+/// Either a value of type T or an error Status. Modeled on arrow::Result.
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions from both T and Status keep call sites terse:
+  //   Result<int> F() { if (bad) return Status::...; return 42; }
+  Result(T value) : value_(std::move(value)) {}             // NOLINT
+  Result(Status status) : value_(std::move(status)) {}      // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(value_);
+  }
+
+  /// Precondition: ok(). Use ValueOrDie only after checking, or via the
+  /// ASSIGN_OR_RETURN macro which checks for you.
+  T& ValueOrDie() & { return std::get<T>(value_); }
+  const T& ValueOrDie() const& { return std::get<T>(value_); }
+  T&& ValueOrDie() && { return std::get<T>(std::move(value_)); }
+
+  T& operator*() & { return ValueOrDie(); }
+  const T& operator*() const& { return ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+namespace internal {
+// Builds "msg" from streamable parts for the CHECK macros.
+template <typename... Args>
+std::string StrCat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace internal
+
+}  // namespace fusiondb
+
+/// Propagates an error Status from an expression producing a Status.
+#define FUSIONDB_RETURN_IF_ERROR(expr)                 \
+  do {                                                 \
+    ::fusiondb::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                         \
+  } while (0)
+
+#define FUSIONDB_CONCAT_IMPL(a, b) a##b
+#define FUSIONDB_CONCAT(a, b) FUSIONDB_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result-producing expression; on error returns the Status,
+/// otherwise moves the value into `lhs` (which may be a declaration).
+#define FUSIONDB_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  FUSIONDB_ASSIGN_OR_RETURN_IMPL(                                      \
+      FUSIONDB_CONCAT(_fusiondb_result_, __LINE__), lhs, rexpr)
+
+#define FUSIONDB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).ValueOrDie();
+
+#endif  // FUSIONDB_COMMON_STATUS_H_

@@ -1,0 +1,452 @@
+// Hash aggregation (with per-aggregate masks and DISTINCT), partitioned
+// window aggregation, and MarkDistinct.
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "exec/agg_state.h"
+#include "exec/operators_internal.h"
+#include "exec/row_key.h"
+#include "expr/evaluator.h"
+#include "expr/simplifier.h"
+
+namespace fusiondb::internal {
+
+namespace {
+
+/// Bound form of one aggregate: evaluators for mask and argument. Masks are
+/// deduplicated per operator (fusion gives many aggregates the same mask —
+/// Q09 ends with 15 aggregates over 5 distinct masks) and evaluated once
+/// per chunk; bare-column arguments read the input column directly.
+struct BoundAgg {
+  const AggregateItem* item;
+  std::optional<BoundExpr> arg;
+  int arg_column = -1;  // >= 0 when the argument is a bare column reference
+  int mask_slot = -1;   // index into the per-chunk mask bitmaps; -1 == TRUE
+
+  Value ArgAt(const Chunk& chunk, size_t row) const {
+    if (arg_column >= 0) return chunk.columns[arg_column].GetValue(row);
+    if (!arg.has_value()) return Value::Bool(true);  // COUNT(*): placeholder
+    return arg->EvalRow(chunk, row);
+  }
+};
+
+/// Deduplicated masks shared by a set of aggregates. Masks are stored as
+/// lists of *conjunct* slots, and conjuncts are deduplicated across masks
+/// (after fusion, `lp_avg_i`, `lp_cnt_i` and `lp_cntd_i` all carry the same
+/// bucket condition), so each distinct conjunct is evaluated once per chunk
+/// and masks combine bitmaps. Sound for filtering because a conjunction is
+/// TRUE iff every conjunct is TRUE.
+struct MaskSet {
+  std::vector<BoundExpr> conjuncts;            // unique conjunct evaluators
+  std::vector<std::vector<int>> mask_slots;    // per mask: conjunct indexes
+
+  size_t num_masks() const { return mask_slots.size(); }
+
+  /// Evaluates all masks over a chunk (one bitmap per mask).
+  std::vector<std::vector<uint8_t>> Evaluate(const Chunk& chunk) const {
+    std::vector<std::vector<uint8_t>> conjunct_bits;
+    conjunct_bits.reserve(conjuncts.size());
+    for (const BoundExpr& c : conjuncts) {
+      conjunct_bits.push_back(c.EvalFilter(chunk));
+    }
+    std::vector<std::vector<uint8_t>> bitmaps;
+    bitmaps.reserve(mask_slots.size());
+    size_t n = chunk.num_rows();
+    for (const std::vector<int>& slots : mask_slots) {
+      std::vector<uint8_t> bits(n, 1);
+      for (int s : slots) {
+        const std::vector<uint8_t>& cb = conjunct_bits[s];
+        for (size_t i = 0; i < n; ++i) bits[i] &= cb[i];
+      }
+      bitmaps.push_back(std::move(bits));
+    }
+    return bitmaps;
+  }
+};
+
+struct BoundAggs {
+  std::vector<BoundAgg> aggs;
+  MaskSet mask_set;
+};
+
+Result<BoundAggs> BindAggs(const std::vector<AggregateItem>& items,
+                           const Schema& input) {
+  BoundAggs out;
+  out.aggs.reserve(items.size());
+  std::vector<std::string> mask_fps;      // dedupe whole masks
+  std::vector<std::string> conjunct_fps;  // dedupe conjuncts across masks
+  for (const AggregateItem& item : items) {
+    BoundAgg b;
+    b.item = &item;
+    if (item.arg != nullptr) {
+      FUSIONDB_ASSIGN_OR_RETURN(BoundExpr e, BindExpr(item.arg, input));
+      b.arg = std::move(e);
+      if (item.arg->kind() == ExprKind::kColumnRef) {
+        b.arg_column = input.IndexOf(item.arg->column_id());
+      }
+    } else if (item.func != AggFunc::kCountStar) {
+      return Status::PlanError("aggregate " + item.name + " missing argument");
+    }
+    if (item.mask != nullptr && !item.mask->IsLiteralBool(true)) {
+      if (item.mask->type() != DataType::kBool) {
+        return Status::TypeError("aggregate mask must be boolean");
+      }
+      std::string fp = ExprFingerprint(item.mask);
+      for (size_t i = 0; i < mask_fps.size(); ++i) {
+        if (mask_fps[i] == fp) {
+          b.mask_slot = static_cast<int>(i);
+          break;
+        }
+      }
+      if (b.mask_slot < 0) {
+        std::vector<ExprPtr> parts;
+        SplitConjuncts(item.mask, &parts);
+        std::vector<int> slots;
+        slots.reserve(parts.size());
+        for (const ExprPtr& part : parts) {
+          std::string pfp = ExprFingerprint(part);
+          int slot = -1;
+          for (size_t i = 0; i < conjunct_fps.size(); ++i) {
+            if (conjunct_fps[i] == pfp) {
+              slot = static_cast<int>(i);
+              break;
+            }
+          }
+          if (slot < 0) {
+            FUSIONDB_ASSIGN_OR_RETURN(BoundExpr e, BindExpr(part, input));
+            slot = static_cast<int>(out.mask_set.conjuncts.size());
+            out.mask_set.conjuncts.push_back(std::move(e));
+            conjunct_fps.push_back(std::move(pfp));
+          }
+          slots.push_back(slot);
+        }
+        b.mask_slot = static_cast<int>(out.mask_set.mask_slots.size());
+        out.mask_set.mask_slots.push_back(std::move(slots));
+        mask_fps.push_back(std::move(fp));
+      }
+    }
+    out.aggs.push_back(std::move(b));
+  }
+  return out;
+}
+
+class AggregateExec final : public ExecOperator {
+ public:
+  AggregateExec(const AggregateOp& op, ExecOperatorPtr child,
+                std::vector<int> group_indexes, BoundAggs aggs,
+                ExecContext* ctx)
+      : ExecOperator(op.schema()),
+        scalar_(op.IsScalar()),
+        child_(std::move(child)),
+        group_indexes_(std::move(group_indexes)),
+        aggs_(std::move(aggs.aggs)),
+        mask_set_(std::move(aggs.mask_set)),
+        ctx_(ctx) {}
+
+  ~AggregateExec() override { ctx_->AddHashBytes(-accounted_bytes_); }
+
+  Result<std::optional<Chunk>> Next() override {
+    if (done_) return std::optional<Chunk>();
+    done_ = true;
+    FUSIONDB_RETURN_IF_ERROR(Drain());
+    return std::optional<Chunk>(Finalize());
+  }
+
+ private:
+  /// Per-group state plus one boxed copy of the grouping values (boxed once
+  /// per group, not per row — rows key on the serialized form).
+  struct GroupEntry {
+    std::vector<Value> representative;
+    std::vector<AggState> states;
+  };
+  using GroupMap = std::unordered_map<std::string, GroupEntry>;
+
+  Status Drain() {
+    if (scalar_) {
+      GroupEntry& entry = groups_[std::string()];
+      entry.states.resize(aggs_.size());
+    }
+    std::string key;
+    while (true) {
+      FUSIONDB_ASSIGN_OR_RETURN(std::optional<Chunk> in, child_->Next());
+      if (!in.has_value()) break;
+      size_t rows = in->num_rows();
+      // One pass per distinct mask over the whole chunk; aggregates then
+      // just test bits per row.
+      std::vector<std::vector<uint8_t>> bitmaps = mask_set_.Evaluate(*in);
+      for (size_t r = 0; r < rows; ++r) {
+        RowKeyEncoder::Encode(*in, group_indexes_, r, &key);
+        auto [it, inserted] = groups_.try_emplace(key);
+        GroupEntry& entry = it->second;
+        if (inserted) {
+          entry.states.resize(aggs_.size());
+          entry.representative.reserve(group_indexes_.size());
+          for (int g : group_indexes_) {
+            entry.representative.push_back(in->columns[g].GetValue(r));
+          }
+        }
+        for (size_t a = 0; a < aggs_.size(); ++a) {
+          const BoundAgg& agg = aggs_[a];
+          if (agg.mask_slot >= 0 && !bitmaps[agg.mask_slot][r]) continue;
+          if (agg.arg_column >= 0) {
+            entry.states[a].AccumulateColumnRow(*agg.item,
+                                                in->columns[agg.arg_column], r);
+          } else {
+            entry.states[a].AccumulateRow(*agg.item, agg.ArgAt(*in, r));
+          }
+        }
+      }
+    }
+    int64_t bytes = 0;
+    for (const auto& [k, entry] : groups_) {
+      bytes += 48 + static_cast<int64_t>(k.size());
+      for (const AggState& s : entry.states) bytes += AggStateBytes(s);
+    }
+    accounted_bytes_ = bytes;
+    ctx_->AddHashBytes(bytes);
+    return Status::OK();
+  }
+
+  Chunk Finalize() {
+    Chunk out = Chunk::Empty(OutputTypes());
+    size_t gw = group_indexes_.size();
+    for (auto& [k, entry] : groups_) {
+      for (size_t g = 0; g < gw; ++g) {
+        out.columns[g].AppendValue(entry.representative[g]);
+      }
+      for (size_t a = 0; a < entry.states.size(); ++a) {
+        out.columns[gw + a].AppendValue(
+            entry.states[a].Finalize(*aggs_[a].item));
+      }
+    }
+    return out;
+  }
+
+  bool scalar_;
+  ExecOperatorPtr child_;
+  std::vector<int> group_indexes_;
+  std::vector<BoundAgg> aggs_;
+  MaskSet mask_set_;
+  ExecContext* ctx_;
+  GroupMap groups_;
+  bool done_ = false;
+  int64_t accounted_bytes_ = 0;
+};
+
+class WindowExec final : public ExecOperator {
+ public:
+  WindowExec(const WindowOp& op, ExecOperatorPtr child,
+             std::vector<int> partition_indexes, BoundAggs items,
+             std::vector<AggregateItem> item_storage, ExecContext* ctx)
+      : ExecOperator(op.schema()),
+        child_(std::move(child)),
+        partition_indexes_(std::move(partition_indexes)),
+        items_(std::move(items.aggs)),
+        mask_set_(std::move(items.mask_set)),
+        item_storage_(std::move(item_storage)),
+        ctx_(ctx) {}
+
+  ~WindowExec() override { ctx_->AddHashBytes(-accounted_bytes_); }
+
+  Result<std::optional<Chunk>> Next() override {
+    if (!materialized_) {
+      FUSIONDB_RETURN_IF_ERROR(Materialize());
+      materialized_ = true;
+    }
+    size_t total = data_.num_rows();
+    if (offset_ >= total) return std::optional<Chunk>();
+    size_t take = std::min(ctx_->chunk_size(), total - offset_);
+    Chunk out = Chunk::Empty(OutputTypes());
+    size_t input_width = data_.num_columns();
+    for (size_t c = 0; c < input_width; ++c) {
+      for (size_t r = offset_; r < offset_ + take; ++r) {
+        out.columns[c].AppendFrom(data_.columns[c], r);
+      }
+    }
+    for (size_t a = 0; a < items_.size(); ++a) {
+      for (size_t r = offset_; r < offset_ + take; ++r) {
+        out.columns[input_width + a].AppendValue(results_[a][r]);
+      }
+    }
+    offset_ += take;
+    return std::optional<Chunk>(std::move(out));
+  }
+
+ private:
+  Status Materialize() {
+    std::vector<DataType> types;
+    for (const ColumnInfo& c : child_->schema().columns()) {
+      types.push_back(c.type);
+    }
+    data_ = Chunk::Empty(types);
+    while (true) {
+      FUSIONDB_ASSIGN_OR_RETURN(std::optional<Chunk> in, child_->Next());
+      if (!in.has_value()) break;
+      data_.AppendChunk(*in);
+    }
+    size_t rows = data_.num_rows();
+
+    // Partition rows, preserving input order within each partition.
+    std::unordered_map<std::string, std::vector<size_t>> partitions;
+    std::string key;
+    for (size_t r = 0; r < rows; ++r) {
+      RowKeyEncoder::Encode(data_, partition_indexes_, r, &key);
+      partitions[key].push_back(r);
+    }
+
+    // Compute each item per partition and broadcast to member rows.
+    std::vector<std::vector<uint8_t>> bitmaps = mask_set_.Evaluate(data_);
+    results_.assign(items_.size(), std::vector<Value>(rows));
+    for (const auto& [key, members] : partitions) {
+      for (size_t a = 0; a < items_.size(); ++a) {
+        const BoundAgg& item = items_[a];
+        AggState state;
+        for (size_t r : members) {
+          if (item.mask_slot >= 0 && !bitmaps[item.mask_slot][r]) continue;
+          if (item.arg_column >= 0) {
+            state.AccumulateColumnRow(*item.item, data_.columns[item.arg_column],
+                                      r);
+          } else {
+            state.AccumulateRow(*item.item, item.ArgAt(data_, r));
+          }
+        }
+        Value v = state.Finalize(*item.item);
+        for (size_t r : members) results_[a][r] = v;
+      }
+    }
+
+    int64_t bytes = 0;
+    for (const Column& c : data_.columns) bytes += c.ByteSize();
+    bytes += static_cast<int64_t>(partitions.size()) * 64;
+    accounted_bytes_ = bytes;
+    ctx_->AddHashBytes(bytes);
+    return Status::OK();
+  }
+
+  ExecOperatorPtr child_;
+  std::vector<int> partition_indexes_;
+  std::vector<BoundAgg> items_;
+  MaskSet mask_set_;
+  // WindowItems converted to AggregateItems so BoundAgg/AggState apply.
+  std::vector<AggregateItem> item_storage_;
+  ExecContext* ctx_;
+  Chunk data_;
+  std::vector<std::vector<Value>> results_;
+  bool materialized_ = false;
+  size_t offset_ = 0;
+  int64_t accounted_bytes_ = 0;
+};
+
+class MarkDistinctExec final : public ExecOperator {
+ public:
+  MarkDistinctExec(const MarkDistinctOp& op, ExecOperatorPtr child,
+                   std::vector<int> key_indexes, ExecContext* ctx)
+      : ExecOperator(op.schema()),
+        child_(std::move(child)),
+        key_indexes_(std::move(key_indexes)),
+        ctx_(ctx) {}
+
+  ~MarkDistinctExec() override { ctx_->AddHashBytes(-accounted_bytes_); }
+
+  Result<std::optional<Chunk>> Next() override {
+    FUSIONDB_ASSIGN_OR_RETURN(std::optional<Chunk> in, child_->Next());
+    if (!in.has_value()) return std::optional<Chunk>();
+    size_t rows = in->num_rows();
+    Column marker(DataType::kBool);
+    marker.Reserve(rows);
+    std::string key;
+    for (size_t r = 0; r < rows; ++r) {
+      RowKeyEncoder::Encode(*in, key_indexes_, r, &key);
+      auto [it, inserted] = seen_.insert(key);
+      (void)it;
+      if (inserted) {
+        // ~48 bytes map overhead + key bytes, charged incrementally.
+        int64_t bytes = 48 + static_cast<int64_t>(key.size());
+        ctx_->AddHashBytes(bytes);
+        accounted_bytes_ += bytes;
+      }
+      marker.AppendBool(inserted);
+    }
+    Chunk out = std::move(*in);
+    out.columns.push_back(std::move(marker));
+    return std::optional<Chunk>(std::move(out));
+  }
+
+ private:
+  ExecOperatorPtr child_;
+  std::vector<int> key_indexes_;
+  ExecContext* ctx_;
+  std::unordered_set<std::string> seen_;
+  int64_t accounted_bytes_ = 0;
+};
+
+}  // namespace
+
+Result<ExecOperatorPtr> MakeAggregateExec(const AggregateOp& op,
+                                          ExecOperatorPtr child,
+                                          ExecContext* ctx) {
+  std::vector<int> group_indexes;
+  group_indexes.reserve(op.group_by().size());
+  for (ColumnId g : op.group_by()) {
+    int idx = child->schema().IndexOf(g);
+    if (idx < 0) {
+      return Status::PlanError("group-by column #" + std::to_string(g) +
+                               " not in input");
+    }
+    group_indexes.push_back(idx);
+  }
+  FUSIONDB_ASSIGN_OR_RETURN(BoundAggs aggs,
+                            BindAggs(op.aggregates(), child->schema()));
+  return ExecOperatorPtr(new AggregateExec(op, std::move(child),
+                                           std::move(group_indexes),
+                                           std::move(aggs), ctx));
+}
+
+Result<ExecOperatorPtr> MakeWindowExec(const WindowOp& op,
+                                       ExecOperatorPtr child,
+                                       ExecContext* ctx) {
+  std::vector<int> partition_indexes;
+  partition_indexes.reserve(op.partition_by().size());
+  for (ColumnId p : op.partition_by()) {
+    int idx = child->schema().IndexOf(p);
+    if (idx < 0) {
+      return Status::PlanError("window partition column #" + std::to_string(p) +
+                               " not in input");
+    }
+    partition_indexes.push_back(idx);
+  }
+  // Reuse the aggregate machinery by viewing WindowItems as AggregateItems.
+  std::vector<AggregateItem> storage;
+  storage.reserve(op.items().size());
+  for (const WindowItem& w : op.items()) {
+    storage.push_back({w.id, w.name, w.func, w.arg, w.mask, /*distinct=*/false});
+  }
+  FUSIONDB_ASSIGN_OR_RETURN(BoundAggs items,
+                            BindAggs(storage, child->schema()));
+  // BoundAgg keeps pointers into `storage`; both are moved into the operator
+  // together, and vector moves preserve element addresses.
+  return ExecOperatorPtr(new WindowExec(op, std::move(child),
+                                        std::move(partition_indexes),
+                                        std::move(items), std::move(storage),
+                                        ctx));
+}
+
+Result<ExecOperatorPtr> MakeMarkDistinctExec(const MarkDistinctOp& op,
+                                             ExecOperatorPtr child,
+                                             ExecContext* ctx) {
+  std::vector<int> key_indexes;
+  key_indexes.reserve(op.distinct_columns().size());
+  for (ColumnId c : op.distinct_columns()) {
+    int idx = child->schema().IndexOf(c);
+    if (idx < 0) {
+      return Status::PlanError("mark-distinct column #" + std::to_string(c) +
+                               " not in input");
+    }
+    key_indexes.push_back(idx);
+  }
+  return ExecOperatorPtr(
+      new MarkDistinctExec(op, std::move(child), std::move(key_indexes), ctx));
+}
+
+}  // namespace fusiondb::internal

@@ -1,0 +1,77 @@
+// Per-query execution context: configuration and metrics.
+//
+// The metrics mirror what the paper measures: `bytes_scanned` models the
+// S3 "data read" that Athena bills (Figure 2), and `peak_hash_bytes` models
+// the working memory held in join/aggregation hash tables (the Section V.C
+// observation that fusing Q23 halves intermediate state).
+#ifndef FUSIONDB_EXEC_EXEC_CONTEXT_H_
+#define FUSIONDB_EXEC_EXEC_CONTEXT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/encoding.h"
+#include "types/chunk.h"
+
+namespace fusiondb {
+
+struct ExecMetrics {
+  int64_t bytes_scanned = 0;
+  int64_t rows_scanned = 0;
+  int64_t partitions_scanned = 0;
+  int64_t partitions_pruned = 0;
+  int64_t rows_produced = 0;
+  int64_t peak_hash_bytes = 0;
+  // Spooling costs (the materialization alternative to fusion): bytes
+  // written once into spool buffers and bytes read back by consumers.
+  int64_t spool_bytes_written = 0;
+  int64_t spool_bytes_read = 0;
+};
+
+/// Shared materialization buffer behind a SpoolOp id. The first consumer
+/// fills it; every consumer reads it. Chunks are stored as *encoded* pages:
+/// like Athena's exchange materialization, spooled intermediates pay a
+/// serialize-on-write and deserialize-per-read cost (this is exactly the
+/// overhead the paper's fusion rewrites avoid).
+struct SpoolBuffer {
+  bool built = false;
+  std::vector<std::vector<EncodedColumn>> pages;  // one vector per chunk
+  int64_t bytes = 0;
+};
+
+class ExecContext {
+ public:
+  /// Rows per streamed chunk.
+  size_t chunk_size() const { return chunk_size_; }
+  void set_chunk_size(size_t n) { chunk_size_ = n; }
+
+  ExecMetrics& metrics() { return metrics_; }
+  const ExecMetrics& metrics() const { return metrics_; }
+
+  /// Tracks live hash-table memory; peak is recorded in metrics.
+  void AddHashBytes(int64_t delta) {
+    live_hash_bytes_ += delta;
+    metrics_.peak_hash_bytes =
+        std::max(metrics_.peak_hash_bytes, live_hash_bytes_);
+  }
+
+  /// The spool buffer for `spool_id`, created on first use.
+  std::shared_ptr<SpoolBuffer> GetSpool(int32_t spool_id) {
+    std::shared_ptr<SpoolBuffer>& slot = spools_[spool_id];
+    if (slot == nullptr) slot = std::make_shared<SpoolBuffer>();
+    return slot;
+  }
+
+ private:
+  size_t chunk_size_ = 4096;
+  ExecMetrics metrics_;
+  int64_t live_hash_bytes_ = 0;
+  std::unordered_map<int32_t, std::shared_ptr<SpoolBuffer>> spools_;
+};
+
+}  // namespace fusiondb
+
+#endif  // FUSIONDB_EXEC_EXEC_CONTEXT_H_

@@ -1,0 +1,87 @@
+#include "exec/executor.h"
+
+#include <chrono>
+
+#include "exec/operators_internal.h"
+
+namespace fusiondb {
+
+Result<ExecOperatorPtr> BuildExecutor(const PlanPtr& plan, ExecContext* ctx) {
+  using namespace internal;  // NOLINT: operator factories
+  if (plan == nullptr) return Status::PlanError("null plan");
+  switch (plan->kind()) {
+    case OpKind::kScan:
+      return MakeScanExec(Cast<ScanOp>(*plan), ctx);
+    case OpKind::kValues:
+      return MakeValuesExec(Cast<ValuesOp>(*plan), ctx);
+    case OpKind::kApply:
+      return Status::PlanError(
+          "Apply (correlated subquery) must be decorrelated before execution");
+    default:
+      break;
+  }
+  std::vector<ExecOperatorPtr> children;
+  children.reserve(plan->num_children());
+  for (const PlanPtr& c : plan->children()) {
+    FUSIONDB_ASSIGN_OR_RETURN(ExecOperatorPtr child, BuildExecutor(c, ctx));
+    children.push_back(std::move(child));
+  }
+  switch (plan->kind()) {
+    case OpKind::kFilter:
+      return MakeFilterExec(Cast<FilterOp>(*plan), std::move(children[0]));
+    case OpKind::kProject:
+      return MakeProjectExec(Cast<ProjectOp>(*plan), std::move(children[0]));
+    case OpKind::kJoin:
+      return MakeJoinExec(Cast<JoinOp>(*plan), std::move(children[0]),
+                          std::move(children[1]), ctx);
+    case OpKind::kAggregate:
+      return MakeAggregateExec(Cast<AggregateOp>(*plan), std::move(children[0]),
+                               ctx);
+    case OpKind::kWindow:
+      return MakeWindowExec(Cast<WindowOp>(*plan), std::move(children[0]), ctx);
+    case OpKind::kMarkDistinct:
+      return MakeMarkDistinctExec(Cast<MarkDistinctOp>(*plan),
+                                  std::move(children[0]), ctx);
+    case OpKind::kUnionAll:
+      return MakeUnionAllExec(Cast<UnionAllOp>(*plan), std::move(children));
+    case OpKind::kSort:
+      return MakeSortExec(Cast<SortOp>(*plan), std::move(children[0]), ctx);
+    case OpKind::kLimit:
+      return MakeLimitExec(Cast<LimitOp>(*plan), std::move(children[0]));
+    case OpKind::kEnforceSingleRow:
+      return MakeSingleRowExec(Cast<EnforceSingleRowOp>(*plan),
+                               std::move(children[0]));
+    case OpKind::kSpool:
+      return MakeSpoolExec(Cast<SpoolOp>(*plan), std::move(children[0]), ctx);
+    default:
+      return Status::NotImplemented(std::string("no executor for ") +
+                                    OpKindName(plan->kind()));
+  }
+}
+
+Result<QueryResult> ExecutePlan(const PlanPtr& plan, size_t chunk_size) {
+  ExecContext ctx;
+  ctx.set_chunk_size(chunk_size);
+  auto start = std::chrono::steady_clock::now();
+  std::vector<Chunk> chunks;
+  {
+    // Scope the operator tree so destructors release accounted memory
+    // before metrics are snapshotted (peak is preserved).
+    FUSIONDB_ASSIGN_OR_RETURN(ExecOperatorPtr root, BuildExecutor(plan, &ctx));
+    while (true) {
+      FUSIONDB_ASSIGN_OR_RETURN(std::optional<Chunk> chunk, root->Next());
+      if (!chunk.has_value()) break;
+      if (chunk->num_rows() == 0) continue;
+      ctx.metrics().rows_produced += static_cast<int64_t>(chunk->num_rows());
+      chunks.push_back(std::move(*chunk));
+    }
+  }
+  auto end = std::chrono::steady_clock::now();
+  double wall_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          end - start)
+          .count();
+  return QueryResult(plan->schema(), std::move(chunks), ctx.metrics(), wall_ms);
+}
+
+}  // namespace fusiondb

@@ -1,0 +1,22 @@
+// Translation of logical plans into physical operator trees, and the
+// convenience entry point that drains a plan into a QueryResult.
+#ifndef FUSIONDB_EXEC_EXECUTOR_H_
+#define FUSIONDB_EXEC_EXECUTOR_H_
+
+#include "exec/operator.h"
+#include "exec/query_result.h"
+#include "plan/logical_plan.h"
+
+namespace fusiondb {
+
+/// Builds the physical tree for `plan`. The plan must outlive the returned
+/// operators. Fails with kPlanError on malformed/unbound plans, and on
+/// ApplyOp (correlated subqueries must be decorrelated first).
+Result<ExecOperatorPtr> BuildExecutor(const PlanPtr& plan, ExecContext* ctx);
+
+/// Runs `plan` to completion, collecting all output and metrics.
+Result<QueryResult> ExecutePlan(const PlanPtr& plan, size_t chunk_size = 4096);
+
+}  // namespace fusiondb
+
+#endif  // FUSIONDB_EXEC_EXECUTOR_H_

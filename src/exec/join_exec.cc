@@ -1,0 +1,223 @@
+// Hash join (inner / left / semi) with nested-loop fallback for non-equi
+// and cross joins. The build side (right input) is fully buffered and
+// accounted against the working-memory metric.
+#include <optional>
+#include <unordered_map>
+
+#include "exec/operators_internal.h"
+#include "exec/row_key.h"
+#include "expr/evaluator.h"
+#include "expr/simplifier.h"
+
+namespace fusiondb::internal {
+
+namespace {
+
+struct EquiKey {
+  int left_index;
+  int right_index;
+};
+
+class HashJoinExec final : public ExecOperator {
+ public:
+  HashJoinExec(const JoinOp& op, ExecOperatorPtr left, ExecOperatorPtr right,
+               std::vector<EquiKey> keys, std::optional<BoundExpr> residual,
+               ExecContext* ctx)
+      : ExecOperator(op.schema()),
+        join_type_(op.join_type()),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        keys_(std::move(keys)),
+        residual_(std::move(residual)),
+        ctx_(ctx) {
+    right_types_.reserve(right_->schema().num_columns());
+    for (const ColumnInfo& c : right_->schema().columns()) {
+      right_types_.push_back(c.type);
+    }
+    for (const EquiKey& k : keys_) {
+      left_key_indexes_.push_back(k.left_index);
+      right_key_indexes_.push_back(k.right_index);
+    }
+  }
+
+  ~HashJoinExec() override { ctx_->AddHashBytes(-accounted_bytes_); }
+
+  Result<std::optional<Chunk>> Next() override {
+    if (!built_) {
+      FUSIONDB_RETURN_IF_ERROR(BuildRight());
+      built_ = true;
+    }
+    while (true) {
+      FUSIONDB_ASSIGN_OR_RETURN(std::optional<Chunk> in, left_->Next());
+      if (!in.has_value()) return std::optional<Chunk>();
+      Chunk out = Chunk::Empty(OutputTypes());
+      ProbeChunk(*in, &out);
+      if (out.num_rows() == 0) continue;
+      return std::optional<Chunk>(std::move(out));
+    }
+  }
+
+ private:
+  Status BuildRight() {
+    right_data_ = Chunk::Empty(right_types_);
+    while (true) {
+      FUSIONDB_ASSIGN_OR_RETURN(std::optional<Chunk> in, right_->Next());
+      if (!in.has_value()) break;
+      right_data_.AppendChunk(*in);
+    }
+    size_t n = right_data_.num_rows();
+    if (!keys_.empty()) {
+      table_.reserve(n);
+      std::string key;
+      for (size_t r = 0; r < n; ++r) {
+        if (RowKeyEncoder::Encode(right_data_, right_key_indexes_, r, &key)) {
+          continue;  // NULL keys never join
+        }
+        table_[key].push_back(r);
+      }
+    }
+    // Account buffered rows + hash entries against working memory.
+    int64_t bytes = 0;
+    for (const Column& c : right_data_.columns) bytes += c.ByteSize();
+    bytes += static_cast<int64_t>(n) * 48;
+    accounted_bytes_ = bytes;
+    ctx_->AddHashBytes(bytes);
+    return Status::OK();
+  }
+
+  bool PairPasses(const Chunk& left_chunk, size_t lrow, size_t rrow) const {
+    if (!residual_.has_value()) return true;
+    Value v = residual_->EvalRowPair(left_chunk, lrow, right_data_, rrow,
+                                     left_->schema().num_columns());
+    return !v.is_null() && v.bool_value();
+  }
+
+  void EmitPair(const Chunk& left_chunk, size_t lrow, size_t rrow, Chunk* out) {
+    size_t lw = left_chunk.num_columns();
+    for (size_t c = 0; c < lw; ++c) {
+      out->columns[c].AppendFrom(left_chunk.columns[c], lrow);
+    }
+    if (join_type_ != JoinType::kSemi) {
+      for (size_t c = 0; c < right_data_.num_columns(); ++c) {
+        out->columns[lw + c].AppendFrom(right_data_.columns[c], rrow);
+      }
+    }
+  }
+
+  void EmitUnmatchedLeft(const Chunk& left_chunk, size_t lrow, Chunk* out) {
+    size_t lw = left_chunk.num_columns();
+    for (size_t c = 0; c < lw; ++c) {
+      out->columns[c].AppendFrom(left_chunk.columns[c], lrow);
+    }
+    for (size_t c = 0; c < right_data_.num_columns(); ++c) {
+      out->columns[lw + c].AppendNull();
+    }
+  }
+
+  void ProbeChunk(const Chunk& in, Chunk* out) {
+    size_t rows = in.num_rows();
+    size_t right_rows = right_data_.num_rows();
+    std::string key;
+    for (size_t r = 0; r < rows; ++r) {
+      bool matched = false;
+      if (!keys_.empty()) {
+        bool has_null =
+            RowKeyEncoder::Encode(in, left_key_indexes_, r, &key);
+        if (!has_null) {
+          auto it = table_.find(key);
+          if (it != table_.end()) {
+            for (size_t m : it->second) {
+              if (!PairPasses(in, r, m)) continue;
+              matched = true;
+              EmitPair(in, r, m, out);
+              if (join_type_ == JoinType::kSemi) break;
+            }
+          }
+        }
+      } else {
+        for (size_t m = 0; m < right_rows; ++m) {
+          if (!PairPasses(in, r, m)) continue;
+          matched = true;
+          EmitPair(in, r, m, out);
+          if (join_type_ == JoinType::kSemi) break;
+        }
+      }
+      if (!matched && join_type_ == JoinType::kLeft) {
+        EmitUnmatchedLeft(in, r, out);
+      }
+    }
+  }
+
+  JoinType join_type_;
+  ExecOperatorPtr left_;
+  ExecOperatorPtr right_;
+  std::vector<EquiKey> keys_;
+  std::optional<BoundExpr> residual_;
+  ExecContext* ctx_;
+
+  std::vector<DataType> right_types_;
+  std::vector<int> left_key_indexes_;
+  std::vector<int> right_key_indexes_;
+  Chunk right_data_;
+  std::unordered_map<std::string, std::vector<size_t>> table_;
+  bool built_ = false;
+  int64_t accounted_bytes_ = 0;
+};
+
+}  // namespace
+
+Result<ExecOperatorPtr> MakeJoinExec(const JoinOp& op, ExecOperatorPtr left,
+                                     ExecOperatorPtr right, ExecContext* ctx) {
+  if (op.condition() == nullptr) {
+    return Status::PlanError("join with null condition");
+  }
+  // Split the condition into hashable equi pairs and a bound residual.
+  std::vector<ExprPtr> conjuncts;
+  SplitConjuncts(op.condition(), &conjuncts);
+  std::vector<EquiKey> keys;
+  std::vector<ExprPtr> residual_parts;
+  const Schema& ls = left->schema();
+  const Schema& rs = right->schema();
+  for (const ExprPtr& c : conjuncts) {
+    bool is_equi = false;
+    if (c->kind() == ExprKind::kCompare && c->compare_op() == CompareOp::kEq &&
+        c->child(0)->kind() == ExprKind::kColumnRef &&
+        c->child(1)->kind() == ExprKind::kColumnRef) {
+      ColumnId a = c->child(0)->column_id();
+      ColumnId b = c->child(1)->column_id();
+      // Keys hash on serialized bytes, so both sides must share a physical
+      // representation; mismatched pairs fall back to the residual path.
+      auto same_phys = [&](ColumnId l, ColumnId r) {
+        return PhysicalTypeOf(*ls.TypeOf(l)) == PhysicalTypeOf(*rs.TypeOf(r));
+      };
+      if (ls.Contains(a) && rs.Contains(b) && same_phys(a, b)) {
+        keys.push_back({ls.IndexOf(a), rs.IndexOf(b)});
+        is_equi = true;
+      } else if (ls.Contains(b) && rs.Contains(a) && same_phys(b, a)) {
+        keys.push_back({ls.IndexOf(b), rs.IndexOf(a)});
+        is_equi = true;
+      }
+    }
+    if (!is_equi) residual_parts.push_back(c);
+  }
+  std::optional<BoundExpr> residual;
+  if (!residual_parts.empty()) {
+    ExprPtr residual_expr = CombineConjuncts(residual_parts);
+    // Bind against the combined left+right schema (EvalRowPair splits at the
+    // left width), including for semi joins whose *output* lacks right
+    // columns.
+    std::vector<ColumnInfo> combined = ls.columns();
+    for (const ColumnInfo& c : rs.columns()) combined.push_back(c);
+    FUSIONDB_ASSIGN_OR_RETURN(BoundExpr bound,
+                              BindExpr(residual_expr, Schema(combined)));
+    residual = std::move(bound);
+  }
+  if (op.join_type() == JoinType::kCross && (!keys.empty() || residual)) {
+    return Status::PlanError("cross join must have TRUE condition");
+  }
+  return ExecOperatorPtr(new HashJoinExec(op, std::move(left), std::move(right),
+                                          std::move(keys), std::move(residual),
+                                          ctx));
+}
+
+}  // namespace fusiondb::internal

@@ -1,0 +1,44 @@
+// Factory functions for the physical operators; used only by the executor
+// translation layer (executor.cc). Each factory validates and binds the
+// corresponding logical operator against its children's schemas, surfacing
+// malformed plans as Status errors rather than crashes.
+#ifndef FUSIONDB_EXEC_OPERATORS_INTERNAL_H_
+#define FUSIONDB_EXEC_OPERATORS_INTERNAL_H_
+
+#include <vector>
+
+#include "exec/operator.h"
+#include "plan/logical_plan.h"
+#include "plan/spool.h"
+
+namespace fusiondb::internal {
+
+Result<ExecOperatorPtr> MakeScanExec(const ScanOp& op, ExecContext* ctx);
+Result<ExecOperatorPtr> MakeFilterExec(const FilterOp& op,
+                                       ExecOperatorPtr child);
+Result<ExecOperatorPtr> MakeProjectExec(const ProjectOp& op,
+                                        ExecOperatorPtr child);
+Result<ExecOperatorPtr> MakeJoinExec(const JoinOp& op, ExecOperatorPtr left,
+                                     ExecOperatorPtr right, ExecContext* ctx);
+Result<ExecOperatorPtr> MakeAggregateExec(const AggregateOp& op,
+                                          ExecOperatorPtr child,
+                                          ExecContext* ctx);
+Result<ExecOperatorPtr> MakeWindowExec(const WindowOp& op,
+                                       ExecOperatorPtr child, ExecContext* ctx);
+Result<ExecOperatorPtr> MakeMarkDistinctExec(const MarkDistinctOp& op,
+                                             ExecOperatorPtr child,
+                                             ExecContext* ctx);
+Result<ExecOperatorPtr> MakeUnionAllExec(const UnionAllOp& op,
+                                         std::vector<ExecOperatorPtr> children);
+Result<ExecOperatorPtr> MakeValuesExec(const ValuesOp& op, ExecContext* ctx);
+Result<ExecOperatorPtr> MakeSortExec(const SortOp& op, ExecOperatorPtr child,
+                                     ExecContext* ctx);
+Result<ExecOperatorPtr> MakeLimitExec(const LimitOp& op, ExecOperatorPtr child);
+Result<ExecOperatorPtr> MakeSingleRowExec(const EnforceSingleRowOp& op,
+                                          ExecOperatorPtr child);
+Result<ExecOperatorPtr> MakeSpoolExec(const SpoolOp& op, ExecOperatorPtr child,
+                                      ExecContext* ctx);
+
+}  // namespace fusiondb::internal
+
+#endif  // FUSIONDB_EXEC_OPERATORS_INTERNAL_H_

@@ -1,0 +1,94 @@
+#include "exec/query_result.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace fusiondb {
+
+QueryResult::QueryResult(Schema schema, std::vector<Chunk> chunks,
+                         ExecMetrics metrics, double wall_ms)
+    : schema_(std::move(schema)),
+      chunks_(std::move(chunks)),
+      metrics_(metrics),
+      wall_ms_(wall_ms) {
+  for (const Chunk& c : chunks_) num_rows_ += static_cast<int64_t>(c.num_rows());
+}
+
+Value QueryResult::At(int64_t row, int col) const {
+  for (const Chunk& c : chunks_) {
+    int64_t n = static_cast<int64_t>(c.num_rows());
+    if (row < n) return c.columns[col].GetValue(static_cast<size_t>(row));
+    row -= n;
+  }
+  return Value::Null(DataType::kInt64);
+}
+
+namespace {
+
+std::string RenderValue(const Value& v) {
+  if (v.is_null()) return "NULL";
+  if (v.type() == DataType::kFloat64) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9g", v.double_value());
+    return buf;
+  }
+  return v.ToString();
+}
+
+}  // namespace
+
+std::vector<std::string> QueryResult::RenderRows(bool sorted) const {
+  std::vector<std::string> rows;
+  rows.reserve(static_cast<size_t>(num_rows_));
+  for (const Chunk& chunk : chunks_) {
+    for (size_t r = 0; r < chunk.num_rows(); ++r) {
+      std::string line;
+      for (size_t c = 0; c < chunk.num_columns(); ++c) {
+        if (c > 0) line += '|';
+        line += RenderValue(chunk.columns[c].GetValue(r));
+      }
+      rows.push_back(std::move(line));
+    }
+  }
+  if (sorted) std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+std::string QueryResult::ToString(int64_t max_rows) const {
+  std::ostringstream os;
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    if (c > 0) os << " | ";
+    os << schema_.column(c).name;
+  }
+  os << "\n";
+  int64_t shown = 0;
+  for (const Chunk& chunk : chunks_) {
+    for (size_t r = 0; r < chunk.num_rows() && shown < max_rows; ++r, ++shown) {
+      for (size_t c = 0; c < chunk.num_columns(); ++c) {
+        if (c > 0) os << " | ";
+        os << RenderValue(chunk.columns[c].GetValue(r));
+      }
+      os << "\n";
+    }
+  }
+  if (num_rows_ > shown) {
+    os << "... (" << (num_rows_ - shown) << " more rows)\n";
+  }
+  os << "(" << num_rows_ << " rows)\n";
+  return os.str();
+}
+
+bool ResultsEquivalent(const QueryResult& a, const QueryResult& b) {
+  if (a.num_rows() != b.num_rows()) return false;
+  if (a.schema().num_columns() != b.schema().num_columns()) return false;
+  return a.RenderRows(/*sorted=*/true) == b.RenderRows(/*sorted=*/true);
+}
+
+bool ResultsEqualOrdered(const QueryResult& a, const QueryResult& b) {
+  if (a.num_rows() != b.num_rows()) return false;
+  if (a.schema().num_columns() != b.schema().num_columns()) return false;
+  return a.RenderRows(/*sorted=*/false) == b.RenderRows(/*sorted=*/false);
+}
+
+}  // namespace fusiondb

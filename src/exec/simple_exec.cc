@@ -1,0 +1,251 @@
+// Streaming operators with no buffered state: Filter, Project, UnionAll,
+// Values, Limit, EnforceSingleRow.
+#include <optional>
+
+#include "exec/operators_internal.h"
+#include "expr/evaluator.h"
+
+namespace fusiondb::internal {
+
+namespace {
+
+class FilterExec final : public ExecOperator {
+ public:
+  FilterExec(const FilterOp& op, ExecOperatorPtr child, BoundExpr predicate)
+      : ExecOperator(op.schema()),
+        child_(std::move(child)),
+        predicate_(std::move(predicate)) {}
+
+  Result<std::optional<Chunk>> Next() override {
+    while (true) {
+      FUSIONDB_ASSIGN_OR_RETURN(std::optional<Chunk> in, child_->Next());
+      if (!in.has_value()) return std::optional<Chunk>();
+      std::vector<uint8_t> keep = predicate_.EvalFilter(*in);
+      size_t kept = 0;
+      for (uint8_t k : keep) kept += k;
+      if (kept == in->num_rows()) return in;  // everything passes: pass through
+      if (kept == 0) continue;
+      Chunk out = Chunk::Empty(OutputTypes());
+      for (size_t r = 0; r < in->num_rows(); ++r) {
+        if (keep[r]) out.AppendRowFrom(*in, r);
+      }
+      return std::optional<Chunk>(std::move(out));
+    }
+  }
+
+ private:
+  ExecOperatorPtr child_;
+  BoundExpr predicate_;
+};
+
+class ProjectExec final : public ExecOperator {
+ public:
+  ProjectExec(const ProjectOp& op, ExecOperatorPtr child,
+              std::vector<BoundExpr> exprs)
+      : ExecOperator(op.schema()),
+        child_(std::move(child)),
+        exprs_(std::move(exprs)) {}
+
+  Result<std::optional<Chunk>> Next() override {
+    FUSIONDB_ASSIGN_OR_RETURN(std::optional<Chunk> in, child_->Next());
+    if (!in.has_value()) return std::optional<Chunk>();
+    Chunk out;
+    out.columns.reserve(exprs_.size());
+    for (const BoundExpr& e : exprs_) {
+      out.columns.push_back(e.EvalAll(*in));
+    }
+    return std::optional<Chunk>(std::move(out));
+  }
+
+ private:
+  ExecOperatorPtr child_;
+  std::vector<BoundExpr> exprs_;
+};
+
+class UnionAllExec final : public ExecOperator {
+ public:
+  UnionAllExec(const UnionAllOp& op, std::vector<ExecOperatorPtr> children,
+               std::vector<std::vector<int>> input_positions)
+      : ExecOperator(op.schema()),
+        children_(std::move(children)),
+        input_positions_(std::move(input_positions)) {}
+
+  Result<std::optional<Chunk>> Next() override {
+    while (current_ < children_.size()) {
+      FUSIONDB_ASSIGN_OR_RETURN(std::optional<Chunk> in,
+                                children_[current_]->Next());
+      if (!in.has_value()) {
+        ++current_;
+        continue;
+      }
+      const std::vector<int>& positions = input_positions_[current_];
+      Chunk out = Chunk::Empty(OutputTypes());
+      for (size_t o = 0; o < positions.size(); ++o) {
+        out.columns[o].AppendColumn(in->columns[positions[o]]);
+      }
+      return std::optional<Chunk>(std::move(out));
+    }
+    return std::optional<Chunk>();
+  }
+
+ private:
+  std::vector<ExecOperatorPtr> children_;
+  // For each child: child column position feeding each output position.
+  std::vector<std::vector<int>> input_positions_;
+  size_t current_ = 0;
+};
+
+class ValuesExec final : public ExecOperator {
+ public:
+  ValuesExec(const ValuesOp& op) : ExecOperator(op.schema()), op_(op) {}
+
+  Result<std::optional<Chunk>> Next() override {
+    if (done_) return std::optional<Chunk>();
+    done_ = true;
+    Chunk out = Chunk::Empty(OutputTypes());
+    for (const std::vector<Value>& row : op_.rows()) {
+      if (row.size() != out.num_columns()) {
+        return Status::PlanError("VALUES row arity mismatch");
+      }
+      for (size_t c = 0; c < row.size(); ++c) {
+        out.columns[c].AppendValue(row[c]);
+      }
+    }
+    return std::optional<Chunk>(std::move(out));
+  }
+
+ private:
+  const ValuesOp& op_;  // owned by the plan, which outlives execution
+  bool done_ = false;
+};
+
+class LimitExec final : public ExecOperator {
+ public:
+  LimitExec(const LimitOp& op, ExecOperatorPtr child)
+      : ExecOperator(op.schema()),
+        child_(std::move(child)),
+        remaining_(op.limit()) {}
+
+  Result<std::optional<Chunk>> Next() override {
+    if (remaining_ <= 0) return std::optional<Chunk>();
+    FUSIONDB_ASSIGN_OR_RETURN(std::optional<Chunk> in, child_->Next());
+    if (!in.has_value()) return std::optional<Chunk>();
+    int64_t rows = static_cast<int64_t>(in->num_rows());
+    if (rows <= remaining_) {
+      remaining_ -= rows;
+      return in;
+    }
+    Chunk out = Chunk::Empty(OutputTypes());
+    for (int64_t r = 0; r < remaining_; ++r) {
+      out.AppendRowFrom(*in, static_cast<size_t>(r));
+    }
+    remaining_ = 0;
+    return std::optional<Chunk>(std::move(out));
+  }
+
+ private:
+  ExecOperatorPtr child_;
+  int64_t remaining_;
+};
+
+class SingleRowExec final : public ExecOperator {
+ public:
+  SingleRowExec(const EnforceSingleRowOp& op, ExecOperatorPtr child)
+      : ExecOperator(op.schema()), child_(std::move(child)) {}
+
+  Result<std::optional<Chunk>> Next() override {
+    if (done_) return std::optional<Chunk>();
+    done_ = true;
+    Chunk out = Chunk::Empty(OutputTypes());
+    int64_t total = 0;
+    while (true) {
+      FUSIONDB_ASSIGN_OR_RETURN(std::optional<Chunk> in, child_->Next());
+      if (!in.has_value()) break;
+      total += static_cast<int64_t>(in->num_rows());
+      if (total > 1) {
+        return Status::ExecutionError(
+            "scalar subquery returned more than one row");
+      }
+      out.AppendChunk(*in);
+    }
+    if (total != 1) {
+      return Status::ExecutionError("scalar subquery returned no rows");
+    }
+    return std::optional<Chunk>(std::move(out));
+  }
+
+ private:
+  ExecOperatorPtr child_;
+  bool done_ = false;
+};
+
+}  // namespace
+
+Result<ExecOperatorPtr> MakeFilterExec(const FilterOp& op,
+                                       ExecOperatorPtr child) {
+  if (op.predicate() == nullptr) {
+    return Status::PlanError("filter with null predicate");
+  }
+  if (op.predicate()->type() != DataType::kBool) {
+    return Status::TypeError("filter predicate must be boolean, got " +
+                             std::string(DataTypeName(op.predicate()->type())));
+  }
+  FUSIONDB_ASSIGN_OR_RETURN(BoundExpr bound,
+                            BindExpr(op.predicate(), child->schema()));
+  return ExecOperatorPtr(new FilterExec(op, std::move(child), std::move(bound)));
+}
+
+Result<ExecOperatorPtr> MakeProjectExec(const ProjectOp& op,
+                                        ExecOperatorPtr child) {
+  std::vector<BoundExpr> bound;
+  bound.reserve(op.exprs().size());
+  for (const NamedExpr& e : op.exprs()) {
+    if (e.expr == nullptr) return Status::PlanError("projection with null expr");
+    FUSIONDB_ASSIGN_OR_RETURN(BoundExpr b, BindExpr(e.expr, child->schema()));
+    bound.push_back(std::move(b));
+  }
+  return ExecOperatorPtr(
+      new ProjectExec(op, std::move(child), std::move(bound)));
+}
+
+Result<ExecOperatorPtr> MakeUnionAllExec(const UnionAllOp& op,
+                                         std::vector<ExecOperatorPtr> children) {
+  std::vector<std::vector<int>> positions;
+  positions.reserve(children.size());
+  for (size_t c = 0; c < children.size(); ++c) {
+    const std::vector<ColumnId>& ids = op.input_columns()[c];
+    if (ids.size() != op.schema().num_columns()) {
+      return Status::PlanError("union input mapping width mismatch");
+    }
+    std::vector<int> pos;
+    pos.reserve(ids.size());
+    for (ColumnId id : ids) {
+      int idx = children[c]->schema().IndexOf(id);
+      if (idx < 0) {
+        return Status::PlanError("union input column #" + std::to_string(id) +
+                                 " not found in child schema");
+      }
+      pos.push_back(idx);
+    }
+    positions.push_back(std::move(pos));
+  }
+  return ExecOperatorPtr(
+      new UnionAllExec(op, std::move(children), std::move(positions)));
+}
+
+Result<ExecOperatorPtr> MakeValuesExec(const ValuesOp& op, ExecContext* ctx) {
+  (void)ctx;
+  return ExecOperatorPtr(new ValuesExec(op));
+}
+
+Result<ExecOperatorPtr> MakeLimitExec(const LimitOp& op, ExecOperatorPtr child) {
+  if (op.limit() < 0) return Status::PlanError("negative limit");
+  return ExecOperatorPtr(new LimitExec(op, std::move(child)));
+}
+
+Result<ExecOperatorPtr> MakeSingleRowExec(const EnforceSingleRowOp& op,
+                                          ExecOperatorPtr child) {
+  return ExecOperatorPtr(new SingleRowExec(op, std::move(child)));
+}
+
+}  // namespace fusiondb::internal

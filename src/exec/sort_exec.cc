@@ -1,0 +1,95 @@
+// Full-materialization sort.
+#include <algorithm>
+#include <numeric>
+#include <optional>
+
+#include "exec/operators_internal.h"
+
+namespace fusiondb::internal {
+
+namespace {
+
+class SortExec final : public ExecOperator {
+ public:
+  SortExec(const SortOp& op, ExecOperatorPtr child,
+           std::vector<std::pair<int, bool>> keys, ExecContext* ctx)
+      : ExecOperator(op.schema()),
+        child_(std::move(child)),
+        keys_(std::move(keys)),
+        ctx_(ctx) {}
+
+  ~SortExec() override { ctx_->AddHashBytes(-accounted_bytes_); }
+
+  Result<std::optional<Chunk>> Next() override {
+    if (!sorted_) {
+      FUSIONDB_RETURN_IF_ERROR(Materialize());
+      sorted_ = true;
+    }
+    size_t total = order_.size();
+    if (offset_ >= total) return std::optional<Chunk>();
+    size_t take = std::min(ctx_->chunk_size(), total - offset_);
+    Chunk out = Chunk::Empty(OutputTypes());
+    for (size_t i = offset_; i < offset_ + take; ++i) {
+      out.AppendRowFrom(data_, order_[i]);
+    }
+    offset_ += take;
+    return std::optional<Chunk>(std::move(out));
+  }
+
+ private:
+  Status Materialize() {
+    data_ = Chunk::Empty(OutputTypes());
+    while (true) {
+      FUSIONDB_ASSIGN_OR_RETURN(std::optional<Chunk> in, child_->Next());
+      if (!in.has_value()) break;
+      data_.AppendChunk(*in);
+    }
+    order_.resize(data_.num_rows());
+    std::iota(order_.begin(), order_.end(), 0);
+    std::stable_sort(order_.begin(), order_.end(),
+                     [this](size_t a, size_t b) { return RowLess(a, b); });
+    int64_t bytes = 0;
+    for (const Column& c : data_.columns) bytes += c.ByteSize();
+    accounted_bytes_ = bytes;
+    ctx_->AddHashBytes(bytes);
+    return Status::OK();
+  }
+
+  bool RowLess(size_t a, size_t b) const {
+    for (const auto& [idx, asc] : keys_) {
+      int c = data_.columns[idx].GetValue(a).Compare(
+          data_.columns[idx].GetValue(b));
+      if (c != 0) return asc ? c < 0 : c > 0;
+    }
+    return false;
+  }
+
+  ExecOperatorPtr child_;
+  std::vector<std::pair<int, bool>> keys_;  // (column index, ascending)
+  ExecContext* ctx_;
+  Chunk data_;
+  std::vector<size_t> order_;
+  bool sorted_ = false;
+  size_t offset_ = 0;
+  int64_t accounted_bytes_ = 0;
+};
+
+}  // namespace
+
+Result<ExecOperatorPtr> MakeSortExec(const SortOp& op, ExecOperatorPtr child,
+                                     ExecContext* ctx) {
+  std::vector<std::pair<int, bool>> keys;
+  keys.reserve(op.keys().size());
+  for (const SortKey& k : op.keys()) {
+    int idx = child->schema().IndexOf(k.column);
+    if (idx < 0) {
+      return Status::PlanError("sort key column #" + std::to_string(k.column) +
+                               " not in input");
+    }
+    keys.push_back({idx, k.ascending});
+  }
+  return ExecOperatorPtr(new SortExec(op, std::move(child), std::move(keys),
+                                      ctx));
+}
+
+}  // namespace fusiondb::internal

@@ -1,0 +1,83 @@
+// Spool execution: materialize a shared subplan once, stream it to every
+// consumer. Models the cost structure the paper attributes to spooling —
+// the intermediate is written once and read once *per consumer*, and its
+// buffer occupies working memory for the query's duration.
+#include <optional>
+
+#include "exec/operators_internal.h"
+#include "plan/spool.h"
+
+namespace fusiondb::internal {
+
+namespace {
+
+class SpoolExec final : public ExecOperator {
+ public:
+  SpoolExec(const SpoolOp& op, ExecOperatorPtr child,
+            std::shared_ptr<SpoolBuffer> buffer, ExecContext* ctx)
+      : ExecOperator(op.schema()),
+        child_(std::move(child)),
+        buffer_(std::move(buffer)),
+        ctx_(ctx) {}
+
+  ~SpoolExec() override {
+    if (accounted_) ctx_->AddHashBytes(-buffer_->bytes);
+  }
+
+  Result<std::optional<Chunk>> Next() override {
+    if (!buffer_->built) {
+      FUSIONDB_RETURN_IF_ERROR(Materialize());
+    }
+    if (cursor_ >= buffer_->pages.size()) return std::optional<Chunk>();
+    const std::vector<EncodedColumn>& pages = buffer_->pages[cursor_++];
+    // Reading the spool back deserializes the pages — the recurring,
+    // per-consumer cost of materialization.
+    Chunk out;
+    out.columns.reserve(pages.size());
+    for (const EncodedColumn& page : pages) {
+      FUSIONDB_ASSIGN_OR_RETURN(Column col, DecodeColumn(page));
+      ctx_->metrics().spool_bytes_read += page.ByteSize();
+      out.columns.push_back(std::move(col));
+    }
+    return std::optional<Chunk>(std::move(out));
+  }
+
+ private:
+  Status Materialize() {
+    while (true) {
+      FUSIONDB_ASSIGN_OR_RETURN(std::optional<Chunk> in, child_->Next());
+      if (!in.has_value()) break;
+      std::vector<EncodedColumn> pages;
+      pages.reserve(in->num_columns());
+      for (const Column& c : in->columns) {
+        EncodedColumn page = EncodeColumn(c);
+        buffer_->bytes += page.ByteSize();
+        pages.push_back(std::move(page));
+      }
+      buffer_->pages.push_back(std::move(pages));
+    }
+    buffer_->built = true;
+    ctx_->metrics().spool_bytes_written += buffer_->bytes;
+    // The buffer lives until the end of the query (charged once, by the
+    // materializing consumer).
+    ctx_->AddHashBytes(buffer_->bytes);
+    accounted_ = true;
+    return Status::OK();
+  }
+
+  ExecOperatorPtr child_;
+  std::shared_ptr<SpoolBuffer> buffer_;
+  ExecContext* ctx_;
+  size_t cursor_ = 0;
+  bool accounted_ = false;
+};
+
+}  // namespace
+
+Result<ExecOperatorPtr> MakeSpoolExec(const SpoolOp& op, ExecOperatorPtr child,
+                                      ExecContext* ctx) {
+  return ExecOperatorPtr(new SpoolExec(op, std::move(child),
+                                       ctx->GetSpool(op.spool_id()), ctx));
+}
+
+}  // namespace fusiondb::internal

@@ -1,0 +1,60 @@
+#include "expr/column_map.h"
+
+namespace fusiondb {
+
+ExprPtr ApplyMap(const ColumnMap& m, const ExprPtr& expr) {
+  if (m.empty()) return expr;
+  switch (expr->kind()) {
+    case ExprKind::kColumnRef: {
+      auto it = m.find(expr->column_id());
+      if (it == m.end()) return expr;
+      return Expr::MakeColumnRef(it->second, expr->type());
+    }
+    case ExprKind::kLiteral:
+      return expr;
+    default:
+      break;
+  }
+  bool changed = false;
+  std::vector<ExprPtr> new_children;
+  new_children.reserve(expr->children().size());
+  for (const ExprPtr& c : expr->children()) {
+    ExprPtr nc = ApplyMap(m, c);
+    changed |= (nc != c);
+    new_children.push_back(std::move(nc));
+  }
+  if (!changed) return expr;
+  switch (expr->kind()) {
+    case ExprKind::kCompare:
+      return Expr::MakeCompare(expr->compare_op(), new_children[0],
+                               new_children[1]);
+    case ExprKind::kArith:
+      return Expr::MakeArith(expr->arith_op(), new_children[0], new_children[1],
+                             expr->type());
+    case ExprKind::kAnd:
+      return Expr::MakeAnd(std::move(new_children));
+    case ExprKind::kOr:
+      return Expr::MakeOr(std::move(new_children));
+    case ExprKind::kNot:
+      return Expr::MakeNot(new_children[0]);
+    case ExprKind::kIsNull:
+      return Expr::MakeIsNull(new_children[0]);
+    case ExprKind::kCase:
+      return Expr::MakeCase(std::move(new_children), expr->type());
+    case ExprKind::kInList:
+      return Expr::MakeInList(std::move(new_children));
+    default:
+      return expr;
+  }
+}
+
+bool MergeMaps(ColumnMap* base, const ColumnMap& extra) {
+  for (const auto& [from, to] : extra) {
+    auto it = base->find(from);
+    if (it != base->end() && it->second != to) return false;
+    (*base)[from] = to;
+  }
+  return true;
+}
+
+}  // namespace fusiondb

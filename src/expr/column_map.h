@@ -1,0 +1,32 @@
+// ColumnMap: the "M" of the paper's Fuse(P1, P2) = (P, M, L, R) — a mapping
+// from P2's output columns to columns of the fused plan P. Applying M to an
+// expression rewrites its column references (III: "we abuse the notation ...
+// and reuse M to map expressions in the natural way").
+#ifndef FUSIONDB_EXPR_COLUMN_MAP_H_
+#define FUSIONDB_EXPR_COLUMN_MAP_H_
+
+#include <unordered_map>
+
+#include "expr/expr.h"
+
+namespace fusiondb {
+
+using ColumnMap = std::unordered_map<ColumnId, ColumnId>;
+
+/// M(id): mapped id, or `id` itself when unmapped (identity extension).
+inline ColumnId ApplyMap(const ColumnMap& m, ColumnId id) {
+  auto it = m.find(id);
+  return it == m.end() ? id : it->second;
+}
+
+/// M(expr): rewrites all column references through the map. Shares subtrees
+/// that contain no mapped references.
+ExprPtr ApplyMap(const ColumnMap& m, const ExprPtr& expr);
+
+/// Merges `extra` into `base`; duplicate keys must agree (returns false on
+/// conflict).
+bool MergeMaps(ColumnMap* base, const ColumnMap& extra);
+
+}  // namespace fusiondb
+
+#endif  // FUSIONDB_EXPR_COLUMN_MAP_H_

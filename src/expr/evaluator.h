@@ -1,0 +1,57 @@
+// Expression interpretation over chunks. Expressions are bound once against
+// an input Schema (resolving ColumnIds to positions), then evaluated
+// row-at-a-time across a chunk.
+#ifndef FUSIONDB_EXPR_EVALUATOR_H_
+#define FUSIONDB_EXPR_EVALUATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "expr/expr.h"
+#include "types/chunk.h"
+
+namespace fusiondb {
+
+/// An expression whose column references are resolved to positions within a
+/// specific input schema.
+class BoundExpr {
+ public:
+  DataType type() const { return type_; }
+
+  /// Evaluates against row `row` of `input`.
+  Value EvalRow(const Chunk& input, size_t row) const;
+
+  /// Evaluates against a virtual row spanning two chunks: column positions
+  /// < `split` read row `la` of `left`, the rest read row `rb` of `right`
+  /// at position (index - split). Lets join residual predicates run over
+  /// candidate pairs without materializing combined rows.
+  Value EvalRowPair(const Chunk& left, size_t la, const Chunk& right,
+                    size_t rb, size_t split) const;
+
+  /// Evaluates for all rows, producing a column of this expression's type.
+  Column EvalAll(const Chunk& input) const;
+
+  /// Predicate form: a row passes only when the result is TRUE (not NULL).
+  std::vector<uint8_t> EvalFilter(const Chunk& input) const;
+
+ private:
+  friend Result<BoundExpr> BindExpr(const ExprPtr& expr, const Schema& schema);
+
+  ExprKind kind_ = ExprKind::kLiteral;
+  DataType type_ = DataType::kInt64;
+  int column_index_ = -1;
+  Value literal_;
+  CompareOp cmp_ = CompareOp::kEq;
+  ArithOp arith_ = ArithOp::kAdd;
+  std::vector<BoundExpr> children_;
+};
+
+/// Resolves every column reference in `expr` against `schema`. Fails with
+/// kPlanError when a referenced column is not in scope — this is the
+/// executor's defense against malformed plans.
+Result<BoundExpr> BindExpr(const ExprPtr& expr, const Schema& schema);
+
+}  // namespace fusiondb
+
+#endif  // FUSIONDB_EXPR_EVALUATOR_H_

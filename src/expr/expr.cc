@@ -1,0 +1,299 @@
+#include "expr/expr.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace fusiondb {
+
+namespace {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+const char* ArithOpName(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return "+";
+    case ArithOp::kSub:
+      return "-";
+    case ArithOp::kMul:
+      return "*";
+    case ArithOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+void Render(const Expr& e, std::ostream& os) {
+  switch (e.kind()) {
+    case ExprKind::kColumnRef:
+      os << "#" << e.column_id();
+      break;
+    case ExprKind::kLiteral:
+      os << e.literal().ToString();
+      break;
+    case ExprKind::kCompare:
+      os << "(" << e.child(0)->ToString() << " "
+         << CompareOpName(e.compare_op()) << " " << e.child(1)->ToString()
+         << ")";
+      break;
+    case ExprKind::kArith:
+      os << "(" << e.child(0)->ToString() << " " << ArithOpName(e.arith_op())
+         << " " << e.child(1)->ToString() << ")";
+      break;
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      const char* sep = e.kind() == ExprKind::kAnd ? " AND " : " OR ";
+      os << "(";
+      for (size_t i = 0; i < e.children().size(); ++i) {
+        if (i > 0) os << sep;
+        os << e.child(i)->ToString();
+      }
+      os << ")";
+      break;
+    }
+    case ExprKind::kNot:
+      os << "NOT " << e.child(0)->ToString();
+      break;
+    case ExprKind::kIsNull:
+      os << "(" << e.child(0)->ToString() << " IS NULL)";
+      break;
+    case ExprKind::kCase: {
+      os << "CASE";
+      size_t n = e.children().size();
+      for (size_t i = 0; i + 1 < n; i += 2) {
+        os << " WHEN " << e.child(i)->ToString() << " THEN "
+           << e.child(i + 1)->ToString();
+      }
+      os << " ELSE " << e.child(n - 1)->ToString() << " END";
+      break;
+    }
+    case ExprKind::kInList: {
+      os << e.child(0)->ToString() << " IN (";
+      for (size_t i = 1; i < e.children().size(); ++i) {
+        if (i > 1) os << ", ";
+        os << e.child(i)->ToString();
+      }
+      os << ")";
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Expr::ToString() const {
+  std::ostringstream os;
+  Render(*this, os);
+  return os.str();
+}
+
+ExprPtr Expr::MakeColumnRef(ColumnId id, DataType type) {
+  auto e = std::make_shared<Expr>(ExprKind::kColumnRef, type);
+  e->column_id_ = id;
+  return e;
+}
+
+ExprPtr Expr::MakeLiteral(Value v) {
+  auto e = std::make_shared<Expr>(ExprKind::kLiteral, v.type());
+  e->literal_ = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::MakeCompare(CompareOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::make_shared<Expr>(ExprKind::kCompare, DataType::kBool);
+  e->cmp_ = op;
+  e->children_ = {std::move(l), std::move(r)};
+  return e;
+}
+
+ExprPtr Expr::MakeArith(ArithOp op, ExprPtr l, ExprPtr r, DataType type) {
+  auto e = std::make_shared<Expr>(ExprKind::kArith, type);
+  e->arith_ = op;
+  e->children_ = {std::move(l), std::move(r)};
+  return e;
+}
+
+ExprPtr Expr::MakeAnd(std::vector<ExprPtr> children) {
+  FUSIONDB_CHECK(!children.empty(), "AND needs children");
+  auto e = std::make_shared<Expr>(ExprKind::kAnd, DataType::kBool);
+  e->children_ = std::move(children);
+  return e;
+}
+
+ExprPtr Expr::MakeOr(std::vector<ExprPtr> children) {
+  FUSIONDB_CHECK(!children.empty(), "OR needs children");
+  auto e = std::make_shared<Expr>(ExprKind::kOr, DataType::kBool);
+  e->children_ = std::move(children);
+  return e;
+}
+
+ExprPtr Expr::MakeNot(ExprPtr child) {
+  auto e = std::make_shared<Expr>(ExprKind::kNot, DataType::kBool);
+  e->children_ = {std::move(child)};
+  return e;
+}
+
+ExprPtr Expr::MakeIsNull(ExprPtr child) {
+  auto e = std::make_shared<Expr>(ExprKind::kIsNull, DataType::kBool);
+  e->children_ = {std::move(child)};
+  return e;
+}
+
+ExprPtr Expr::MakeCase(std::vector<ExprPtr> children, DataType type) {
+  FUSIONDB_CHECK(children.size() >= 3 && children.size() % 2 == 1,
+                 "CASE needs when/then pairs plus else");
+  auto e = std::make_shared<Expr>(ExprKind::kCase, type);
+  e->children_ = std::move(children);
+  return e;
+}
+
+ExprPtr Expr::MakeInList(std::vector<ExprPtr> children) {
+  FUSIONDB_CHECK(children.size() >= 2, "IN needs operand and items");
+  auto e = std::make_shared<Expr>(ExprKind::kInList, DataType::kBool);
+  e->children_ = std::move(children);
+  return e;
+}
+
+namespace {
+
+void Fingerprint(const Expr& e, std::ostream& os) {
+  switch (e.kind()) {
+    case ExprKind::kColumnRef:
+      os << "#" << e.column_id();
+      return;
+    case ExprKind::kLiteral:
+      os << "L:" << DataTypeName(e.literal().type()) << ":"
+         << e.literal().ToString();
+      return;
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      std::vector<std::string> parts;
+      parts.reserve(e.children().size());
+      for (const ExprPtr& c : e.children()) parts.push_back(ExprFingerprint(c));
+      std::sort(parts.begin(), parts.end());
+      parts.erase(std::unique(parts.begin(), parts.end()), parts.end());
+      os << (e.kind() == ExprKind::kAnd ? "AND(" : "OR(");
+      for (size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0) os << ",";
+        os << parts[i];
+      }
+      os << ")";
+      return;
+    }
+    case ExprKind::kCompare: {
+      std::string l = ExprFingerprint(e.child(0));
+      std::string r = ExprFingerprint(e.child(1));
+      CompareOp op = e.compare_op();
+      // Canonicalize: orient so the smaller fingerprint is on the left,
+      // flipping the operator accordingly.
+      if (r < l) {
+        std::swap(l, r);
+        switch (op) {
+          case CompareOp::kLt:
+            op = CompareOp::kGt;
+            break;
+          case CompareOp::kLe:
+            op = CompareOp::kGe;
+            break;
+          case CompareOp::kGt:
+            op = CompareOp::kLt;
+            break;
+          case CompareOp::kGe:
+            op = CompareOp::kLe;
+            break;
+          default:
+            break;  // =, <> are symmetric
+        }
+      }
+      os << "CMP" << static_cast<int>(op) << "(" << l << "," << r << ")";
+      return;
+    }
+    case ExprKind::kArith: {
+      std::string l = ExprFingerprint(e.child(0));
+      std::string r = ExprFingerprint(e.child(1));
+      ArithOp op = e.arith_op();
+      if ((op == ArithOp::kAdd || op == ArithOp::kMul) && r < l) {
+        std::swap(l, r);
+      }
+      os << "ARI" << static_cast<int>(op) << "(" << l << "," << r << ")";
+      return;
+    }
+    case ExprKind::kNot:
+      os << "NOT(" << ExprFingerprint(e.child(0)) << ")";
+      return;
+    case ExprKind::kIsNull:
+      os << "ISNULL(" << ExprFingerprint(e.child(0)) << ")";
+      return;
+    case ExprKind::kCase: {
+      os << "CASE(";
+      for (size_t i = 0; i < e.children().size(); ++i) {
+        if (i > 0) os << ",";
+        os << ExprFingerprint(e.child(i));
+      }
+      os << ")";
+      return;
+    }
+    case ExprKind::kInList: {
+      os << "IN(" << ExprFingerprint(e.child(0)) << ";";
+      std::vector<std::string> parts;
+      for (size_t i = 1; i < e.children().size(); ++i) {
+        parts.push_back(ExprFingerprint(e.child(i)));
+      }
+      std::sort(parts.begin(), parts.end());
+      for (size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0) os << ",";
+        os << parts[i];
+      }
+      os << ")";
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string ExprFingerprint(const ExprPtr& expr) {
+  std::ostringstream os;
+  Fingerprint(*expr, os);
+  return os.str();
+}
+
+bool ExprEquivalent(const ExprPtr& a, const ExprPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  return ExprFingerprint(a) == ExprFingerprint(b);
+}
+
+void CollectColumns(const ExprPtr& expr, std::vector<ColumnId>* out) {
+  if (expr->kind() == ExprKind::kColumnRef) {
+    out->push_back(expr->column_id());
+    return;
+  }
+  for (const ExprPtr& c : expr->children()) CollectColumns(c, out);
+}
+
+bool IsConstantExpr(const ExprPtr& expr) {
+  std::vector<ColumnId> cols;
+  CollectColumns(expr, &cols);
+  return cols.empty();
+}
+
+}  // namespace fusiondb

@@ -1,0 +1,102 @@
+// Scalar expression trees. Expressions are immutable and shared; rewrites
+// build new nodes. Column references use plan-wide ColumnIds, so the same
+// expression object remains valid anywhere those columns are in scope.
+#ifndef FUSIONDB_EXPR_EXPR_H_
+#define FUSIONDB_EXPR_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace fusiondb {
+
+enum class ExprKind : uint8_t {
+  kColumnRef,  // a column of the input schema
+  kLiteral,    // constant Value
+  kCompare,    // binary comparison (3-valued logic)
+  kArith,      // binary arithmetic
+  kAnd,        // n-ary conjunction (Kleene)
+  kOr,         // n-ary disjunction (Kleene)
+  kNot,
+  kIsNull,   // IS NULL (never NULL itself)
+  kCase,     // children: [when1, then1, ..., whenN, thenN, else]
+  kInList,   // children: [operand, item1, ..., itemN]
+};
+
+enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class ArithOp : uint8_t { kAdd, kSub, kMul, kDiv };
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// One expression node. Field validity depends on kind (column_id for
+/// kColumnRef, literal for kLiteral, cmp/arith for the binary kinds).
+class Expr {
+ public:
+  Expr(ExprKind kind, DataType type) : kind_(kind), type_(type) {}
+
+  ExprKind kind() const { return kind_; }
+  DataType type() const { return type_; }
+
+  ColumnId column_id() const { return column_id_; }
+  const Value& literal() const { return literal_; }
+  CompareOp compare_op() const { return cmp_; }
+  ArithOp arith_op() const { return arith_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+  const ExprPtr& child(size_t i) const { return children_[i]; }
+
+  bool IsLiteralBool(bool b) const {
+    return kind_ == ExprKind::kLiteral && !literal_.is_null() &&
+           literal_.type() == DataType::kBool && literal_.bool_value() == b;
+  }
+  bool IsLiteralNull() const {
+    return kind_ == ExprKind::kLiteral && literal_.is_null();
+  }
+
+  /// Human-readable rendering (infix, with column ids).
+  std::string ToString() const;
+
+  // --- Node factories (type is computed by the caller / builder). ---
+  static ExprPtr MakeColumnRef(ColumnId id, DataType type);
+  static ExprPtr MakeLiteral(Value v);
+  static ExprPtr MakeCompare(CompareOp op, ExprPtr l, ExprPtr r);
+  static ExprPtr MakeArith(ArithOp op, ExprPtr l, ExprPtr r, DataType type);
+  static ExprPtr MakeAnd(std::vector<ExprPtr> children);
+  static ExprPtr MakeOr(std::vector<ExprPtr> children);
+  static ExprPtr MakeNot(ExprPtr child);
+  static ExprPtr MakeIsNull(ExprPtr child);
+  static ExprPtr MakeCase(std::vector<ExprPtr> children, DataType type);
+  static ExprPtr MakeInList(std::vector<ExprPtr> children);
+
+ private:
+  ExprKind kind_;
+  DataType type_;
+  ColumnId column_id_ = kInvalidColumnId;
+  Value literal_;
+  CompareOp cmp_ = CompareOp::kEq;
+  ArithOp arith_ = ArithOp::kAdd;
+  std::vector<ExprPtr> children_;
+};
+
+/// Canonical string form used for structural equivalence: AND/OR children
+/// are sorted, commutative binary operators order their operands
+/// canonically. Two expressions with equal fingerprints are equivalent
+/// (the converse does not hold in general).
+std::string ExprFingerprint(const ExprPtr& expr);
+
+/// Structural equivalence via fingerprints (callers usually Simplify()
+/// first for stronger results).
+bool ExprEquivalent(const ExprPtr& a, const ExprPtr& b);
+
+/// Adds every ColumnId referenced by `expr` to `out`.
+void CollectColumns(const ExprPtr& expr, std::vector<ColumnId>* out);
+
+/// True if expression references no columns at all.
+bool IsConstantExpr(const ExprPtr& expr);
+
+}  // namespace fusiondb
+
+#endif  // FUSIONDB_EXPR_EXPR_H_

@@ -1,0 +1,123 @@
+// Terse factory helpers for building expressions in rules, tests and the
+// TPC-DS query definitions. All inline; no state.
+#ifndef FUSIONDB_EXPR_EXPR_BUILDER_H_
+#define FUSIONDB_EXPR_EXPR_BUILDER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace fusiondb::eb {
+
+inline ExprPtr Col(ColumnId id, DataType type) {
+  return Expr::MakeColumnRef(id, type);
+}
+inline ExprPtr Col(const ColumnInfo& info) {
+  return Expr::MakeColumnRef(info.id, info.type);
+}
+inline ExprPtr Lit(Value v) { return Expr::MakeLiteral(std::move(v)); }
+inline ExprPtr Int(int64_t v) { return Lit(Value::Int64(v)); }
+inline ExprPtr Dbl(double v) { return Lit(Value::Float64(v)); }
+inline ExprPtr Str(std::string v) { return Lit(Value::String(std::move(v))); }
+inline ExprPtr True() { return Lit(Value::Bool(true)); }
+inline ExprPtr False() { return Lit(Value::Bool(false)); }
+inline ExprPtr NullOf(DataType t) { return Lit(Value::Null(t)); }
+
+inline ExprPtr Eq(ExprPtr a, ExprPtr b) {
+  return Expr::MakeCompare(CompareOp::kEq, std::move(a), std::move(b));
+}
+inline ExprPtr Ne(ExprPtr a, ExprPtr b) {
+  return Expr::MakeCompare(CompareOp::kNe, std::move(a), std::move(b));
+}
+inline ExprPtr Lt(ExprPtr a, ExprPtr b) {
+  return Expr::MakeCompare(CompareOp::kLt, std::move(a), std::move(b));
+}
+inline ExprPtr Le(ExprPtr a, ExprPtr b) {
+  return Expr::MakeCompare(CompareOp::kLe, std::move(a), std::move(b));
+}
+inline ExprPtr Gt(ExprPtr a, ExprPtr b) {
+  return Expr::MakeCompare(CompareOp::kGt, std::move(a), std::move(b));
+}
+inline ExprPtr Ge(ExprPtr a, ExprPtr b) {
+  return Expr::MakeCompare(CompareOp::kGe, std::move(a), std::move(b));
+}
+
+inline DataType ArithResultType(const ExprPtr& a, const ExprPtr& b) {
+  return (a->type() == DataType::kFloat64 || b->type() == DataType::kFloat64)
+             ? DataType::kFloat64
+             : DataType::kInt64;
+}
+inline ExprPtr Add(ExprPtr a, ExprPtr b) {
+  DataType t = ArithResultType(a, b);
+  return Expr::MakeArith(ArithOp::kAdd, std::move(a), std::move(b), t);
+}
+inline ExprPtr Sub(ExprPtr a, ExprPtr b) {
+  DataType t = ArithResultType(a, b);
+  return Expr::MakeArith(ArithOp::kSub, std::move(a), std::move(b), t);
+}
+inline ExprPtr Mul(ExprPtr a, ExprPtr b) {
+  DataType t = ArithResultType(a, b);
+  return Expr::MakeArith(ArithOp::kMul, std::move(a), std::move(b), t);
+}
+inline ExprPtr Div(ExprPtr a, ExprPtr b) {
+  // SQL-style: division always produces float64 in FusionDB.
+  return Expr::MakeArith(ArithOp::kDiv, std::move(a), std::move(b),
+                         DataType::kFloat64);
+}
+
+inline ExprPtr And(std::vector<ExprPtr> cs) { return Expr::MakeAnd(std::move(cs)); }
+inline ExprPtr And(ExprPtr a, ExprPtr b) {
+  return Expr::MakeAnd({std::move(a), std::move(b)});
+}
+inline ExprPtr Or(std::vector<ExprPtr> cs) { return Expr::MakeOr(std::move(cs)); }
+inline ExprPtr Or(ExprPtr a, ExprPtr b) {
+  return Expr::MakeOr({std::move(a), std::move(b)});
+}
+inline ExprPtr Not(ExprPtr a) { return Expr::MakeNot(std::move(a)); }
+inline ExprPtr IsNull(ExprPtr a) { return Expr::MakeIsNull(std::move(a)); }
+inline ExprPtr IsNotNull(ExprPtr a) {
+  return Expr::MakeNot(Expr::MakeIsNull(std::move(a)));
+}
+
+/// a BETWEEN lo AND hi, inclusive on both ends.
+inline ExprPtr Between(ExprPtr a, ExprPtr lo, ExprPtr hi) {
+  // Sequence the two uses of `a` explicitly: evaluation order of function
+  // arguments is unspecified, so `And(Ge(a, ...), Le(std::move(a), ...))`
+  // could move `a` out before Ge copies it.
+  ExprPtr lower = Ge(a, std::move(lo));
+  ExprPtr upper = Le(std::move(a), std::move(hi));
+  return And(std::move(lower), std::move(upper));
+}
+
+/// operand IN (items...).
+inline ExprPtr In(ExprPtr operand, std::vector<ExprPtr> items) {
+  std::vector<ExprPtr> children;
+  children.reserve(items.size() + 1);
+  children.push_back(std::move(operand));
+  for (ExprPtr& i : items) children.push_back(std::move(i));
+  return Expr::MakeInList(std::move(children));
+}
+
+/// CASE WHEN w THEN t ELSE e END.
+inline ExprPtr CaseWhen(ExprPtr w, ExprPtr t, ExprPtr e) {
+  DataType type = t->type();
+  return Expr::MakeCase({std::move(w), std::move(t), std::move(e)}, type);
+}
+
+/// General CASE: pairs of (when, then) plus an else branch.
+inline ExprPtr Case(std::vector<std::pair<ExprPtr, ExprPtr>> arms, ExprPtr els) {
+  std::vector<ExprPtr> children;
+  DataType type = arms.empty() ? els->type() : arms[0].second->type();
+  for (auto& [w, t] : arms) {
+    children.push_back(std::move(w));
+    children.push_back(std::move(t));
+  }
+  children.push_back(std::move(els));
+  return Expr::MakeCase(std::move(children), type);
+}
+
+}  // namespace fusiondb::eb
+
+#endif  // FUSIONDB_EXPR_EXPR_BUILDER_H_

@@ -1,0 +1,81 @@
+#include "expr/scalar_ops.h"
+
+namespace fusiondb {
+
+Value EvalCompareOp(CompareOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null(DataType::kBool);
+  int c = l.Compare(r);
+  switch (op) {
+    case CompareOp::kEq:
+      return Value::Bool(c == 0);
+    case CompareOp::kNe:
+      return Value::Bool(c != 0);
+    case CompareOp::kLt:
+      return Value::Bool(c < 0);
+    case CompareOp::kLe:
+      return Value::Bool(c <= 0);
+    case CompareOp::kGt:
+      return Value::Bool(c > 0);
+    case CompareOp::kGe:
+      return Value::Bool(c >= 0);
+  }
+  return Value::Null(DataType::kBool);
+}
+
+Value EvalArithOp(ArithOp op, const Value& l, const Value& r,
+                  DataType result_type) {
+  if (l.is_null() || r.is_null()) return Value::Null(result_type);
+  if (result_type == DataType::kFloat64 || op == ArithOp::kDiv) {
+    double a = l.AsDouble();
+    double b = r.AsDouble();
+    switch (op) {
+      case ArithOp::kAdd:
+        return Value::Float64(a + b);
+      case ArithOp::kSub:
+        return Value::Float64(a - b);
+      case ArithOp::kMul:
+        return Value::Float64(a * b);
+      case ArithOp::kDiv:
+        if (b == 0.0) return Value::Null(DataType::kFloat64);
+        return Value::Float64(a / b);
+    }
+  }
+  int64_t a = l.int_value();
+  int64_t b = r.int_value();
+  switch (op) {
+    case ArithOp::kAdd:
+      return Value::Int64(a + b);
+    case ArithOp::kSub:
+      return Value::Int64(a - b);
+    case ArithOp::kMul:
+      return Value::Int64(a * b);
+    case ArithOp::kDiv:
+      if (b == 0) return Value::Null(DataType::kInt64);
+      return Value::Int64(a / b);
+  }
+  return Value::Null(result_type);
+}
+
+Value EvalAndPair(const Value& l, const Value& r) {
+  // Kleene: FALSE dominates, then NULL, then TRUE.
+  bool l_false = !l.is_null() && !l.bool_value();
+  bool r_false = !r.is_null() && !r.bool_value();
+  if (l_false || r_false) return Value::Bool(false);
+  if (l.is_null() || r.is_null()) return Value::Null(DataType::kBool);
+  return Value::Bool(true);
+}
+
+Value EvalOrPair(const Value& l, const Value& r) {
+  bool l_true = !l.is_null() && l.bool_value();
+  bool r_true = !r.is_null() && r.bool_value();
+  if (l_true || r_true) return Value::Bool(true);
+  if (l.is_null() || r.is_null()) return Value::Null(DataType::kBool);
+  return Value::Bool(false);
+}
+
+Value EvalNot(const Value& v) {
+  if (v.is_null()) return Value::Null(DataType::kBool);
+  return Value::Bool(!v.bool_value());
+}
+
+}  // namespace fusiondb

@@ -1,0 +1,388 @@
+#include "expr/simplifier.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <optional>
+
+#include "expr/scalar_ops.h"
+
+namespace fusiondb {
+
+namespace {
+
+bool IsFalseLiteral(const ExprPtr& e) { return e->IsLiteralBool(false); }
+
+ExprPtr TrueLit() { return Expr::MakeLiteral(Value::Bool(true)); }
+ExprPtr FalseLit() { return Expr::MakeLiteral(Value::Bool(false)); }
+
+/// Rebuilds a node with new children (same shape).
+ExprPtr Rebuild(const ExprPtr& e, std::vector<ExprPtr> children) {
+  switch (e->kind()) {
+    case ExprKind::kCompare:
+      return Expr::MakeCompare(e->compare_op(), children[0], children[1]);
+    case ExprKind::kArith:
+      return Expr::MakeArith(e->arith_op(), children[0], children[1], e->type());
+    case ExprKind::kAnd:
+      return Expr::MakeAnd(std::move(children));
+    case ExprKind::kOr:
+      return Expr::MakeOr(std::move(children));
+    case ExprKind::kNot:
+      return Expr::MakeNot(children[0]);
+    case ExprKind::kIsNull:
+      return Expr::MakeIsNull(children[0]);
+    case ExprKind::kCase:
+      return Expr::MakeCase(std::move(children), e->type());
+    case ExprKind::kInList:
+      return Expr::MakeInList(std::move(children));
+    default:
+      return e;
+  }
+}
+
+/// Folds a node whose children are all literals, using the scalar kernels.
+std::optional<Value> TryFold(const ExprPtr& e) {
+  for (const ExprPtr& c : e->children()) {
+    if (c->kind() != ExprKind::kLiteral) return std::nullopt;
+  }
+  switch (e->kind()) {
+    case ExprKind::kCompare:
+      return EvalCompareOp(e->compare_op(), e->child(0)->literal(),
+                           e->child(1)->literal());
+    case ExprKind::kArith:
+      return EvalArithOp(e->arith_op(), e->child(0)->literal(),
+                         e->child(1)->literal(), e->type());
+    case ExprKind::kNot:
+      return EvalNot(e->child(0)->literal());
+    case ExprKind::kIsNull:
+      return Value::Bool(e->child(0)->literal().is_null());
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace
+
+void SplitConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out) {
+  if (expr == nullptr) return;
+  if (expr->kind() == ExprKind::kAnd) {
+    for (const ExprPtr& c : expr->children()) SplitConjuncts(c, out);
+    return;
+  }
+  if (IsTrueLiteral(expr)) return;
+  out->push_back(expr);
+}
+
+ExprPtr CombineConjuncts(const std::vector<ExprPtr>& conjuncts) {
+  if (conjuncts.empty()) return TrueLit();
+  if (conjuncts.size() == 1) return conjuncts[0];
+  return Expr::MakeAnd(conjuncts);
+}
+
+ExprPtr MakeConjunction(const ExprPtr& a, const ExprPtr& b) {
+  std::vector<ExprPtr> parts;
+  SplitConjuncts(a, &parts);
+  SplitConjuncts(b, &parts);
+  return Simplify(CombineConjuncts(parts));
+}
+
+ExprPtr Simplify(const ExprPtr& expr) {
+  if (expr == nullptr) return expr;
+  if (expr->kind() == ExprKind::kColumnRef ||
+      expr->kind() == ExprKind::kLiteral) {
+    return expr;
+  }
+
+  // Simplify children first.
+  std::vector<ExprPtr> children;
+  children.reserve(expr->children().size());
+  bool changed = false;
+  for (const ExprPtr& c : expr->children()) {
+    ExprPtr sc = Simplify(c);
+    changed |= (sc != c);
+    children.push_back(std::move(sc));
+  }
+  ExprPtr node = changed ? Rebuild(expr, children) : expr;
+
+  switch (node->kind()) {
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      bool is_and = node->kind() == ExprKind::kAnd;
+      // Flatten nested AND/AND, OR/OR; drop neutral literals; short-circuit
+      // dominant literals; dedupe by fingerprint.
+      std::vector<ExprPtr> flat;
+      std::vector<std::string> seen;
+      bool saw_null = false;
+      std::vector<const Expr*> stack;
+      std::vector<ExprPtr> work(node->children().rbegin(),
+                                node->children().rend());
+      while (!work.empty()) {
+        ExprPtr c = work.back();
+        work.pop_back();
+        if (c->kind() == node->kind()) {
+          for (auto it = c->children().rbegin(); it != c->children().rend();
+               ++it) {
+            work.push_back(*it);
+          }
+          continue;
+        }
+        if (c->IsLiteralNull()) {
+          saw_null = true;
+          continue;
+        }
+        if (is_and) {
+          if (IsTrueLiteral(c)) continue;
+          if (IsFalseLiteral(c)) return FalseLit();
+        } else {
+          if (IsFalseLiteral(c)) continue;
+          if (IsTrueLiteral(c)) return TrueLit();
+        }
+        std::string fp = ExprFingerprint(c);
+        if (std::find(seen.begin(), seen.end(), fp) != seen.end()) continue;
+        seen.push_back(std::move(fp));
+        flat.push_back(std::move(c));
+      }
+      (void)stack;
+      if (flat.empty()) {
+        // All children were neutral literals (or NULL). With a NULL child the
+        // result is NULL-or-dominant; conservatively keep a NULL literal,
+        // which filters treat as not-TRUE.
+        if (saw_null) return Expr::MakeLiteral(Value::Null(DataType::kBool));
+        return is_and ? TrueLit() : FalseLit();
+      }
+      // Absorption: under AND, a disjunction containing another conjunct as
+      // one of its branches is implied by it (A AND (A OR B) == A); dually
+      // under OR (A OR (A AND B) == A). This is what collapses the mask
+      // chains produced by repeated pairwise aggregate fusion, e.g.
+      // b1 AND (b1 OR b2) AND (b1 OR b2 OR b3) -> b1.
+      {
+        ExprKind absorber = is_and ? ExprKind::kOr : ExprKind::kAnd;
+        std::vector<std::string> fps;
+        fps.reserve(flat.size());
+        for (const ExprPtr& c : flat) fps.push_back(ExprFingerprint(c));
+        // A branch is implied when each of its pieces (conjuncts under AND,
+        // disjuncts under OR) already appears among the *other* top-level
+        // terms — so (x>=1 AND x<=20) absorbs ((x>=1 AND x<=20) OR ...)
+        // even after the AND was flattened into separate conjuncts.
+        auto implied = [&](const ExprPtr& branch, size_t self) {
+          std::vector<ExprPtr> pieces;
+          if (is_and) {
+            SplitConjuncts(branch, &pieces);
+          } else if (branch->kind() == ExprKind::kOr) {
+            pieces = branch->children();
+          } else {
+            pieces.push_back(branch);
+          }
+          if (pieces.empty()) return false;
+          for (const ExprPtr& piece : pieces) {
+            std::string pfp = ExprFingerprint(piece);
+            bool found = false;
+            for (size_t j = 0; j < flat.size() && !found; ++j) {
+              found = (j != self) && (fps[j] == pfp);
+            }
+            if (!found) return false;
+          }
+          return true;
+        };
+        std::vector<ExprPtr> kept;
+        for (size_t i = 0; i < flat.size(); ++i) {
+          bool absorbed = false;
+          if (flat[i]->kind() == absorber) {
+            for (const ExprPtr& branch : flat[i]->children()) {
+              if (implied(branch, i)) {
+                absorbed = true;
+                break;
+              }
+            }
+          }
+          if (!absorbed) kept.push_back(flat[i]);
+        }
+        flat = std::move(kept);
+      }
+      if (flat.size() == 1 && !saw_null) return flat[0];
+      if (saw_null) {
+        flat.push_back(Expr::MakeLiteral(Value::Null(DataType::kBool)));
+      }
+      // Idempotence: reuse the node when flattening changed nothing.
+      if (flat.size() == node->children().size()) {
+        bool same = true;
+        for (size_t i = 0; i < flat.size(); ++i) {
+          same &= (flat[i] == node->child(i));
+        }
+        if (same) return node;
+      }
+      return is_and ? Expr::MakeAnd(std::move(flat))
+                    : Expr::MakeOr(std::move(flat));
+    }
+    case ExprKind::kNot: {
+      const ExprPtr& c = node->child(0);
+      if (IsTrueLiteral(c)) return FalseLit();
+      if (IsFalseLiteral(c)) return TrueLit();
+      if (c->kind() == ExprKind::kNot) return c->child(0);
+      if (auto v = TryFold(node)) return Expr::MakeLiteral(*v);
+      return node;
+    }
+    case ExprKind::kCase: {
+      // Drop WHEN FALSE arms; collapse to THEN when the first arm is TRUE.
+      const auto& cs = node->children();
+      std::vector<ExprPtr> arms;
+      size_t n = cs.size();
+      for (size_t i = 0; i + 1 < n; i += 2) {
+        if (IsFalseLiteral(cs[i]) || cs[i]->IsLiteralNull()) continue;
+        if (IsTrueLiteral(cs[i]) && arms.empty()) return cs[i + 1];
+        arms.push_back(cs[i]);
+        arms.push_back(cs[i + 1]);
+      }
+      if (arms.empty()) return cs[n - 1];
+      arms.push_back(cs[n - 1]);
+      if (arms.size() == cs.size()) return node;
+      return Expr::MakeCase(std::move(arms), node->type());
+    }
+    default: {
+      if (auto v = TryFold(node)) return Expr::MakeLiteral(*v);
+      return node;
+    }
+  }
+}
+
+namespace {
+
+/// A closed-ish numeric interval with optional equality pin, per column.
+struct Range {
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+  bool lo_open = false;
+  bool hi_open = false;
+  // Pinned string equality (string columns): first value seen.
+  bool has_string_eq = false;
+  std::string string_eq;
+  bool contradiction = false;
+
+  void IntersectLo(double v, bool open) {
+    if (v > lo || (v == lo && open && !lo_open)) {
+      lo = v;
+      lo_open = open;
+    }
+  }
+  void IntersectHi(double v, bool open) {
+    if (v < hi || (v == hi && open && !hi_open)) {
+      hi = v;
+      hi_open = open;
+    }
+  }
+  bool Empty() const {
+    if (contradiction) return true;
+    if (lo > hi) return true;
+    if (lo == hi && (lo_open || hi_open)) return true;
+    return false;
+  }
+};
+
+/// Applies conjunct `e` to per-column ranges when it has the shape
+/// (col cmp literal) or (literal cmp col).
+void ApplyConjunct(const ExprPtr& e, std::map<ColumnId, Range>* ranges) {
+  if (e->kind() != ExprKind::kCompare) return;
+  const ExprPtr* col = nullptr;
+  const ExprPtr* lit = nullptr;
+  CompareOp op = e->compare_op();
+  if (e->child(0)->kind() == ExprKind::kColumnRef &&
+      e->child(1)->kind() == ExprKind::kLiteral) {
+    col = &e->child(0);
+    lit = &e->child(1);
+  } else if (e->child(1)->kind() == ExprKind::kColumnRef &&
+             e->child(0)->kind() == ExprKind::kLiteral) {
+    col = &e->child(1);
+    lit = &e->child(0);
+    // Flip the operator: lit op col  ==  col flipped(op) lit.
+    switch (op) {
+      case CompareOp::kLt:
+        op = CompareOp::kGt;
+        break;
+      case CompareOp::kLe:
+        op = CompareOp::kGe;
+        break;
+      case CompareOp::kGt:
+        op = CompareOp::kLt;
+        break;
+      case CompareOp::kGe:
+        op = CompareOp::kLe;
+        break;
+      default:
+        break;
+    }
+  } else {
+    return;
+  }
+  const Value& v = (*lit)->literal();
+  if (v.is_null()) {
+    // col cmp NULL is never TRUE: whole conjunction is contradictory.
+    (*ranges)[(*col)->column_id()].contradiction = true;
+    return;
+  }
+  Range& r = (*ranges)[(*col)->column_id()];
+  if (v.type() == DataType::kString) {
+    if (op == CompareOp::kEq) {
+      if (r.has_string_eq && r.string_eq != v.string_value()) {
+        r.contradiction = true;
+      } else {
+        r.has_string_eq = true;
+        r.string_eq = v.string_value();
+      }
+    }
+    return;
+  }
+  if (v.type() == DataType::kBool) return;
+  double d = v.AsDouble();
+  switch (op) {
+    case CompareOp::kEq:
+      r.IntersectLo(d, false);
+      r.IntersectHi(d, false);
+      break;
+    case CompareOp::kLt:
+      r.IntersectHi(d, true);
+      break;
+    case CompareOp::kLe:
+      r.IntersectHi(d, false);
+      break;
+    case CompareOp::kGt:
+      r.IntersectLo(d, true);
+      break;
+    case CompareOp::kGe:
+      r.IntersectLo(d, false);
+      break;
+    case CompareOp::kNe:
+      break;
+  }
+}
+
+}  // namespace
+
+bool IsContradiction(const ExprPtr& raw) {
+  ExprPtr expr = Simplify(raw);
+  if (expr->IsLiteralBool(false) || expr->IsLiteralNull()) return true;
+  std::vector<ExprPtr> conjuncts;
+  SplitConjuncts(expr, &conjuncts);
+  // p AND NOT p.
+  std::vector<std::string> positive, negative;
+  for (const ExprPtr& c : conjuncts) {
+    if (c->kind() == ExprKind::kNot) {
+      negative.push_back(ExprFingerprint(c->child(0)));
+    } else {
+      positive.push_back(ExprFingerprint(c));
+    }
+  }
+  for (const std::string& p : positive) {
+    if (std::find(negative.begin(), negative.end(), p) != negative.end()) {
+      return true;
+    }
+  }
+  // Per-column range analysis.
+  std::map<ColumnId, Range> ranges;
+  for (const ExprPtr& c : conjuncts) ApplyConjunct(c, &ranges);
+  for (const auto& [col, r] : ranges) {
+    if (r.Empty()) return true;
+  }
+  return false;
+}
+
+}  // namespace fusiondb

@@ -1,0 +1,39 @@
+// Expression simplification: constant folding, AND/OR flattening and
+// deduplication, boolean identities, and a per-column range analysis that
+// detects contradictions. The paper relies on simplification twice: to
+// collapse `C1 OR M(C2)` when both filters are equivalent (III.B), and to
+// detect `L AND R == FALSE` in the UnionAll rule's shortcut (IV.D).
+#ifndef FUSIONDB_EXPR_SIMPLIFIER_H_
+#define FUSIONDB_EXPR_SIMPLIFIER_H_
+
+#include "expr/expr.h"
+
+namespace fusiondb {
+
+/// Returns a simplified, semantically equivalent expression. Idempotent.
+ExprPtr Simplify(const ExprPtr& expr);
+
+/// True when the (already boolean) expression can be proven to never be
+/// TRUE for any row. Conservative: false means "unknown".
+/// Recognizes: literal FALSE/NULL, conjuncts with empty per-column ranges
+/// (e.g. x BETWEEN 1 AND 20 AND x BETWEEN 21 AND 40), conflicting
+/// equalities, and p AND NOT p.
+bool IsContradiction(const ExprPtr& expr);
+
+/// True when the expression is literally TRUE.
+inline bool IsTrueLiteral(const ExprPtr& expr) {
+  return expr != nullptr && expr->IsLiteralBool(true);
+}
+
+/// Conjunction of `a` and `b` with TRUE absorption and flattening.
+ExprPtr MakeConjunction(const ExprPtr& a, const ExprPtr& b);
+
+/// Splits a predicate into its top-level conjuncts.
+void SplitConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out);
+
+/// Rebuilds a conjunction from conjuncts (TRUE for empty).
+ExprPtr CombineConjuncts(const std::vector<ExprPtr>& conjuncts);
+
+}  // namespace fusiondb
+
+#endif  // FUSIONDB_EXPR_SIMPLIFIER_H_

@@ -1,0 +1,497 @@
+#include "fusion/fuse.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "expr/expr_builder.h"
+#include "expr/simplifier.h"
+#include "plan/spool.h"
+
+namespace fusiondb {
+
+namespace {
+
+ExprPtr TrueExpr() { return Expr::MakeLiteral(Value::Bool(true)); }
+
+/// Fingerprint of a possibly-null expression ("" for null).
+std::string FpOrEmpty(const ExprPtr& e) {
+  return e == nullptr ? std::string() : ExprFingerprint(e);
+}
+
+/// Fingerprint treating null masks as TRUE.
+std::string MaskFp(const ExprPtr& mask) {
+  return mask == nullptr ? ExprFingerprint(TrueExpr())
+                         : ExprFingerprint(Simplify(mask));
+}
+
+bool SameColumnSet(const std::vector<ColumnId>& a,
+                   const std::vector<ColumnId>& b) {
+  if (a.size() != b.size()) return false;
+  std::vector<ColumnId> sa = a;
+  std::vector<ColumnId> sb = b;
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  return sa == sb;
+}
+
+}  // namespace
+
+bool FuseResult::Exact() const {
+  return IsTrueLiteral(left_filter) && IsTrueLiteral(right_filter);
+}
+
+std::optional<FuseResult> Fuser::Fuse(const PlanPtr& p1, const PlanPtr& p2) {
+  if (p1 == nullptr || p2 == nullptr) return std::nullopt;
+  if (p1->kind() != p2->kind()) return FuseMismatched(p1, p2);
+  switch (p1->kind()) {
+    case OpKind::kScan:
+      return FuseScan(Cast<ScanOp>(*p1), Cast<ScanOp>(*p2));
+    case OpKind::kValues:
+      return FuseValues(p1, p2);
+    case OpKind::kFilter:
+      return FuseFilter(Cast<FilterOp>(*p1), Cast<FilterOp>(*p2));
+    case OpKind::kProject:
+      return FuseProject(Cast<ProjectOp>(*p1), Cast<ProjectOp>(*p2));
+    case OpKind::kJoin:
+      return FuseJoin(Cast<JoinOp>(*p1), Cast<JoinOp>(*p2));
+    case OpKind::kAggregate:
+      return FuseAggregate(Cast<AggregateOp>(*p1), Cast<AggregateOp>(*p2));
+    case OpKind::kMarkDistinct:
+      return FuseMarkDistinct(Cast<MarkDistinctOp>(*p1),
+                              Cast<MarkDistinctOp>(*p2));
+    case OpKind::kEnforceSingleRow:
+    case OpKind::kLimit:
+    case OpKind::kSort:
+      return FuseDefault(p1, p2);
+    case OpKind::kSpool: {
+      // Two consumers of the same spool are the same relation by
+      // construction (shared child): identity fusion.
+      const auto& s1 = Cast<SpoolOp>(*p1);
+      const auto& s2 = Cast<SpoolOp>(*p2);
+      if (s1.spool_id() != s2.spool_id()) return std::nullopt;
+      return FuseResult{p1, ColumnMap(), Expr::MakeLiteral(Value::Bool(true)),
+                        Expr::MakeLiteral(Value::Bool(true))};
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+// --- Section III.A: table scans -------------------------------------------
+
+std::optional<FuseResult> Fuser::FuseScan(const ScanOp& s1, const ScanOp& s2) {
+  if (s1.table() != s2.table()) return std::nullopt;
+  // Start from S1's columns; add S2 columns not already selected (keeping
+  // S2's ids for the new ones), and map every S2 column.
+  std::vector<int> table_columns = s1.table_columns();
+  std::vector<ColumnInfo> cols = s1.schema().columns();
+  ColumnMap mapping;
+  for (size_t j = 0; j < s2.table_columns().size(); ++j) {
+    int tc = s2.table_columns()[j];
+    ColumnId id2 = s2.schema().column(j).id;
+    int found = -1;
+    for (size_t i = 0; i < table_columns.size(); ++i) {
+      if (table_columns[i] == tc) {
+        found = static_cast<int>(i);
+        break;
+      }
+    }
+    if (found >= 0) {
+      mapping[id2] = cols[found].id;
+    } else {
+      table_columns.push_back(tc);
+      cols.push_back(s2.schema().column(j));
+      mapping[id2] = id2;
+    }
+  }
+  // Pruning filters are derived from enclosing Filters; the fused scan
+  // starts clean and a later pushdown pass re-derives pruning.
+  PlanPtr fused = std::make_shared<ScanOp>(s1.table(), std::move(table_columns),
+                                           Schema(std::move(cols)));
+  return FuseResult{std::move(fused), std::move(mapping), TrueExpr(),
+                    TrueExpr()};
+}
+
+std::optional<FuseResult> Fuser::FuseValues(const PlanPtr& p1,
+                                            const PlanPtr& p2) {
+  const auto& v1 = Cast<ValuesOp>(*p1);
+  const auto& v2 = Cast<ValuesOp>(*p2);
+  if (v1.schema().num_columns() != v2.schema().num_columns()) {
+    return std::nullopt;
+  }
+  if (v1.rows().size() != v2.rows().size()) return std::nullopt;
+  for (size_t c = 0; c < v1.schema().num_columns(); ++c) {
+    if (v1.schema().column(c).type != v2.schema().column(c).type) {
+      return std::nullopt;
+    }
+  }
+  for (size_t r = 0; r < v1.rows().size(); ++r) {
+    for (size_t c = 0; c < v1.rows()[r].size(); ++c) {
+      if (!(v1.rows()[r][c] == v2.rows()[r][c])) return std::nullopt;
+    }
+  }
+  ColumnMap mapping;
+  for (size_t c = 0; c < v1.schema().num_columns(); ++c) {
+    mapping[v2.schema().column(c).id] = v1.schema().column(c).id;
+  }
+  return FuseResult{p1, std::move(mapping), TrueExpr(), TrueExpr()};
+}
+
+// --- Section III.B: filters -----------------------------------------------
+
+std::optional<FuseResult> Fuser::FuseFilter(const FilterOp& f1,
+                                            const FilterOp& f2) {
+  auto sub = Fuse(f1.child(0), f2.child(0));
+  if (!sub.has_value()) return std::nullopt;
+  ExprPtr c1 = Simplify(f1.predicate());
+  ExprPtr c2m = Simplify(ApplyMap(sub->mapping, f2.predicate()));
+  if (ExprEquivalent(c1, c2m)) {
+    // Equivalent filters: the fused filter is either one, compensations
+    // carry over unchanged.
+    PlanPtr fused = std::make_shared<FilterOp>(sub->plan, c1);
+    return FuseResult{std::move(fused), std::move(sub->mapping),
+                      std::move(sub->left_filter),
+                      std::move(sub->right_filter)};
+  }
+  ExprPtr disjunction = Simplify(eb::Or(c1, c2m));
+  PlanPtr fused = std::make_shared<FilterOp>(sub->plan, disjunction);
+  return FuseResult{std::move(fused), std::move(sub->mapping),
+                    MakeConjunction(sub->left_filter, c1),
+                    MakeConjunction(sub->right_filter, c2m)};
+}
+
+// --- Section III.C: projections -------------------------------------------
+
+std::optional<FuseResult> Fuser::FuseProject(const ProjectOp& r1,
+                                             const ProjectOp& r2) {
+  auto sub = Fuse(r1.child(0), r2.child(0));
+  if (!sub.has_value()) return std::nullopt;
+  std::vector<NamedExpr> assignments = r1.exprs();
+  std::unordered_map<std::string, ColumnId> by_fp;
+  std::unordered_map<ColumnId, bool> produced;  // output ids present
+  for (const NamedExpr& a : assignments) {
+    by_fp.emplace(ExprFingerprint(Simplify(a.expr)), a.id);
+    produced[a.id] = true;
+  }
+  ColumnMap mapping = sub->mapping;
+  for (const NamedExpr& a2 : r2.exprs()) {
+    ExprPtr mapped = Simplify(ApplyMap(sub->mapping, a2.expr));
+    auto it = by_fp.find(ExprFingerprint(mapped));
+    if (it != by_fp.end()) {
+      mapping[a2.id] = it->second;
+    } else {
+      assignments.push_back({a2.id, a2.name, mapped});
+      by_fp.emplace(ExprFingerprint(mapped), a2.id);
+      produced[a2.id] = true;
+      mapping[a2.id] = a2.id;
+    }
+  }
+  // The compensating filters L/R reference columns of the fused *child*.
+  // Pass through any such column that the projection would otherwise drop,
+  // so the reconstruction Filter_L(Project(...)) stays well-formed.
+  auto ensure_passthrough = [&](const ExprPtr& cond) {
+    if (cond == nullptr || IsTrueLiteral(cond)) return;
+    std::vector<ColumnId> used;
+    CollectColumns(cond, &used);
+    for (ColumnId id : used) {
+      if (produced.count(id) > 0) continue;
+      int idx = sub->plan->schema().IndexOf(id);
+      if (idx < 0) continue;  // not a child column (should not happen)
+      const ColumnInfo& info = sub->plan->schema().column(idx);
+      assignments.push_back(
+          {info.id, info.name, Expr::MakeColumnRef(info.id, info.type)});
+      produced[info.id] = true;
+    }
+  };
+  ensure_passthrough(sub->left_filter);
+  ensure_passthrough(sub->right_filter);
+  PlanPtr fused =
+      std::make_shared<ProjectOp>(sub->plan, std::move(assignments));
+  return FuseResult{std::move(fused), std::move(mapping),
+                    std::move(sub->left_filter), std::move(sub->right_filter)};
+}
+
+// --- Section III.D: joins --------------------------------------------------
+
+std::optional<FuseResult> Fuser::FuseJoin(const JoinOp& j1, const JoinOp& j2) {
+  if (j1.join_type() != j2.join_type()) return std::nullopt;
+  auto left = Fuse(j1.left(), j2.left());
+  if (!left.has_value()) return std::nullopt;
+  auto right = Fuse(j1.right(), j2.right());
+  if (!right.has_value()) return std::nullopt;
+
+  ColumnMap mapping = left->mapping;
+  if (!MergeMaps(&mapping, right->mapping)) return std::nullopt;
+
+  ExprPtr c1 = Simplify(j1.condition());
+  ExprPtr c2m = Simplify(ApplyMap(mapping, j2.condition()));
+  if (!ExprEquivalent(c1, c2m)) return std::nullopt;
+
+  // Semi and left joins do not output (or NULL-extend) right-side rows, so
+  // a non-exact right fusion would change the match sets / extension rows.
+  // Require exact right fusion for them; inner joins take the general form.
+  bool right_exact = IsTrueLiteral(right->left_filter) &&
+                     IsTrueLiteral(right->right_filter);
+  if ((j1.join_type() == JoinType::kSemi ||
+       j1.join_type() == JoinType::kLeft) &&
+      !right_exact) {
+    return std::nullopt;
+  }
+  // Similarly, left joins with a non-exact *left* fusion would NULL-extend
+  // rows that one input never contained; keep it sound.
+  bool left_exact =
+      IsTrueLiteral(left->left_filter) && IsTrueLiteral(left->right_filter);
+  if (j1.join_type() == JoinType::kLeft && !left_exact) return std::nullopt;
+
+  PlanPtr fused =
+      std::make_shared<JoinOp>(j1.join_type(), left->plan, right->plan, c1);
+  ExprPtr l = MakeConjunction(left->left_filter, right->left_filter);
+  ExprPtr r = MakeConjunction(left->right_filter, right->right_filter);
+  return FuseResult{std::move(fused), std::move(mapping), std::move(l),
+                    std::move(r)};
+}
+
+// --- Section III.E: aggregations -------------------------------------------
+
+std::optional<FuseResult> Fuser::FuseAggregate(const AggregateOp& g1,
+                                               const AggregateOp& g2) {
+  auto sub = Fuse(g1.child(0), g2.child(0));
+  if (!sub.has_value()) return std::nullopt;
+  // Grouping columns must be equivalent modulo the mapping.
+  std::vector<ColumnId> k2_mapped;
+  k2_mapped.reserve(g2.group_by().size());
+  for (ColumnId k : g2.group_by()) {
+    k2_mapped.push_back(ApplyMap(sub->mapping, k));
+  }
+  if (!SameColumnSet(g1.group_by(), k2_mapped)) return std::nullopt;
+
+  const ExprPtr& l = sub->left_filter;
+  const ExprPtr& r = sub->right_filter;
+  bool l_true = IsTrueLiteral(l);
+  bool r_true = IsTrueLiteral(r);
+
+  // Tighten every aggregate's mask with the matching compensating filter.
+  std::vector<AggregateItem> fused_aggs;
+  fused_aggs.reserve(g1.aggregates().size() + g2.aggregates().size() + 2);
+  struct Entry {
+    AggFunc func;
+    bool distinct;
+    std::string arg_fp;
+    std::string mask_fp;
+    ColumnId id;
+  };
+  std::vector<Entry> entries;
+  auto add_item = [&](const AggregateItem& item) {
+    entries.push_back({item.func, item.distinct, FpOrEmpty(item.arg),
+                       MaskFp(item.mask), item.id});
+    fused_aggs.push_back(item);
+  };
+  for (const AggregateItem& a1 : g1.aggregates()) {
+    AggregateItem item = a1;
+    if (!l_true) {
+      item.mask = item.mask == nullptr ? l : MakeConjunction(item.mask, l);
+    }
+    add_item(item);
+  }
+  ColumnMap mapping = sub->mapping;
+  for (const AggregateItem& a2 : g2.aggregates()) {
+    AggregateItem item = a2;
+    item.arg = a2.arg == nullptr ? nullptr : ApplyMap(sub->mapping, a2.arg);
+    ExprPtr mask =
+        a2.mask == nullptr ? nullptr : ApplyMap(sub->mapping, a2.mask);
+    if (!r_true) {
+      mask = mask == nullptr ? r : MakeConjunction(mask, r);
+    }
+    item.mask = mask;
+    // Reuse an existing identical aggregate when available.
+    std::string arg_fp = FpOrEmpty(item.arg);
+    std::string mask_fp = MaskFp(item.mask);
+    const Entry* found = nullptr;
+    for (const Entry& e : entries) {
+      if (e.func == item.func && e.distinct == item.distinct &&
+          e.arg_fp == arg_fp && e.mask_fp == mask_fp) {
+        found = &e;
+        break;
+      }
+    }
+    if (found != nullptr) {
+      mapping[a2.id] = found->id;
+    } else {
+      add_item(item);
+      mapping[a2.id] = item.id;
+    }
+  }
+
+  // Compensating aggregates (non-scalar only): a group must disappear from a
+  // side's reconstruction when that side contributed no rows to it.
+  ExprPtr comp_l = TrueExpr();
+  ExprPtr comp_r = TrueExpr();
+  bool scalar = g1.IsScalar();
+  auto add_comp = [&](const ExprPtr& guard, const char* name) -> ExprPtr {
+    // Reuse an existing COUNT(*) with the same mask if present.
+    std::string mask_fp = MaskFp(guard);
+    for (const Entry& e : entries) {
+      if (e.func == AggFunc::kCountStar && !e.distinct && e.arg_fp.empty() &&
+          e.mask_fp == mask_fp) {
+        return eb::Gt(eb::Col(e.id, DataType::kInt64), eb::Int(0));
+      }
+    }
+    AggregateItem count{ctx_->NextId(), name, AggFunc::kCountStar, nullptr,
+                        guard, false};
+    add_item(count);
+    return eb::Gt(eb::Col(count.id, DataType::kInt64), eb::Int(0));
+  };
+  if (!scalar && !l_true) comp_l = add_comp(l, "$fuse_count_l");
+  if (!scalar && !r_true) comp_r = add_comp(r, "$fuse_count_r");
+
+  PlanPtr fused = std::make_shared<AggregateOp>(sub->plan, g1.group_by(),
+                                                std::move(fused_aggs));
+  return FuseResult{std::move(fused), std::move(mapping), std::move(comp_l),
+                    std::move(comp_r)};
+}
+
+// --- Section III.F: MarkDistinct -------------------------------------------
+
+PlanPtr Fuser::AddMarkDistinct(const PlanPtr& input, ColumnId marker,
+                               const std::string& marker_name,
+                               const std::vector<ColumnId>& distinct_columns,
+                               const ExprPtr& guard) {
+  if (guard == nullptr || IsTrueLiteral(guard)) {
+    return std::make_shared<MarkDistinctOp>(input, marker, marker_name,
+                                            distinct_columns);
+  }
+  // Append a guard column m := guard and include it in the distinct set, so
+  // the marker distinguishes "first time seen among guarded rows".
+  std::vector<NamedExpr> exprs;
+  exprs.reserve(input->schema().num_columns() + 1);
+  for (const ColumnInfo& c : input->schema().columns()) {
+    exprs.push_back({c.id, c.name, Expr::MakeColumnRef(c.id, c.type)});
+  }
+  ColumnId guard_col = ctx_->NextId();
+  exprs.push_back({guard_col, marker_name + "$guard", guard});
+  PlanPtr projected =
+      std::make_shared<ProjectOp>(input, std::move(exprs));
+  std::vector<ColumnId> cols = distinct_columns;
+  cols.push_back(guard_col);
+  return std::make_shared<MarkDistinctOp>(projected, marker, marker_name,
+                                          std::move(cols));
+}
+
+std::optional<FuseResult> Fuser::FuseMarkDistinct(const MarkDistinctOp& m1,
+                                                  const MarkDistinctOp& m2) {
+  auto sub = Fuse(m1.child(0), m2.child(0));
+  if (!sub.has_value()) return std::nullopt;
+  int marker1_idx = m1.schema().IndexOf(m1.marker());
+  int marker2_idx = m2.schema().IndexOf(m2.marker());
+  std::vector<ColumnId> d2;
+  d2.reserve(m2.distinct_columns().size());
+  for (ColumnId c : m2.distinct_columns()) {
+    d2.push_back(ApplyMap(sub->mapping, c));
+  }
+  PlanPtr inner = AddMarkDistinct(sub->plan, m2.marker(),
+                                  m2.schema().column(marker2_idx).name, d2,
+                                  sub->right_filter);
+  PlanPtr outer = AddMarkDistinct(inner, m1.marker(),
+                                  m1.schema().column(marker1_idx).name,
+                                  m1.distinct_columns(), sub->left_filter);
+  ColumnMap mapping = sub->mapping;
+  mapping[m2.marker()] = m2.marker();
+  return FuseResult{std::move(outer), std::move(mapping),
+                    std::move(sub->left_filter),
+                    std::move(sub->right_filter)};
+}
+
+// --- Section III.G: defaults and mismatched roots ---------------------------
+
+std::optional<FuseResult> Fuser::FuseDefault(const PlanPtr& p1,
+                                             const PlanPtr& p2) {
+  auto sub = Fuse(p1->child(0), p2->child(0));
+  if (!sub.has_value() || !sub->Exact()) return std::nullopt;
+  // Check operator parameters are equivalent modulo the mapping.
+  switch (p1->kind()) {
+    case OpKind::kEnforceSingleRow:
+      break;
+    case OpKind::kLimit:
+      if (Cast<LimitOp>(*p1).limit() != Cast<LimitOp>(*p2).limit()) {
+        return std::nullopt;
+      }
+      break;
+    case OpKind::kSort: {
+      const auto& s1 = Cast<SortOp>(*p1);
+      const auto& s2 = Cast<SortOp>(*p2);
+      if (s1.keys().size() != s2.keys().size()) return std::nullopt;
+      for (size_t i = 0; i < s1.keys().size(); ++i) {
+        if (s1.keys()[i].column !=
+                ApplyMap(sub->mapping, s2.keys()[i].column) ||
+            s1.keys()[i].ascending != s2.keys()[i].ascending) {
+          return std::nullopt;
+        }
+      }
+      break;
+    }
+    default:
+      return std::nullopt;
+  }
+  PlanPtr fused = p1->CloneWithChildren({sub->plan});
+  return FuseResult{std::move(fused), std::move(sub->mapping), TrueExpr(),
+                    TrueExpr()};
+}
+
+std::optional<FuseResult> Fuser::FuseMismatched(const PlanPtr& p1,
+                                                const PlanPtr& p2) {
+  // 1. MarkDistinct only appends a column: skip it, fuse the child, re-add.
+  if (p1->kind() == OpKind::kMarkDistinct) {
+    const auto& md = Cast<MarkDistinctOp>(*p1);
+    auto sub = Fuse(p1->child(0), p2);
+    if (sub.has_value()) {
+      int idx = md.schema().IndexOf(md.marker());
+      PlanPtr fused =
+          AddMarkDistinct(sub->plan, md.marker(), md.schema().column(idx).name,
+                          md.distinct_columns(), sub->left_filter);
+      return FuseResult{std::move(fused), std::move(sub->mapping),
+                        std::move(sub->left_filter),
+                        std::move(sub->right_filter)};
+    }
+  }
+  if (p2->kind() == OpKind::kMarkDistinct) {
+    const auto& md = Cast<MarkDistinctOp>(*p2);
+    auto sub = Fuse(p1, p2->child(0));
+    if (sub.has_value()) {
+      int idx = md.schema().IndexOf(md.marker());
+      std::vector<ColumnId> d2;
+      d2.reserve(md.distinct_columns().size());
+      for (ColumnId c : md.distinct_columns()) {
+        d2.push_back(ApplyMap(sub->mapping, c));
+      }
+      PlanPtr fused =
+          AddMarkDistinct(sub->plan, md.marker(), md.schema().column(idx).name,
+                          d2, sub->right_filter);
+      ColumnMap mapping = std::move(sub->mapping);
+      mapping[md.marker()] = md.marker();
+      return FuseResult{std::move(fused), std::move(mapping),
+                        std::move(sub->left_filter),
+                        std::move(sub->right_filter)};
+    }
+  }
+  // 2. One side has a Filter root: manufacture a trivial TRUE filter.
+  if (p1->kind() == OpKind::kFilter && p2->kind() != OpKind::kFilter) {
+    PlanPtr wrapped = std::make_shared<FilterOp>(p2, TrueExpr());
+    return FuseFilter(Cast<FilterOp>(*p1), Cast<FilterOp>(*wrapped));
+  }
+  if (p2->kind() == OpKind::kFilter && p1->kind() != OpKind::kFilter) {
+    PlanPtr wrapped = std::make_shared<FilterOp>(p1, TrueExpr());
+    return FuseFilter(Cast<FilterOp>(*wrapped), Cast<FilterOp>(*p2));
+  }
+  // 3. One side has a Project root: manufacture an identity projection.
+  if (p1->kind() == OpKind::kProject && p2->kind() != OpKind::kProject) {
+    PlanPtr wrapped = ProjectOp::MakeIdentity(p2);
+    return FuseProject(Cast<ProjectOp>(*p1), Cast<ProjectOp>(*wrapped));
+  }
+  if (p2->kind() == OpKind::kProject && p1->kind() != OpKind::kProject) {
+    PlanPtr wrapped = ProjectOp::MakeIdentity(p1);
+    return FuseProject(Cast<ProjectOp>(*wrapped), Cast<ProjectOp>(*p2));
+  }
+  return std::nullopt;
+}
+
+}  // namespace fusiondb

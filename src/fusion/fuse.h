@@ -1,0 +1,79 @@
+// Query fusion primitives — Section III of the paper.
+//
+// Fuse(P1, P2) either fails (the paper's ⊥, here std::nullopt) or returns a
+// 4-tuple (P, M, L, R):
+//   - P: the fused plan. Its schema contains all output columns of P1 and,
+//     possibly, additional columns from P2 (plus compensating columns).
+//   - M: mapping from P2's output columns to columns of P.
+//   - L, R: compensating filter conditions over P's output such that
+//       P1 == Project_{outCols(P1)}( Filter_L(P) )
+//       P2 == Project_{M(outCols(P2))}( Filter_R(P) )
+//
+// Fusion requires no new operators (unlike Resin's ResinMap/ResinReduce):
+// every fused result is ordinary relational algebra, so downstream rules
+// keep composing with it.
+#ifndef FUSIONDB_FUSION_FUSE_H_
+#define FUSIONDB_FUSION_FUSE_H_
+
+#include <optional>
+
+#include "expr/column_map.h"
+#include "plan/logical_plan.h"
+
+namespace fusiondb {
+
+struct FuseResult {
+  PlanPtr plan;
+  ColumnMap mapping;
+  ExprPtr left_filter;   // L
+  ExprPtr right_filter;  // R
+
+  /// True when both compensating filters are TRUE — the fused plan computes
+  /// exactly both inputs (the precondition of GroupByJoinToWindow's simple
+  /// form).
+  bool Exact() const;
+};
+
+/// Implements the recursive Fuse procedure. Holds the PlanContext used to
+/// mint compensating columns (tag/marker/count columns).
+class Fuser {
+ public:
+  explicit Fuser(PlanContext* ctx) : ctx_(ctx) {}
+
+  /// Fuse(P1, P2); std::nullopt is the paper's ⊥.
+  std::optional<FuseResult> Fuse(const PlanPtr& p1, const PlanPtr& p2);
+
+ private:
+  std::optional<FuseResult> FuseScan(const ScanOp& s1, const ScanOp& s2);
+  std::optional<FuseResult> FuseValues(const PlanPtr& p1, const PlanPtr& p2);
+  std::optional<FuseResult> FuseFilter(const FilterOp& f1, const FilterOp& f2);
+  std::optional<FuseResult> FuseProject(const ProjectOp& r1,
+                                        const ProjectOp& r2);
+  std::optional<FuseResult> FuseJoin(const JoinOp& j1, const JoinOp& j2);
+  std::optional<FuseResult> FuseAggregate(const AggregateOp& g1,
+                                          const AggregateOp& g2);
+  std::optional<FuseResult> FuseMarkDistinct(const MarkDistinctOp& m1,
+                                             const MarkDistinctOp& m2);
+  /// Default fusion for parameter-compatible unary operators whose child
+  /// fusion is exact (EnforceSingleRow, Limit, Sort) — Section III.G.
+  std::optional<FuseResult> FuseDefault(const PlanPtr& p1, const PlanPtr& p2);
+  /// Root-mismatch compensation (Section III.G): skip MarkDistinct on one
+  /// side, or manufacture a trivial Filter/Project.
+  std::optional<FuseResult> FuseMismatched(const PlanPtr& p1,
+                                           const PlanPtr& p2);
+
+  /// Re-adds a MarkDistinct above `input`. When `guard` is not TRUE, a
+  /// boolean guard column computed from it is appended (via projection) and
+  /// included in the distinct set, so the marker distinguishes first-seen
+  /// within the guarded subset (the III.F construction).
+  PlanPtr AddMarkDistinct(const PlanPtr& input, ColumnId marker,
+                          const std::string& marker_name,
+                          const std::vector<ColumnId>& distinct_columns,
+                          const ExprPtr& guard);
+
+  PlanContext* ctx_;
+};
+
+}  // namespace fusiondb
+
+#endif  // FUSIONDB_FUSION_FUSE_H_

@@ -1,0 +1,24 @@
+// FusionDB — computation reuse via query fusion.
+//
+// Umbrella header exposing the public API:
+//   - catalog/  : in-memory partitioned tables
+//   - plan/     : logical algebra + PlanBuilder
+//   - expr/     : scalar expressions
+//   - optimizer/: rule-based optimizer with the Section-IV fusion rules
+//   - fusion/   : the Fuse(P1, P2) primitive itself
+//   - exec/     : streaming executor + metrics
+//   - tpcds/    : benchmark substrate (schema, datagen, query suite)
+#ifndef FUSIONDB_FUSIONDB_H_
+#define FUSIONDB_FUSIONDB_H_
+
+#include "catalog/catalog.h"
+#include "exec/executor.h"
+#include "expr/expr_builder.h"
+#include "expr/simplifier.h"
+#include "fusion/fuse.h"
+#include "optimizer/optimizer.h"
+#include "plan/plan_builder.h"
+#include "plan/plan_printer.h"
+#include "tpcds/tpcds.h"
+
+#endif  // FUSIONDB_FUSIONDB_H_

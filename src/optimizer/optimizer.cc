@@ -1,0 +1,208 @@
+#include "optimizer/optimizer.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "optimizer/prune_columns.h"
+#include "optimizer/rules.h"
+#include "optimizer/spool_rule.h"
+#include "plan/plan_printer.h"
+
+namespace fusiondb {
+
+namespace {
+
+/// Set FUSIONDB_TRACE_OPTIMIZER=1 to log per-phase wall time to stderr.
+bool TraceEnabled() {
+  static bool enabled = std::getenv("FUSIONDB_TRACE_OPTIMIZER") != nullptr;
+  return enabled;
+}
+
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(const char* name)
+      : name_(name), start_(std::chrono::steady_clock::now()) {}
+  ~PhaseTimer() {
+    if (!TraceEnabled()) return;
+    double ms = std::chrono::duration_cast<
+                    std::chrono::duration<double, std::milli>>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+    std::fprintf(stderr, "[optimizer] %-12s %8.1f ms\n", name_, ms);
+  }
+
+ private:
+  const char* name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// One bottom-up sweep: children first, then every rule at this node to a
+/// local fixpoint.
+Result<PlanPtr> SweepOnce(const PlanPtr& plan,
+                          const std::vector<const Rule*>& rules,
+                          PlanContext* ctx, bool* changed) {
+  std::vector<PlanPtr> children;
+  children.reserve(plan->num_children());
+  bool child_changed = false;
+  for (const PlanPtr& c : plan->children()) {
+    FUSIONDB_ASSIGN_OR_RETURN(PlanPtr nc, SweepOnce(c, rules, ctx, changed));
+    child_changed |= (nc != c);
+    children.push_back(std::move(nc));
+  }
+  PlanPtr current =
+      child_changed ? plan->CloneWithChildren(std::move(children)) : plan;
+  if (child_changed) *changed = true;
+
+  constexpr int kLocalFixpointCap = 64;
+  for (int round = 0; round < kLocalFixpointCap; ++round) {
+    bool round_changed = false;
+    for (const Rule* rule : rules) {
+      FUSIONDB_ASSIGN_OR_RETURN(PlanPtr next, rule->Apply(current, ctx));
+      if (next != current) {
+        current = std::move(next);
+        round_changed = true;
+        *changed = true;
+      }
+    }
+    if (!round_changed) break;
+  }
+  return current;
+}
+
+/// Repeated sweeps to a global fixpoint (rewrites can open opportunities in
+/// subtrees a sweep already passed, e.g. UnionAllOnJoin's recursive
+/// re-application in Q23).
+Result<PlanPtr> RunPhase(const PlanPtr& plan,
+                         const std::vector<const Rule*>& rules,
+                         PlanContext* ctx) {
+  if (rules.empty()) return plan;
+  PlanPtr current = plan;
+  constexpr int kGlobalFixpointCap = 48;
+  for (int pass = 0; pass < kGlobalFixpointCap; ++pass) {
+    bool changed = false;
+    FUSIONDB_ASSIGN_OR_RETURN(current, SweepOnce(current, rules, ctx, &changed));
+    if (TraceEnabled()) {
+      std::fprintf(stderr, "[optimizer]   pass %d: %d ops%s\n", pass,
+                   CountAllOps(current), changed ? "" : " (fixpoint)");
+    }
+    if (!changed) return current;
+  }
+  return Status::Internal("optimizer phase did not reach a fixpoint");
+}
+
+}  // namespace
+
+Result<PlanPtr> Optimizer::Optimize(const PlanPtr& plan,
+                                    PlanContext* ctx) const {
+  static const SimplifyExpressionsRule simplify;
+  static const MergeFiltersRule merge_filters;
+  static const MergeProjectsRule merge_projects;
+  static const PushFilterIntoScanRule push_into_scan;
+  static const FilterPushdownRule filter_pushdown;
+  static const DecorrelateScalarAggRule decorrelate;
+  static const DistinctAggToMarkDistinctRule lower_distinct;
+  static const SemiJoinToDistinctJoinRule semi_to_distinct;
+  static const PushDistinctBelowJoinRule push_distinct;
+  static const GroupByJoinToWindowRule to_window;
+  static const JoinOnKeysRule join_on_keys;
+  static const UnionAllOnJoinRule union_on_join;
+  static const UnionAllFuseRule union_fuse;
+
+  PlanPtr current = plan;
+
+  // 1. Normalize.
+  {
+    PhaseTimer timer("normalize");
+    std::vector<const Rule*> rules{&simplify, &merge_filters, &merge_projects};
+    FUSIONDB_ASSIGN_OR_RETURN(current, RunPhase(current, rules, ctx));
+  }
+
+  // 2. Decorrelate (always-on substrate; Apply cannot execute).
+  if (options_.enable_decorrelation) {
+    PhaseTimer timer("decorrelate");
+    std::vector<const Rule*> rules{&decorrelate, &merge_filters};
+    FUSIONDB_ASSIGN_OR_RETURN(current, RunPhase(current, rules, ctx));
+  }
+
+  // 3. Lower DISTINCT aggregates onto MarkDistinct.
+  if (options_.enable_distinct_lowering) {
+    PhaseTimer timer("lower");
+    std::vector<const Rule*> rules{&lower_distinct};
+    FUSIONDB_ASSIGN_OR_RETURN(current, RunPhase(current, rules, ctx));
+  }
+
+  // 4. Fusion rules (Section IV).
+  {
+    std::vector<const Rule*> rules;
+    if (options_.enable_group_by_join_to_window) rules.push_back(&to_window);
+    if (options_.enable_join_on_keys) rules.push_back(&join_on_keys);
+    if (options_.enable_union_all_on_join) rules.push_back(&union_on_join);
+    if (options_.enable_union_all_fuse) rules.push_back(&union_fuse);
+    if (!rules.empty()) {
+      PhaseTimer timer("fuse");
+      rules.push_back(&simplify);
+      FUSIONDB_ASSIGN_OR_RETURN(current, RunPhase(current, rules, ctx));
+    }
+  }
+
+  // 5. Distinct/semi-join interplay (the Q95 pipeline, Section V.D).
+  if (options_.enable_semijoin_rewrites) {
+    PhaseTimer timer("distinct");
+    std::vector<const Rule*> rules{&semi_to_distinct, &push_distinct,
+                                   &merge_projects};
+    FUSIONDB_ASSIGN_OR_RETURN(current, RunPhase(current, rules, ctx));
+  }
+
+  // 6. Fusion again: phase 5 exposes new JoinOnKeys opportunities.
+  if (options_.enable_join_on_keys) {
+    PhaseTimer timer("fuse2");
+    std::vector<const Rule*> rules{&join_on_keys, &simplify};
+    FUSIONDB_ASSIGN_OR_RETURN(current, RunPhase(current, rules, ctx));
+  }
+
+  // 7. Cleanup: simplify, push filters toward (and into) scans, prune.
+  {
+    PhaseTimer timer("cleanup");
+    std::vector<const Rule*> rules{&simplify, &merge_filters, &merge_projects,
+                                   &filter_pushdown, &push_into_scan};
+    FUSIONDB_ASSIGN_OR_RETURN(current, RunPhase(current, rules, ctx));
+  }
+  if (options_.enable_column_pruning) {
+    PhaseTimer timer("prune");
+    FUSIONDB_ASSIGN_OR_RETURN(current, PruneColumns(current));
+  }
+
+  // 8. Spooling (off by default): share duplicated subtrees through
+  // materialization. Runs last so later rewrites cannot diverge the two
+  // consumers of a shared spool child.
+  if (options_.enable_spooling) {
+    PhaseTimer timer("spool");
+    FUSIONDB_ASSIGN_OR_RETURN(current, SpoolCommonSubexpressions(current, ctx));
+  }
+
+  // Schema stability contract: rewrites may leave superset schemas behind
+  // (RestoreSchema avoids interposing projections that would block join
+  // flattening), so enforce the exact original output here.
+  bool exact = current->schema().num_columns() == plan->schema().num_columns();
+  for (size_t i = 0; exact && i < plan->schema().num_columns(); ++i) {
+    exact = current->schema().column(i).id == plan->schema().column(i).id;
+  }
+  if (!exact) {
+    std::vector<NamedExpr> narrow;
+    narrow.reserve(plan->schema().num_columns());
+    for (const ColumnInfo& c : plan->schema().columns()) {
+      int idx = current->schema().IndexOf(c.id);
+      if (idx < 0) {
+        return Status::Internal("optimizer dropped output column " + c.name);
+      }
+      narrow.push_back({c.id, c.name, Expr::MakeColumnRef(c.id, c.type)});
+    }
+    current = std::make_shared<ProjectOp>(current, std::move(narrow));
+  }
+  return current;
+}
+
+}  // namespace fusiondb

@@ -1,0 +1,67 @@
+// Shared machinery for the join-based fusion rules (Sections IV.A, IV.B and
+// IV.E): flattening a tree of inner/cross joins into an n-ary view, equality
+// classes over join conjuncts, and rebuilding a left-deep tree afterwards.
+#ifndef FUSIONDB_OPTIMIZER_REWRITE_UTILS_H_
+#define FUSIONDB_OPTIMIZER_REWRITE_UTILS_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "expr/column_map.h"
+#include "expr/simplifier.h"
+#include "plan/logical_plan.h"
+
+namespace fusiondb {
+
+/// An n-ary view over a tree of inner/cross joins: the leaf inputs (in
+/// left-to-right order) and the pooled conjuncts of every join condition.
+/// This is the paper's IV.E device: fusion rules "recursively traverse
+/// [a join's] inputs to conceptually obtain an n-ary join" so inputs that
+/// are not adjacent (Q01's ctr1 and its aggregated copy are separated by
+/// store and customer) can still be paired.
+struct NaryJoin {
+  std::vector<PlanPtr> inputs;
+  std::vector<ExprPtr> conjuncts;
+};
+
+/// Flattens `plan` if it is an inner or cross join; recurses only through
+/// inner/cross joins. Returns false when `plan` is not one.
+bool FlattenJoin(const PlanPtr& plan, NaryJoin* out);
+
+/// Union-find over column ids derived from `col = col` conjuncts; two
+/// columns are "join-equal" when some chain of equality conjuncts links
+/// them (how JoinOnKeys matches R0/R2 keys in Q95 through ws1).
+class EqualityClasses {
+ public:
+  explicit EqualityClasses(const std::vector<ExprPtr>& conjuncts);
+
+  /// True when `a` and `b` are provably equated by the join conjuncts.
+  bool Same(ColumnId a, ColumnId b) const;
+
+ private:
+  ColumnId Find(ColumnId x) const;
+  mutable std::unordered_map<ColumnId, ColumnId> parent_;
+};
+
+/// Rebuilds a left-deep join tree from an n-ary view: inputs joined in
+/// order; each conjunct is attached at the first join where all its columns
+/// are in scope; conjuncts over a single input become filters on it.
+/// Conjuncts that are self-trivial after remapping (x = x) are dropped.
+Result<PlanPtr> RebuildJoin(const NaryJoin& nary);
+
+/// Applies `map` to every conjunct, dropping those that become trivially
+/// true (e.g. a key equality collapsing to x = x).
+std::vector<ExprPtr> RemapConjuncts(const std::vector<ExprPtr>& conjuncts,
+                                    const ColumnMap& map);
+
+/// Wraps `plan` with a projection restoring `original` schema ids: each
+/// original column id is defined as a reference to map(id) in `plan`.
+/// Returns `plan` unchanged when no remapping is needed and all original
+/// columns are present (extra columns are allowed; parents reference by id
+/// and pruning trims the rest). Keeps rule rewrites schema-stable.
+Result<PlanPtr> RestoreSchema(const PlanPtr& plan, const Schema& original,
+                              const ColumnMap& map);
+
+}  // namespace fusiondb
+
+#endif  // FUSIONDB_OPTIMIZER_REWRITE_UTILS_H_

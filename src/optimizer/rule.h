@@ -1,0 +1,30 @@
+// Rule: one rewrite over a logical plan node. The driver (optimizer.cc)
+// applies rules bottom-up to fixpoint, so a rule only needs to recognize its
+// pattern rooted at the node it is handed.
+#ifndef FUSIONDB_OPTIMIZER_RULE_H_
+#define FUSIONDB_OPTIMIZER_RULE_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "plan/logical_plan.h"
+
+namespace fusiondb {
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Attempts to rewrite the subtree rooted at `plan` (children are already
+  /// optimized). Returns `plan` itself (same pointer) when not applicable.
+  /// Every rewrite must preserve the root's output columns: any surviving
+  /// column keeps its id, and dropped/renamed columns are re-exposed through
+  /// a compensating projection.
+  virtual Result<PlanPtr> Apply(const PlanPtr& plan, PlanContext* ctx) const = 0;
+};
+
+}  // namespace fusiondb
+
+#endif  // FUSIONDB_OPTIMIZER_RULE_H_

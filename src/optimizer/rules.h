@@ -1,0 +1,132 @@
+// The rule catalog.
+//
+// Substrate rules (pre-existing engine machinery the paper builds on):
+//   SimplifyExpressionsRule, MergeFiltersRule, MergeProjectsRule,
+//   PushFilterIntoScanRule, FilterPushdownRule,
+//   DecorrelateScalarAggRule        ([20]-style decorrelation; enables Q01)
+//   DistinctAggToMarkDistinctRule   (III.F lowering of distinct aggregates)
+//   SemiJoinToDistinctJoinRule      (semi-join -> join over distinct)
+//   PushDistinctBelowJoinRule       (distinct pushed below a key-aligned join)
+//
+// Fusion rules (Section IV — the paper's contribution):
+//   GroupByJoinToWindowRule  (IV.A)
+//   JoinOnKeysRule           (IV.B, incl. scalar-aggregate cross-join form)
+//   UnionAllOnJoinRule       (IV.C)
+//   UnionAllFuseRule         (IV.D)
+#ifndef FUSIONDB_OPTIMIZER_RULES_H_
+#define FUSIONDB_OPTIMIZER_RULES_H_
+
+#include "optimizer/rule.h"
+
+namespace fusiondb {
+
+/// Simplifies every expression held by the node (predicates, projections,
+/// join conditions, aggregate masks).
+class SimplifyExpressionsRule final : public Rule {
+ public:
+  std::string_view name() const override { return "SimplifyExpressions"; }
+  Result<PlanPtr> Apply(const PlanPtr& plan, PlanContext* ctx) const override;
+};
+
+/// Filter(Filter(x)) => Filter(x) with the conjunction; drops TRUE filters.
+class MergeFiltersRule final : public Rule {
+ public:
+  std::string_view name() const override { return "MergeFilters"; }
+  Result<PlanPtr> Apply(const PlanPtr& plan, PlanContext* ctx) const override;
+};
+
+/// Project(Project(x)) => Project(x) by inlining the inner assignments.
+class MergeProjectsRule final : public Rule {
+ public:
+  std::string_view name() const override { return "MergeProjects"; }
+  Result<PlanPtr> Apply(const PlanPtr& plan, PlanContext* ctx) const override;
+};
+
+/// Filter over Scan: hand the predicate to the scan for partition pruning
+/// (the filter stays; the scan only uses it to skip partitions).
+class PushFilterIntoScanRule final : public Rule {
+ public:
+  std::string_view name() const override { return "PushFilterIntoScan"; }
+  Result<PlanPtr> Apply(const PlanPtr& plan, PlanContext* ctx) const override;
+};
+
+/// Pushes filter conjuncts through projections and into inner-join sides.
+class FilterPushdownRule final : public Rule {
+ public:
+  std::string_view name() const override { return "FilterPushdown"; }
+  Result<PlanPtr> Apply(const PlanPtr& plan, PlanContext* ctx) const override;
+};
+
+/// Apply(outer, scalar-agg subquery, correlation) =>
+/// Join(outer, GroupBy_{correlated cols}(subquery input)).
+/// Sound here because the correlated scalar aggregate is only consumed by
+/// NULL-rejecting comparisons (the Q01/Q30 pattern; see the rule's comment).
+class DecorrelateScalarAggRule final : public Rule {
+ public:
+  std::string_view name() const override { return "DecorrelateScalarAgg"; }
+  Result<PlanPtr> Apply(const PlanPtr& plan, PlanContext* ctx) const override;
+};
+
+/// Lowers DISTINCT aggregates onto MarkDistinct + masks (Section III.F).
+class DistinctAggToMarkDistinctRule final : public Rule {
+ public:
+  std::string_view name() const override { return "DistinctAggToMarkDistinct"; }
+  Result<PlanPtr> Apply(const PlanPtr& plan, PlanContext* ctx) const override;
+};
+
+/// SemiJoin(L, R, l=r) => Join(L, GroupBy_{r}(R), l=r) — the first step of
+/// the paper's Q95 pipeline (Section V.D).
+class SemiJoinToDistinctJoinRule final : public Rule {
+ public:
+  std::string_view name() const override { return "SemiJoinToDistinctJoin"; }
+  Result<PlanPtr> Apply(const PlanPtr& plan, PlanContext* ctx) const override;
+};
+
+/// GroupBy_{b}(Join(A, B, a=b)) with no aggregates =>
+/// Join(GroupBy_{a}(A), GroupBy_{b}(B), a=b) — the "push a distinct below a
+/// join whenever the distinct and join columns agree" rule of Section V.D.
+class PushDistinctBelowJoinRule final : public Rule {
+ public:
+  std::string_view name() const override { return "PushDistinctBelowJoin"; }
+  Result<PlanPtr> Apply(const PlanPtr& plan, PlanContext* ctx) const override;
+};
+
+/// Section IV.A: P1 join GroupBy(P2) on the grouping keys, with exact
+/// fusion of P1 and P2, becomes a windowed aggregation over the fused plan.
+/// Handles n-ary joins (inputs separated by other tables) per IV.E.
+class GroupByJoinToWindowRule final : public Rule {
+ public:
+  std::string_view name() const override { return "GroupByJoinToWindow"; }
+  Result<PlanPtr> Apply(const PlanPtr& plan, PlanContext* ctx) const override;
+};
+
+/// Section IV.B: self-joins on keys of both sides collapse onto the fused
+/// plan. Implemented for the cases Athena can guarantee keys for:
+/// GroupBy-GroupBy pairs (grouping columns are keys) including the scalar
+/// aggregate / cross-join specialization. Handles n-ary joins per IV.E.
+class JoinOnKeysRule final : public Rule {
+ public:
+  std::string_view name() const override { return "JoinOnKeys"; }
+  Result<PlanPtr> Apply(const PlanPtr& plan, PlanContext* ctx) const override;
+};
+
+/// Section IV.C: UnionAll of two (semi-)joins against fusable right sides
+/// pushes the union below the join, tagging branches.
+class UnionAllOnJoinRule final : public Rule {
+ public:
+  std::string_view name() const override { return "UnionAllOnJoin"; }
+  Result<PlanPtr> Apply(const PlanPtr& plan, PlanContext* ctx) const override;
+};
+
+/// Section IV.D: UnionAll over fusable branches becomes a cross join of the
+/// fused plan with a constant tag table (or, when the compensating filters
+/// are contradictory, a CASE projection with no tag table).
+class UnionAllFuseRule final : public Rule {
+ public:
+  std::string_view name() const override { return "UnionAllFuse"; }
+  Result<PlanPtr> Apply(const PlanPtr& plan, PlanContext* ctx) const override;
+};
+
+}  // namespace fusiondb
+
+#endif  // FUSIONDB_OPTIMIZER_RULES_H_

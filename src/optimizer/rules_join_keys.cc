@@ -1,0 +1,129 @@
+// Section IV.B — JoinOnKeys.
+//
+// Two join inputs whose rows are keyed (GroupBy outputs: the grouping
+// columns are a key) and joined on those keys match pairwise, so the join
+// collapses onto the fused plan:
+//   Filter_{L AND R AND keys NOT NULL}(Fuse(P1, P2).plan)
+// (residual conjuncts M(C2) are re-placed by the n-ary rebuild). The
+// scalar-aggregate specialization (empty keys, cross join) needs no extra
+// filter: for scalar aggregates the compensations are TRUE because the
+// fusion itself tightened every aggregate's mask.
+//
+// Per IV.E the rule linearizes the join tree and applies pairwise a
+// quadratic number of times, growing the fused result incrementally — this
+// is what collapses Q09's 15 scans of store_sales in one optimizer visit.
+#include "expr/expr_builder.h"
+#include "expr/simplifier.h"
+#include "fusion/fuse.h"
+#include "optimizer/rewrite_utils.h"
+#include "optimizer/rules.h"
+
+namespace fusiondb {
+
+namespace {
+
+/// total := newer ∘ total, then entries of `newer` not reached by total.
+void ComposeInto(ColumnMap* total, const ColumnMap& newer) {
+  for (auto& [from, to] : *total) {
+    to = ApplyMap(newer, to);
+  }
+  for (const auto& [from, to] : newer) {
+    total->emplace(from, to);
+  }
+}
+
+/// The aggregate rooted at `plan`, or below a single Filter (a previous
+/// JoinOnKeys application wraps its fused aggregate in a guard filter; that
+/// result must remain fusable so n-ary chains keep collapsing).
+const AggregateOp* AggregateBelowGuard(const PlanPtr& plan) {
+  if (plan->kind() == OpKind::kAggregate) {
+    return &Cast<AggregateOp>(*plan);
+  }
+  if (plan->kind() == OpKind::kFilter &&
+      plan->child(0)->kind() == OpKind::kAggregate) {
+    return &Cast<AggregateOp>(*plan->child(0));
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Result<PlanPtr> JoinOnKeysRule::Apply(const PlanPtr& plan,
+                                      PlanContext* ctx) const {
+  NaryJoin nary;
+  if (!FlattenJoin(plan, &nary)) return plan;
+  Fuser fuser(ctx);
+  ColumnMap total_remap;
+  bool changed = false;
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    EqualityClasses classes(nary.conjuncts);
+    for (size_t i = 0; i < nary.inputs.size() && !progress; ++i) {
+      const AggregateOp* gi = AggregateBelowGuard(nary.inputs[i]);
+      if (gi == nullptr) continue;
+      for (size_t j = i + 1; j < nary.inputs.size() && !progress; ++j) {
+        const AggregateOp* gj = AggregateBelowGuard(nary.inputs[j]);
+        if (gj == nullptr) continue;
+        if (gi->group_by().size() != gj->group_by().size()) continue;
+
+        auto fused = fuser.Fuse(nary.inputs[i], nary.inputs[j]);
+        if (!fused.has_value()) continue;
+
+        // Grouped case: the join must equate each of gj's keys with its
+        // fused counterpart (a key of gi). Scalar case (empty keys):
+        // nothing to check — 1-row relations combined by a cross product.
+        bool keys_ok = true;
+        std::vector<ExprPtr> extra;  // NOT NULL guards on surviving keys
+        for (ColumnId k2 : gj->group_by()) {
+          ColumnId k1 = ApplyMap(fused->mapping, k2);
+          if (!classes.Same(k1, k2)) {
+            keys_ok = false;
+            break;
+          }
+        }
+        if (!keys_ok) continue;
+        for (ColumnId k1 : gi->group_by()) {
+          int idx = fused->plan->schema().IndexOf(k1);
+          if (idx < 0) {
+            keys_ok = false;
+            break;
+          }
+          extra.push_back(eb::IsNotNull(
+              eb::Col(k1, fused->plan->schema().column(idx).type)));
+        }
+        if (!keys_ok) continue;
+
+        // Keep rows present on both sides (compensating count guards), with
+        // NULL keys excluded as in the original join.
+        std::vector<ExprPtr> conds;
+        SplitConjuncts(fused->left_filter, &conds);
+        SplitConjuncts(fused->right_filter, &conds);
+        for (ExprPtr& e : extra) conds.push_back(std::move(e));
+        PlanPtr replacement = fused->plan;
+        ExprPtr guard = Simplify(CombineConjuncts(conds));
+        if (!IsTrueLiteral(guard)) {
+          replacement = std::make_shared<FilterOp>(replacement, guard);
+        }
+
+        std::vector<PlanPtr> inputs;
+        for (size_t t = 0; t < nary.inputs.size(); ++t) {
+          if (t == i || t == j) continue;
+          inputs.push_back(nary.inputs[t]);
+        }
+        inputs.push_back(std::move(replacement));
+        nary.inputs = std::move(inputs);
+        nary.conjuncts = RemapConjuncts(nary.conjuncts, fused->mapping);
+        ComposeInto(&total_remap, fused->mapping);
+        changed = true;
+        progress = true;
+      }
+    }
+  }
+  if (!changed) return plan;
+  FUSIONDB_ASSIGN_OR_RETURN(PlanPtr joined, RebuildJoin(nary));
+  return RestoreSchema(joined, plan->schema(), total_remap);
+}
+
+}  // namespace fusiondb

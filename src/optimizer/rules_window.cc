@@ -1,0 +1,98 @@
+// Section IV.A — GroupByJoinToWindow.
+//
+// Pattern (up to n-ary join traversal, IV.E): an input P1 inner-joined with
+// GroupBy_{K,A}(P2), where the join condition equates each grouping key with
+// the matching P1 column (cl_i = M(cr_i)) and Fuse(P1, P2) is exact.
+// Replacement:
+//   Filter_{M(C2)}                         <- residual conjuncts, handled by
+//     Window_{A} PARTITION BY cl1..cln        the rebuild placing them as
+//       Filter_{cl_i IS NOT NULL}             single-input filters
+//         P
+#include "expr/expr_builder.h"
+#include "expr/simplifier.h"
+#include "fusion/fuse.h"
+#include "optimizer/rewrite_utils.h"
+#include "optimizer/rules.h"
+
+namespace fusiondb {
+
+Result<PlanPtr> GroupByJoinToWindowRule::Apply(const PlanPtr& plan,
+                                               PlanContext* ctx) const {
+  NaryJoin nary;
+  if (!FlattenJoin(plan, &nary)) return plan;
+  EqualityClasses classes(nary.conjuncts);
+  Fuser fuser(ctx);
+
+  for (size_t j = 0; j < nary.inputs.size(); ++j) {
+    if (nary.inputs[j]->kind() != OpKind::kAggregate) continue;
+    const auto& gb = Cast<AggregateOp>(*nary.inputs[j]);
+    if (gb.IsScalar()) continue;
+    bool has_distinct = false;
+    for (const AggregateItem& a : gb.aggregates()) has_distinct |= a.distinct;
+    if (has_distinct) continue;  // windows do not evaluate DISTINCT
+
+    for (size_t i = 0; i < nary.inputs.size(); ++i) {
+      if (i == j) continue;
+      auto fused = fuser.Fuse(nary.inputs[i], gb.child(0));
+      if (!fused.has_value() || !fused->Exact()) continue;
+
+      // Every grouping key must be equated (by the join conjuncts) with its
+      // fused counterpart, which must be a column of input i.
+      std::vector<ColumnId> partition_cols;
+      bool ok = true;
+      for (ColumnId k : gb.group_by()) {
+        ColumnId cl = ApplyMap(fused->mapping, k);
+        if (!nary.inputs[i]->schema().Contains(cl) || !classes.Same(cl, k)) {
+          ok = false;
+          break;
+        }
+        partition_cols.push_back(cl);
+      }
+      if (!ok || partition_cols.empty()) continue;
+
+      // NULL keys never joined the aggregate; drop them before windowing.
+      std::vector<ExprPtr> not_null;
+      not_null.reserve(partition_cols.size());
+      for (ColumnId cl : partition_cols) {
+        int idx = fused->plan->schema().IndexOf(cl);
+        not_null.push_back(eb::IsNotNull(
+            eb::Col(cl, fused->plan->schema().column(idx).type)));
+      }
+      PlanPtr filtered = std::make_shared<FilterOp>(
+          fused->plan, CombineConjuncts(not_null));
+
+      // The aggregates become window items (same output ids, remapped
+      // arguments/masks), so upstream references keep working.
+      std::vector<WindowItem> items;
+      items.reserve(gb.aggregates().size());
+      for (const AggregateItem& a : gb.aggregates()) {
+        items.push_back(
+            {a.id, a.name, a.func,
+             a.arg == nullptr ? nullptr : ApplyMap(fused->mapping, a.arg),
+             a.mask == nullptr ? nullptr : ApplyMap(fused->mapping, a.mask)});
+      }
+      PlanPtr window =
+          std::make_shared<WindowOp>(filtered, partition_cols, items);
+
+      // Rebuild the n-ary join with inputs i and j replaced by the window,
+      // remapping references to the aggregate's group outputs onto input
+      // i's columns (key equalities collapse to x = x and are dropped).
+      ColumnMap remap;
+      for (size_t g = 0; g < gb.group_by().size(); ++g) {
+        remap[gb.group_by()[g]] = partition_cols[g];
+      }
+      NaryJoin rebuilt;
+      for (size_t t = 0; t < nary.inputs.size(); ++t) {
+        if (t == i || t == j) continue;
+        rebuilt.inputs.push_back(nary.inputs[t]);
+      }
+      rebuilt.inputs.push_back(window);
+      rebuilt.conjuncts = RemapConjuncts(nary.conjuncts, remap);
+      FUSIONDB_ASSIGN_OR_RETURN(PlanPtr joined, RebuildJoin(rebuilt));
+      return RestoreSchema(joined, plan->schema(), remap);
+    }
+  }
+  return plan;
+}
+
+}  // namespace fusiondb

@@ -1,0 +1,34 @@
+// PlanContext: per-query state shared by planning, optimization and fusion —
+// chiefly the ColumnId allocator. Following Athena's convention, every
+// operator instantiation mints fresh column identities, so fusion can reason
+// about "the same column" purely by id.
+#ifndef FUSIONDB_PLAN_PLAN_CONTEXT_H_
+#define FUSIONDB_PLAN_PLAN_CONTEXT_H_
+
+#include <vector>
+
+#include "types/schema.h"
+
+namespace fusiondb {
+
+class PlanContext {
+ public:
+  ColumnId NextId() { return next_id_++; }
+
+  std::vector<ColumnId> NextIds(size_t n) {
+    std::vector<ColumnId> ids;
+    ids.reserve(n);
+    for (size_t i = 0; i < n; ++i) ids.push_back(NextId());
+    return ids;
+  }
+
+  /// The next id that would be allocated (diagnostics only).
+  ColumnId Peek() const { return next_id_; }
+
+ private:
+  ColumnId next_id_ = 1;
+};
+
+}  // namespace fusiondb
+
+#endif  // FUSIONDB_PLAN_PLAN_CONTEXT_H_

@@ -1,0 +1,152 @@
+#include "plan/plan_printer.h"
+
+#include <sstream>
+
+#include "plan/spool.h"
+
+namespace fusiondb {
+
+namespace {
+
+void PrintNode(const PlanPtr& plan, int indent, std::ostream& os) {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  os << pad << OpKindName(plan->kind());
+  switch (plan->kind()) {
+    case OpKind::kScan: {
+      const auto& scan = Cast<ScanOp>(*plan);
+      os << "(" << scan.table()->name() << ")";
+      if (scan.pruning_filter() != nullptr) {
+        os << " prune: " << scan.pruning_filter()->ToString();
+      }
+      break;
+    }
+    case OpKind::kFilter:
+      os << " " << Cast<FilterOp>(*plan).predicate()->ToString();
+      break;
+    case OpKind::kProject: {
+      const auto& proj = Cast<ProjectOp>(*plan);
+      os << " [";
+      for (size_t i = 0; i < proj.exprs().size(); ++i) {
+        if (i > 0) os << ", ";
+        const NamedExpr& e = proj.exprs()[i];
+        os << e.name << "#" << e.id << ":=" << e.expr->ToString();
+      }
+      os << "]";
+      break;
+    }
+    case OpKind::kJoin: {
+      const auto& join = Cast<JoinOp>(*plan);
+      os << "(" << JoinTypeName(join.join_type()) << ") on "
+         << join.condition()->ToString();
+      break;
+    }
+    case OpKind::kAggregate: {
+      const auto& agg = Cast<AggregateOp>(*plan);
+      os << " group=[";
+      for (size_t i = 0; i < agg.group_by().size(); ++i) {
+        if (i > 0) os << ", ";
+        os << "#" << agg.group_by()[i];
+      }
+      os << "] aggs=[";
+      for (size_t i = 0; i < agg.aggregates().size(); ++i) {
+        if (i > 0) os << ", ";
+        const AggregateItem& a = agg.aggregates()[i];
+        os << a.name << "#" << a.id << ":=" << AggFuncName(a.func);
+        if (a.distinct) os << " distinct";
+        if (a.arg != nullptr) os << "(" << a.arg->ToString() << ")";
+        if (a.mask != nullptr) os << " mask " << a.mask->ToString();
+      }
+      os << "]";
+      break;
+    }
+    case OpKind::kWindow: {
+      const auto& win = Cast<WindowOp>(*plan);
+      os << " partition=[";
+      for (size_t i = 0; i < win.partition_by().size(); ++i) {
+        if (i > 0) os << ", ";
+        os << "#" << win.partition_by()[i];
+      }
+      os << "] items=[";
+      for (size_t i = 0; i < win.items().size(); ++i) {
+        if (i > 0) os << ", ";
+        const WindowItem& w = win.items()[i];
+        os << w.name << "#" << w.id << ":=" << AggFuncName(w.func);
+        if (w.arg != nullptr) os << "(" << w.arg->ToString() << ")";
+        if (w.mask != nullptr) os << " mask " << w.mask->ToString();
+      }
+      os << "]";
+      break;
+    }
+    case OpKind::kMarkDistinct: {
+      const auto& md = Cast<MarkDistinctOp>(*plan);
+      os << " marker#" << md.marker() << " over [";
+      for (size_t i = 0; i < md.distinct_columns().size(); ++i) {
+        if (i > 0) os << ", ";
+        os << "#" << md.distinct_columns()[i];
+      }
+      os << "]";
+      break;
+    }
+    case OpKind::kValues: {
+      os << " rows=" << Cast<ValuesOp>(*plan).rows().size();
+      break;
+    }
+    case OpKind::kLimit:
+      os << " " << Cast<LimitOp>(*plan).limit();
+      break;
+    case OpKind::kSpool:
+      os << " id=" << Cast<SpoolOp>(*plan).spool_id();
+      break;
+    case OpKind::kApply: {
+      const auto& apply = Cast<ApplyOp>(*plan);
+      os << " corr=[";
+      for (size_t i = 0; i < apply.correlation().size(); ++i) {
+        if (i > 0) os << ", ";
+        os << "#" << apply.correlation()[i].first << "=#"
+           << apply.correlation()[i].second;
+      }
+      os << "]";
+      break;
+    }
+    default:
+      break;
+  }
+  os << "  -> " << plan->schema().ToString() << "\n";
+  for (const PlanPtr& c : plan->children()) {
+    PrintNode(c, indent + 1, os);
+  }
+}
+
+}  // namespace
+
+std::string PlanToString(const PlanPtr& plan) {
+  std::ostringstream os;
+  PrintNode(plan, 0, os);
+  return os.str();
+}
+
+int CountOps(const PlanPtr& plan, OpKind kind) {
+  int n = plan->kind() == kind ? 1 : 0;
+  for (const PlanPtr& c : plan->children()) n += CountOps(c, kind);
+  return n;
+}
+
+int CountTableScans(const PlanPtr& plan, const std::string& table_name) {
+  int n = 0;
+  if (plan->kind() == OpKind::kScan &&
+      Cast<ScanOp>(*plan).table()->name() == table_name) {
+    n = 1;
+  }
+  for (const PlanPtr& c : plan->children()) {
+    n += CountTableScans(c, table_name);
+  }
+  return n;
+}
+
+int CountAllOps(const PlanPtr& plan) {
+  int n = 1;
+  for (const PlanPtr& c : plan->children()) n += CountAllOps(c);
+  return n;
+}
+
+}  // namespace fusiondb

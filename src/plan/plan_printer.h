@@ -1,0 +1,28 @@
+// Plan pretty-printing and structural helpers used by examples, tests and
+// the benchmark reports (the paper's Section V shows plan before/after
+// diffs; PlanToString is how we surface the same evidence).
+#ifndef FUSIONDB_PLAN_PLAN_PRINTER_H_
+#define FUSIONDB_PLAN_PLAN_PRINTER_H_
+
+#include <string>
+
+#include "plan/logical_plan.h"
+
+namespace fusiondb {
+
+/// Indented multi-line rendering of a plan tree.
+std::string PlanToString(const PlanPtr& plan);
+
+/// Number of operators of the given kind anywhere in the tree.
+int CountOps(const PlanPtr& plan, OpKind kind);
+
+/// Number of scans of the named table in the tree (how many times a plan
+/// reads that table — the quantity fusion reduces).
+int CountTableScans(const PlanPtr& plan, const std::string& table_name);
+
+/// Total operator count.
+int CountAllOps(const PlanPtr& plan);
+
+}  // namespace fusiondb
+
+#endif  // FUSIONDB_PLAN_PLAN_PRINTER_H_

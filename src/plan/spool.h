@@ -1,0 +1,40 @@
+// Spool: the materialization-based alternative to fusion.
+//
+// The paper positions spooling [21] as the general way to handle common
+// subexpressions — evaluate once, materialize, read from every consumer —
+// and argues its rewrites beat spooling where they apply because spooling
+// "not only write[s] those intermediates, but need[s] to read them multiple
+// times". FusionDB implements spooling so that claim is measurable
+// (bench/spool_vs_fusion).
+//
+// A SpoolOp tags a subplan with a spool id. All SpoolOps sharing an id must
+// share the *same child subtree* (plans are shared_ptr trees, so a DAG is
+// representable); at execution the first consumer materializes the child
+// once and every consumer streams from the shared buffer.
+#ifndef FUSIONDB_PLAN_SPOOL_H_
+#define FUSIONDB_PLAN_SPOOL_H_
+
+#include "plan/logical_plan.h"
+
+namespace fusiondb {
+
+class SpoolOp final : public LogicalOp {
+ public:
+  static constexpr OpKind kKind = OpKind::kSpool;
+
+  SpoolOp(int32_t spool_id, PlanPtr input)
+      : LogicalOp(kKind, {input}, input->schema()), spool_id_(spool_id) {}
+
+  int32_t spool_id() const { return spool_id_; }
+
+  PlanPtr CloneWithChildren(std::vector<PlanPtr> children) const override {
+    return std::make_shared<SpoolOp>(spool_id_, children[0]);
+  }
+
+ private:
+  int32_t spool_id_;
+};
+
+}  // namespace fusiondb
+
+#endif  // FUSIONDB_PLAN_SPOOL_H_

@@ -1,0 +1,458 @@
+// Deterministic TPC-DS-shaped data generation.
+#include <cmath>
+#include <random>
+#include <string>
+
+#include "tpcds/tpcds.h"
+
+namespace fusiondb::tpcds {
+
+namespace {
+
+// Calendar span: 1998-01-01 .. 2003-12-31 (2191 days), matching TPC-DS's
+// active sales window. d_month_seq = (year-1900)*12 + (moy-1), so the
+// paper's "d_month_seq BETWEEN 1212 AND 1223" literals select year 2001.
+constexpr int kFirstYear = 1998;
+constexpr int kLastYear = 2003;
+constexpr int64_t kDateSkBase = 2450815;  // TPC-DS-style surrogate base
+constexpr int64_t kPartitionWidthDays = 30;
+
+constexpr int kDaysPerMonth[12] = {31, 28, 31, 30, 31, 30,
+                                   31, 31, 30, 31, 30, 31};
+
+int DaysInYear(int year) { return year % 4 == 0 ? 366 : 365; }
+int DaysInMonth(int year, int month) {
+  if (month == 2 && year % 4 == 0) return 29;
+  return kDaysPerMonth[month - 1];
+}
+
+int TotalDays() {
+  int days = 0;
+  for (int y = kFirstYear; y <= kLastYear; ++y) days += DaysInYear(y);
+  return days;
+}
+
+const char* kCategories[] = {"Music",    "Books", "Electronics", "Home",
+                             "Jewelry",  "Men",   "Women",       "Children",
+                             "Shoes",    "Sports"};
+const char* kSizes[] = {"small", "medium", "large", "extra large", "petite",
+                        "N/A"};
+const char* kColors[] = {"red",    "blue",   "green",  "yellow", "black",
+                         "white",  "purple", "orange", "pink",   "brown",
+                         "khaki",  "olive",  "navy",   "maroon", "plum",
+                         "salmon", "snow",   "tan",    "violet", "wheat"};
+const char* kStates[] = {"TN", "GA", "AL", "SC", "NC", "KY", "VA", "FL",
+                        "MS", "IL"};
+const char* kBuyPotential[] = {"0-500",     "501-1000",  "1001-5000",
+                               "5001-10000", ">10000",   "Unknown"};
+const char* kFirstNames[] = {"James", "Mary", "John",  "Patricia", "Robert",
+                             "Linda", "Ana",  "David", "Lena",     "Mark"};
+const char* kLastNames[] = {"Smith", "Jones", "Brown", "Davis", "Wilson",
+                            "Clark", "Hall",  "Young", "King",  "Lee"};
+
+class Generator {
+ public:
+  Generator(const TpcdsOptions& options, Catalog* catalog)
+      : options_(options), rng_(options.seed), catalog_(catalog) {}
+
+  Status Run() {
+    total_days_ = TotalDays();
+    FUSIONDB_RETURN_IF_ERROR(DateDim());
+    FUSIONDB_RETURN_IF_ERROR(TimeDim());
+    FUSIONDB_RETURN_IF_ERROR(Item());
+    FUSIONDB_RETURN_IF_ERROR(Store());
+    FUSIONDB_RETURN_IF_ERROR(CustomerAddress());
+    FUSIONDB_RETURN_IF_ERROR(Customer());
+    FUSIONDB_RETURN_IF_ERROR(HouseholdDemographics());
+    FUSIONDB_RETURN_IF_ERROR(Reason());
+    FUSIONDB_RETURN_IF_ERROR(WebSite());
+    FUSIONDB_RETURN_IF_ERROR(Warehouse());
+    FUSIONDB_RETURN_IF_ERROR(StoreSales());
+    FUSIONDB_RETURN_IF_ERROR(StoreReturns());
+    FUSIONDB_RETURN_IF_ERROR(WebSales());
+    FUSIONDB_RETURN_IF_ERROR(WebReturns());
+    FUSIONDB_RETURN_IF_ERROR(CatalogSales());
+    return Status::OK();
+  }
+
+ private:
+  int64_t ScaleCount(int64_t sf1_count, int64_t minimum) {
+    return std::max<int64_t>(
+        minimum, static_cast<int64_t>(std::llround(
+                     static_cast<double>(sf1_count) * options_.scale)));
+  }
+  int64_t DimCount(int64_t sf1_count, int64_t minimum) {
+    // Dimensions scale with the square root, like dsdgen's sub-linear dims.
+    return std::max<int64_t>(
+        minimum, static_cast<int64_t>(std::llround(
+                     static_cast<double>(sf1_count) * std::sqrt(options_.scale))));
+  }
+
+  int64_t UniformInt(int64_t lo, int64_t hi) {  // inclusive
+    return std::uniform_int_distribution<int64_t>(lo, hi)(rng_);
+  }
+  double UniformDouble(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(rng_);
+  }
+  bool Chance(double p) { return UniformDouble(0.0, 1.0) < p; }
+
+  /// A possibly-NULL foreign key into [1, max].
+  Value Fk(int64_t max, double null_rate = 0.02) {
+    if (max <= 0 || Chance(null_rate)) return Value::Null(DataType::kInt64);
+    return Value::Int64(UniformInt(1, max));
+  }
+
+  Value RandomDateSk() {
+    return Value::Int64(kDateSkBase + UniformInt(0, total_days_ - 1));
+  }
+
+  Status DateDim() {
+    TableBuilder b("date_dim",
+                   {{"d_date_sk", DataType::kInt64},
+                    {"d_year", DataType::kInt64},
+                    {"d_moy", DataType::kInt64},
+                    {"d_dom", DataType::kInt64},
+                    {"d_qoy", DataType::kInt64},
+                    {"d_month_seq", DataType::kInt64}});
+    FUSIONDB_RETURN_IF_ERROR(b.SetPrimaryKey({"d_date_sk"}));
+    int64_t sk = kDateSkBase;
+    for (int y = kFirstYear; y <= kLastYear; ++y) {
+      for (int m = 1; m <= 12; ++m) {
+        for (int d = 1; d <= DaysInMonth(y, m); ++d) {
+          FUSIONDB_RETURN_IF_ERROR(b.AppendRow(
+              {Value::Int64(sk++), Value::Int64(y), Value::Int64(m),
+               Value::Int64(d), Value::Int64((m - 1) / 3 + 1),
+               Value::Int64(static_cast<int64_t>(y - 1900) * 12 + (m - 1))}));
+        }
+      }
+    }
+    FUSIONDB_ASSIGN_OR_RETURN(TablePtr t, b.Build());
+    return catalog_->RegisterTable(std::move(t));
+  }
+
+  Status TimeDim() {
+    TableBuilder b("time_dim", {{"t_time_sk", DataType::kInt64},
+                                {"t_hour", DataType::kInt64},
+                                {"t_minute", DataType::kInt64}});
+    FUSIONDB_RETURN_IF_ERROR(b.SetPrimaryKey({"t_time_sk"}));
+    for (int64_t i = 0; i < 1440; ++i) {
+      FUSIONDB_RETURN_IF_ERROR(b.AppendRow(
+          {Value::Int64(i + 1), Value::Int64(i / 60), Value::Int64(i % 60)}));
+    }
+    FUSIONDB_ASSIGN_OR_RETURN(TablePtr t, b.Build());
+    return catalog_->RegisterTable(std::move(t));
+  }
+
+  Status Item() {
+    item_count_ = DimCount(18000, 200);
+    TableBuilder b("item", {{"i_item_sk", DataType::kInt64},
+                            {"i_item_id", DataType::kString},
+                            {"i_item_desc", DataType::kString},
+                            {"i_brand_id", DataType::kInt64},
+                            {"i_brand", DataType::kString},
+                            {"i_category_id", DataType::kInt64},
+                            {"i_category", DataType::kString},
+                            {"i_size", DataType::kString},
+                            {"i_color", DataType::kString},
+                            {"i_manufact_id", DataType::kInt64},
+                            {"i_current_price", DataType::kFloat64}});
+    FUSIONDB_RETURN_IF_ERROR(b.SetPrimaryKey({"i_item_sk"}));
+    for (int64_t i = 1; i <= item_count_; ++i) {
+      int64_t brand = UniformInt(1, 1000);
+      int cat = static_cast<int>(UniformInt(0, 9));
+      FUSIONDB_RETURN_IF_ERROR(b.AppendRow(
+          {Value::Int64(i), Value::String("ITEM" + std::to_string(i)),
+           Value::String("desc of item " + std::to_string(i)),
+           Value::Int64(brand),
+           Value::String("brand#" + std::to_string(brand)),
+           Value::Int64(cat + 1), Value::String(kCategories[cat]),
+           Value::String(kSizes[UniformInt(0, 5)]),
+           Value::String(kColors[UniformInt(0, 19)]),
+           Value::Int64(UniformInt(1, 1000)),
+           Value::Float64(UniformDouble(0.5, 300.0))}));
+    }
+    FUSIONDB_ASSIGN_OR_RETURN(TablePtr t, b.Build());
+    return catalog_->RegisterTable(std::move(t));
+  }
+
+  Status Store() {
+    store_count_ = DimCount(12, 4);
+    TableBuilder b("store", {{"s_store_sk", DataType::kInt64},
+                             {"s_store_id", DataType::kString},
+                             {"s_store_name", DataType::kString},
+                             {"s_state", DataType::kString},
+                             {"s_city", DataType::kString}});
+    FUSIONDB_RETURN_IF_ERROR(b.SetPrimaryKey({"s_store_sk"}));
+    const char* names[] = {"ought", "able", "ese", "anti", "cally", "ation"};
+    for (int64_t i = 1; i <= store_count_; ++i) {
+      // (i-1) indexing keeps "TN" and "ese" present even at tiny scales,
+      // where only a handful of stores exist (Q01 filters on s_state='TN',
+      // Q88/Q96 on s_store_name='ese').
+      FUSIONDB_RETURN_IF_ERROR(b.AppendRow(
+          {Value::Int64(i), Value::String("STORE" + std::to_string(i)),
+           Value::String(names[(i + 1) % 6]),
+           Value::String(kStates[(i - 1) % 10]),
+           Value::String("city" + std::to_string(i % 7))}));
+    }
+    FUSIONDB_ASSIGN_OR_RETURN(TablePtr t, b.Build());
+    return catalog_->RegisterTable(std::move(t));
+  }
+
+  Status CustomerAddress() {
+    address_count_ = ScaleCount(50000, 500);
+    TableBuilder b("customer_address", {{"ca_address_sk", DataType::kInt64},
+                                        {"ca_state", DataType::kString},
+                                        {"ca_city", DataType::kString},
+                                        {"ca_gmt_offset", DataType::kFloat64}});
+    FUSIONDB_RETURN_IF_ERROR(b.SetPrimaryKey({"ca_address_sk"}));
+    for (int64_t i = 1; i <= address_count_; ++i) {
+      FUSIONDB_RETURN_IF_ERROR(b.AppendRow(
+          {Value::Int64(i), Value::String(kStates[UniformInt(0, 9)]),
+           Value::String("city" + std::to_string(UniformInt(0, 30))),
+           Value::Float64(-5.0 - static_cast<double>(UniformInt(0, 3)))}));
+    }
+    FUSIONDB_ASSIGN_OR_RETURN(TablePtr t, b.Build());
+    return catalog_->RegisterTable(std::move(t));
+  }
+
+  Status Customer() {
+    customer_count_ = ScaleCount(100000, 1000);
+    TableBuilder b("customer", {{"c_customer_sk", DataType::kInt64},
+                                {"c_customer_id", DataType::kString},
+                                {"c_first_name", DataType::kString},
+                                {"c_last_name", DataType::kString},
+                                {"c_current_addr_sk", DataType::kInt64}});
+    FUSIONDB_RETURN_IF_ERROR(b.SetPrimaryKey({"c_customer_sk"}));
+    for (int64_t i = 1; i <= customer_count_; ++i) {
+      FUSIONDB_RETURN_IF_ERROR(b.AppendRow(
+          {Value::Int64(i), Value::String("CUST" + std::to_string(i)),
+           Value::String(kFirstNames[UniformInt(0, 9)]),
+           Value::String(kLastNames[UniformInt(0, 9)]),
+           Fk(address_count_, 0.01)}));
+    }
+    FUSIONDB_ASSIGN_OR_RETURN(TablePtr t, b.Build());
+    return catalog_->RegisterTable(std::move(t));
+  }
+
+  Status HouseholdDemographics() {
+    TableBuilder b("household_demographics",
+                   {{"hd_demo_sk", DataType::kInt64},
+                    {"hd_dep_count", DataType::kInt64},
+                    {"hd_vehicle_count", DataType::kInt64},
+                    {"hd_buy_potential", DataType::kString}});
+    FUSIONDB_RETURN_IF_ERROR(b.SetPrimaryKey({"hd_demo_sk"}));
+    hdemo_count_ = 7200;
+    for (int64_t i = 1; i <= hdemo_count_; ++i) {
+      FUSIONDB_RETURN_IF_ERROR(b.AppendRow(
+          {Value::Int64(i), Value::Int64(i % 10), Value::Int64(i % 5),
+           Value::String(kBuyPotential[i % 6])}));
+    }
+    FUSIONDB_ASSIGN_OR_RETURN(TablePtr t, b.Build());
+    return catalog_->RegisterTable(std::move(t));
+  }
+
+  Status Reason() {
+    TableBuilder b("reason", {{"r_reason_sk", DataType::kInt64},
+                              {"r_reason_desc", DataType::kString}});
+    FUSIONDB_RETURN_IF_ERROR(b.SetPrimaryKey({"r_reason_sk"}));
+    for (int64_t i = 1; i <= 35; ++i) {
+      FUSIONDB_RETURN_IF_ERROR(b.AppendRow(
+          {Value::Int64(i), Value::String("reason " + std::to_string(i))}));
+    }
+    FUSIONDB_ASSIGN_OR_RETURN(TablePtr t, b.Build());
+    return catalog_->RegisterTable(std::move(t));
+  }
+
+  Status WebSite() {
+    web_site_count_ = DimCount(30, 2);
+    TableBuilder b("web_site", {{"web_site_sk", DataType::kInt64},
+                                {"web_site_id", DataType::kString},
+                                {"web_company_name", DataType::kString}});
+    FUSIONDB_RETURN_IF_ERROR(b.SetPrimaryKey({"web_site_sk"}));
+    const char* companies[] = {"pri", "corp", "site", "ally"};
+    for (int64_t i = 1; i <= web_site_count_; ++i) {
+      FUSIONDB_RETURN_IF_ERROR(b.AppendRow(
+          {Value::Int64(i), Value::String("WEB" + std::to_string(i)),
+           Value::String(companies[i % 4])}));
+    }
+    FUSIONDB_ASSIGN_OR_RETURN(TablePtr t, b.Build());
+    return catalog_->RegisterTable(std::move(t));
+  }
+
+  Status Warehouse() {
+    warehouse_count_ = 5;
+    TableBuilder b("warehouse", {{"w_warehouse_sk", DataType::kInt64},
+                                 {"w_warehouse_name", DataType::kString}});
+    FUSIONDB_RETURN_IF_ERROR(b.SetPrimaryKey({"w_warehouse_sk"}));
+    for (int64_t i = 1; i <= warehouse_count_; ++i) {
+      FUSIONDB_RETURN_IF_ERROR(b.AppendRow(
+          {Value::Int64(i), Value::String("wh" + std::to_string(i))}));
+    }
+    FUSIONDB_ASSIGN_OR_RETURN(TablePtr t, b.Build());
+    return catalog_->RegisterTable(std::move(t));
+  }
+
+  Status StoreSales() {
+    int64_t rows = ScaleCount(2880404, 5000);
+    TableBuilder b("store_sales",
+                   {{"ss_sold_date_sk", DataType::kInt64},
+                    {"ss_sold_time_sk", DataType::kInt64},
+                    {"ss_item_sk", DataType::kInt64},
+                    {"ss_customer_sk", DataType::kInt64},
+                    {"ss_hdemo_sk", DataType::kInt64},
+                    {"ss_addr_sk", DataType::kInt64},
+                    {"ss_store_sk", DataType::kInt64},
+                    {"ss_quantity", DataType::kInt64},
+                    {"ss_wholesale_cost", DataType::kFloat64},
+                    {"ss_list_price", DataType::kFloat64},
+                    {"ss_sales_price", DataType::kFloat64},
+                    {"ss_ext_discount_amt", DataType::kFloat64},
+                    {"ss_ext_sales_price", DataType::kFloat64},
+                    {"ss_coupon_amt", DataType::kFloat64},
+                    {"ss_net_profit", DataType::kFloat64}});
+    FUSIONDB_RETURN_IF_ERROR(
+        b.PartitionBy("ss_sold_date_sk", kPartitionWidthDays));
+    for (int64_t i = 0; i < rows; ++i) {
+      int64_t qty = UniformInt(1, 100);
+      double list = UniformDouble(1.0, 200.0);
+      double sales = list * UniformDouble(0.3, 1.0);
+      FUSIONDB_RETURN_IF_ERROR(b.AppendRow(
+          {RandomDateSk(), Value::Int64(UniformInt(1, 1440)),
+           Fk(item_count_, 0.0), Fk(customer_count_), Fk(hdemo_count_),
+           Fk(address_count_), Fk(store_count_), Value::Int64(qty),
+           Value::Float64(list * 0.6), Value::Float64(list),
+           Value::Float64(sales),
+           Value::Float64(UniformDouble(0.0, 50.0)),
+           Value::Float64(sales * static_cast<double>(qty)),
+           Value::Float64(Chance(0.2) ? UniformDouble(0.0, 30.0) : 0.0),
+           Value::Float64(UniformDouble(-50.0, 150.0))}));
+    }
+    FUSIONDB_ASSIGN_OR_RETURN(TablePtr t, b.Build());
+    return catalog_->RegisterTable(std::move(t));
+  }
+
+  Status StoreReturns() {
+    int64_t rows = ScaleCount(287514, 1000);
+    TableBuilder b("store_returns",
+                   {{"sr_returned_date_sk", DataType::kInt64},
+                    {"sr_item_sk", DataType::kInt64},
+                    {"sr_customer_sk", DataType::kInt64},
+                    {"sr_store_sk", DataType::kInt64},
+                    {"sr_reason_sk", DataType::kInt64},
+                    {"sr_return_quantity", DataType::kInt64},
+                    {"sr_return_amt", DataType::kFloat64}});
+    FUSIONDB_RETURN_IF_ERROR(
+        b.PartitionBy("sr_returned_date_sk", kPartitionWidthDays));
+    for (int64_t i = 0; i < rows; ++i) {
+      FUSIONDB_RETURN_IF_ERROR(b.AppendRow(
+          {RandomDateSk(), Fk(item_count_, 0.0), Fk(customer_count_),
+           Fk(store_count_), Fk(35), Value::Int64(UniformInt(1, 20)),
+           Value::Float64(UniformDouble(1.0, 400.0))}));
+    }
+    FUSIONDB_ASSIGN_OR_RETURN(TablePtr t, b.Build());
+    return catalog_->RegisterTable(std::move(t));
+  }
+
+  Status WebSales() {
+    int64_t rows = ScaleCount(719384, 2000);
+    web_orders_ = std::max<int64_t>(1, rows / 3);  // ~3 lines per order
+    TableBuilder b("web_sales",
+                   {{"ws_sold_date_sk", DataType::kInt64},
+                    {"ws_item_sk", DataType::kInt64},
+                    {"ws_bill_customer_sk", DataType::kInt64},
+                    {"ws_order_number", DataType::kInt64},
+                    {"ws_warehouse_sk", DataType::kInt64},
+                    {"ws_web_site_sk", DataType::kInt64},
+                    {"ws_ship_addr_sk", DataType::kInt64},
+                    {"ws_quantity", DataType::kInt64},
+                    {"ws_list_price", DataType::kFloat64},
+                    {"ws_sales_price", DataType::kFloat64},
+                    {"ws_ext_ship_cost", DataType::kFloat64},
+                    {"ws_net_profit", DataType::kFloat64}});
+    FUSIONDB_RETURN_IF_ERROR(
+        b.PartitionBy("ws_sold_date_sk", kPartitionWidthDays));
+    for (int64_t i = 0; i < rows; ++i) {
+      double list = UniformDouble(1.0, 250.0);
+      FUSIONDB_RETURN_IF_ERROR(b.AppendRow(
+          {RandomDateSk(), Fk(item_count_, 0.0), Fk(customer_count_),
+           Value::Int64(UniformInt(1, web_orders_)),
+           Fk(warehouse_count_, 0.01), Fk(web_site_count_, 0.01),
+           Fk(address_count_), Value::Int64(UniformInt(1, 100)),
+           Value::Float64(list), Value::Float64(list * UniformDouble(0.3, 1.0)),
+           Value::Float64(UniformDouble(0.0, 40.0)),
+           Value::Float64(UniformDouble(-60.0, 180.0))}));
+    }
+    FUSIONDB_ASSIGN_OR_RETURN(TablePtr t, b.Build());
+    return catalog_->RegisterTable(std::move(t));
+  }
+
+  Status WebReturns() {
+    int64_t rows = ScaleCount(71763, 300);
+    TableBuilder b("web_returns",
+                   {{"wr_returned_date_sk", DataType::kInt64},
+                    {"wr_order_number", DataType::kInt64},
+                    {"wr_item_sk", DataType::kInt64},
+                    {"wr_returning_customer_sk", DataType::kInt64},
+                    {"wr_return_amt", DataType::kFloat64}});
+    FUSIONDB_RETURN_IF_ERROR(
+        b.PartitionBy("wr_returned_date_sk", kPartitionWidthDays));
+    for (int64_t i = 0; i < rows; ++i) {
+      FUSIONDB_RETURN_IF_ERROR(b.AppendRow(
+          {RandomDateSk(), Value::Int64(UniformInt(1, web_orders_)),
+           Fk(item_count_, 0.0), Fk(customer_count_),
+           Value::Float64(UniformDouble(1.0, 500.0))}));
+    }
+    FUSIONDB_ASSIGN_OR_RETURN(TablePtr t, b.Build());
+    return catalog_->RegisterTable(std::move(t));
+  }
+
+  Status CatalogSales() {
+    int64_t rows = ScaleCount(1441548, 3000);
+    TableBuilder b("catalog_sales",
+                   {{"cs_sold_date_sk", DataType::kInt64},
+                    {"cs_item_sk", DataType::kInt64},
+                    {"cs_bill_customer_sk", DataType::kInt64},
+                    {"cs_order_number", DataType::kInt64},
+                    {"cs_quantity", DataType::kInt64},
+                    {"cs_list_price", DataType::kFloat64},
+                    {"cs_sales_price", DataType::kFloat64},
+                    {"cs_net_profit", DataType::kFloat64}});
+    FUSIONDB_RETURN_IF_ERROR(
+        b.PartitionBy("cs_sold_date_sk", kPartitionWidthDays));
+    for (int64_t i = 0; i < rows; ++i) {
+      double list = UniformDouble(1.0, 300.0);
+      FUSIONDB_RETURN_IF_ERROR(b.AppendRow(
+          {RandomDateSk(), Fk(item_count_, 0.0), Fk(customer_count_),
+           Value::Int64(i / 2 + 1), Value::Int64(UniformInt(1, 100)),
+           Value::Float64(list), Value::Float64(list * UniformDouble(0.3, 1.0)),
+           Value::Float64(UniformDouble(-70.0, 200.0))}));
+    }
+    FUSIONDB_ASSIGN_OR_RETURN(TablePtr t, b.Build());
+    return catalog_->RegisterTable(std::move(t));
+  }
+
+  TpcdsOptions options_;
+  std::mt19937_64 rng_;
+  Catalog* catalog_;
+  int total_days_ = 0;
+  int64_t item_count_ = 0;
+  int64_t store_count_ = 0;
+  int64_t customer_count_ = 0;
+  int64_t address_count_ = 0;
+  int64_t hdemo_count_ = 0;
+  int64_t web_site_count_ = 0;
+  int64_t warehouse_count_ = 0;
+  int64_t web_orders_ = 0;
+};
+
+}  // namespace
+
+Status BuildTpcdsCatalog(const TpcdsOptions& options, Catalog* catalog) {
+  if (options.scale <= 0.0) {
+    return Status::InvalidArgument("scale must be positive");
+  }
+  Generator gen(options, catalog);
+  return gen.Run();
+}
+
+}  // namespace fusiondb::tpcds

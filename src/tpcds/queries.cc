@@ -1,0 +1,39 @@
+#include "tpcds/queries_internal.h"
+#include "tpcds/tpcds.h"
+
+namespace fusiondb::tpcds {
+
+const std::vector<TpcdsQuery>& Queries() {
+  static const std::vector<TpcdsQuery>& queries = *new std::vector<TpcdsQuery>{
+      // The paper's studied queries (plans change under fusion).
+      {"q01", "V.A", true, internal::BuildQ01},
+      {"q09", "V.B", true, internal::BuildQ09},
+      {"q23", "V.C", true, internal::BuildQ23},
+      {"q28", "V.B", true, internal::BuildQ28},
+      {"q30", "V.A", true, internal::BuildQ30},
+      {"q65", "V.A", true, internal::BuildQ65},
+      {"q65v", "I", true, internal::BuildQ65V},
+      {"q88", "V.B", true, internal::BuildQ88},
+      {"q95", "V.D", true, internal::BuildQ95},
+      // Filler workload (plans unchanged).
+      {"q03", "", false, internal::BuildQ03},
+      {"q07", "", false, internal::BuildQ07},
+      {"q19", "", false, internal::BuildQ19},
+      {"q26", "", false, internal::BuildQ26},
+      {"q42", "", false, internal::BuildQ42},
+      {"q52", "", false, internal::BuildQ52},
+      {"q55", "", false, internal::BuildQ55},
+      {"q96", "", false, internal::BuildQ96},
+      {"q99", "", false, internal::BuildQ99},
+  };
+  return queries;
+}
+
+Result<TpcdsQuery> QueryByName(const std::string& name) {
+  for (const TpcdsQuery& q : Queries()) {
+    if (q.name == name) return q;
+  }
+  return Status::InvalidArgument("no such TPC-DS query: " + name);
+}
+
+}  // namespace fusiondb::tpcds

@@ -1,0 +1,47 @@
+// Per-query plan builders. Split between the paper's studied queries
+// (queries_fusable.cc) and the non-applicable filler workload
+// (queries_filler.cc); registered in queries.cc.
+#ifndef FUSIONDB_TPCDS_QUERIES_INTERNAL_H_
+#define FUSIONDB_TPCDS_QUERIES_INTERNAL_H_
+
+#include "plan/plan_builder.h"
+#include "tpcds/tpcds.h"
+
+namespace fusiondb::tpcds::internal {
+
+/// Scans `table` reading `columns`; the workhorse of every query builder.
+Result<PlanBuilder> ScanTable(const Catalog& catalog, PlanContext* ctx,
+                              const std::string& table,
+                              std::vector<std::string> columns);
+
+// Section V.A — window-rewrite queries.
+Result<PlanPtr> BuildQ01(const Catalog&, PlanContext*);
+Result<PlanPtr> BuildQ30(const Catalog&, PlanContext*);
+Result<PlanPtr> BuildQ65(const Catalog&, PlanContext*);
+Result<PlanPtr> BuildQ65V(const Catalog&, PlanContext*);  // Section I variant
+
+// Section V.B — scalar-aggregate merges.
+Result<PlanPtr> BuildQ09(const Catalog&, PlanContext*);
+Result<PlanPtr> BuildQ28(const Catalog&, PlanContext*);
+Result<PlanPtr> BuildQ88(const Catalog&, PlanContext*);
+
+// Section V.C — union refactoring.
+Result<PlanPtr> BuildQ23(const Catalog&, PlanContext*);
+
+// Section V.D — relational-aggregate unification.
+Result<PlanPtr> BuildQ95(const Catalog&, PlanContext*);
+
+// Filler workload (plans unchanged by the fusion rules).
+Result<PlanPtr> BuildQ03(const Catalog&, PlanContext*);
+Result<PlanPtr> BuildQ07(const Catalog&, PlanContext*);
+Result<PlanPtr> BuildQ19(const Catalog&, PlanContext*);
+Result<PlanPtr> BuildQ26(const Catalog&, PlanContext*);
+Result<PlanPtr> BuildQ42(const Catalog&, PlanContext*);
+Result<PlanPtr> BuildQ52(const Catalog&, PlanContext*);
+Result<PlanPtr> BuildQ55(const Catalog&, PlanContext*);
+Result<PlanPtr> BuildQ96(const Catalog&, PlanContext*);
+Result<PlanPtr> BuildQ99(const Catalog&, PlanContext*);
+
+}  // namespace fusiondb::tpcds::internal
+
+#endif  // FUSIONDB_TPCDS_QUERIES_INTERNAL_H_

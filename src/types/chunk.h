@@ -1,0 +1,44 @@
+// Chunk: a horizontal slice of rows, one Column per schema position.
+#ifndef FUSIONDB_TYPES_CHUNK_H_
+#define FUSIONDB_TYPES_CHUNK_H_
+
+#include <vector>
+
+#include "types/column.h"
+
+namespace fusiondb {
+
+/// The unit of data flow between execution operators. Columns are positional
+/// with respect to the producing operator's Schema.
+struct Chunk {
+  std::vector<Column> columns;
+
+  size_t num_rows() const { return columns.empty() ? 0 : columns[0].size(); }
+  size_t num_columns() const { return columns.size(); }
+
+  /// A chunk with the given column types and no rows.
+  static Chunk Empty(const std::vector<DataType>& types) {
+    Chunk c;
+    c.columns.reserve(types.size());
+    for (DataType t : types) c.columns.emplace_back(t);
+    return c;
+  }
+
+  /// Appends row `row` of `src` (same layout) to this chunk.
+  void AppendRowFrom(const Chunk& src, size_t row) {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      columns[i].AppendFrom(src.columns[i], row);
+    }
+  }
+
+  /// Bulk-appends all rows of `src` (same layout).
+  void AppendChunk(const Chunk& src) {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      columns[i].AppendColumn(src.columns[i]);
+    }
+  }
+};
+
+}  // namespace fusiondb
+
+#endif  // FUSIONDB_TYPES_CHUNK_H_

@@ -1,0 +1,90 @@
+#include "types/column.h"
+
+namespace fusiondb {
+
+Value Column::GetValue(size_t row) const {
+  if (IsNull(row)) return Value::Null(type_);
+  switch (type_) {
+    case DataType::kBool:
+      return Value::Bool(ints_[row] != 0);
+    case DataType::kInt64:
+      return Value::Int64(ints_[row]);
+    case DataType::kDate:
+      return Value::Date(ints_[row]);
+    case DataType::kFloat64:
+      return Value::Float64(doubles_[row]);
+    case DataType::kString:
+      return Value::String(strings_[row]);
+  }
+  return Value::Null(type_);
+}
+
+void Column::AppendValue(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return;
+  }
+  switch (PhysicalTypeOf(type_)) {
+    case PhysicalType::kInt:
+      AppendInt(v.int_value());
+      break;
+    case PhysicalType::kDouble:
+      AppendDouble(PhysicalTypeOf(v.type()) == PhysicalType::kDouble
+                       ? v.double_value()
+                       : static_cast<double>(v.int_value()));
+      break;
+    case PhysicalType::kString:
+      AppendString(v.string_value());
+      break;
+  }
+}
+
+void Column::AppendFrom(const Column& other, size_t row) {
+  if (other.IsNull(row)) {
+    AppendNull();
+    return;
+  }
+  switch (PhysicalTypeOf(type_)) {
+    case PhysicalType::kInt:
+      AppendInt(other.ints_[row]);
+      break;
+    case PhysicalType::kDouble:
+      AppendDouble(other.NumericAt(row));
+      break;
+    case PhysicalType::kString:
+      AppendString(other.strings_[row]);
+      break;
+  }
+}
+
+void Column::AppendColumn(const Column& other) {
+  FUSIONDB_CHECK(PhysicalTypeOf(type_) == PhysicalTypeOf(other.type_),
+                 "column type mismatch in bulk append");
+  valid_.insert(valid_.end(), other.valid_.begin(), other.valid_.end());
+  switch (PhysicalTypeOf(type_)) {
+    case PhysicalType::kInt:
+      ints_.insert(ints_.end(), other.ints_.begin(), other.ints_.end());
+      break;
+    case PhysicalType::kDouble:
+      doubles_.insert(doubles_.end(), other.doubles_.begin(),
+                      other.doubles_.end());
+      break;
+    case PhysicalType::kString:
+      strings_.insert(strings_.end(), other.strings_.begin(),
+                      other.strings_.end());
+      break;
+  }
+}
+
+int64_t Column::ByteSize() const {
+  if (type_ == DataType::kString) {
+    int64_t total = 0;
+    for (const std::string& s : strings_) {
+      total += static_cast<int64_t>(s.size());
+    }
+    return total;
+  }
+  return FixedWidthOf(type_) * static_cast<int64_t>(size());
+}
+
+}  // namespace fusiondb

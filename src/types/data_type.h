@@ -1,0 +1,83 @@
+// Logical data types supported by FusionDB.
+#ifndef FUSIONDB_TYPES_DATA_TYPE_H_
+#define FUSIONDB_TYPES_DATA_TYPE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fusiondb {
+
+/// The scalar types the engine understands. Storage classes:
+///   kBool, kInt64, kDate -> int64_t
+///   kFloat64             -> double
+///   kString              -> std::string
+/// kDate is a logical alias over int64 day numbers (TPC-DS surrogate keys
+/// for dates are plain integers, which is all the benchmark needs).
+enum class DataType : uint8_t {
+  kBool = 0,
+  kInt64 = 1,
+  kFloat64 = 2,
+  kString = 3,
+  kDate = 4,
+};
+
+/// Physical representation classes used by Column and Value.
+enum class PhysicalType : uint8_t {
+  kInt = 0,     // bool / int64 / date
+  kDouble = 1,  // float64
+  kString = 2,  // string
+};
+
+inline PhysicalType PhysicalTypeOf(DataType t) {
+  switch (t) {
+    case DataType::kFloat64:
+      return PhysicalType::kDouble;
+    case DataType::kString:
+      return PhysicalType::kString;
+    default:
+      return PhysicalType::kInt;
+  }
+}
+
+inline const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kBool:
+      return "bool";
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kFloat64:
+      return "float64";
+    case DataType::kString:
+      return "string";
+    case DataType::kDate:
+      return "date";
+  }
+  return "unknown";
+}
+
+/// True when values of the two types can be compared / combined numerically
+/// without an explicit cast (int64 vs float64 promote to float64).
+inline bool IsNumeric(DataType t) {
+  return t == DataType::kInt64 || t == DataType::kFloat64 ||
+         t == DataType::kDate;
+}
+
+/// Width in bytes of one value for scan-cost accounting (strings use their
+/// actual length; this is the fixed-width case).
+inline int64_t FixedWidthOf(DataType t) {
+  switch (t) {
+    case DataType::kBool:
+      return 1;
+    case DataType::kInt64:
+    case DataType::kDate:
+    case DataType::kFloat64:
+      return 8;
+    case DataType::kString:
+      return 0;  // variable
+  }
+  return 8;
+}
+
+}  // namespace fusiondb
+
+#endif  // FUSIONDB_TYPES_DATA_TYPE_H_

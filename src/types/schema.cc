@@ -1,0 +1,43 @@
+#include "types/schema.h"
+
+#include <sstream>
+
+namespace fusiondb {
+
+Result<ColumnInfo> Schema::FindByName(const std::string& name) const {
+  const ColumnInfo* found = nullptr;
+  for (const ColumnInfo& c : columns_) {
+    if (c.name == name) {
+      if (found != nullptr) {
+        return Status::InvalidArgument("ambiguous column name: " + name);
+      }
+      found = &c;
+    }
+  }
+  if (found == nullptr) {
+    return Status::InvalidArgument("no such column: " + name);
+  }
+  return *found;
+}
+
+Result<DataType> Schema::TypeOf(ColumnId id) const {
+  int idx = IndexOf(id);
+  if (idx < 0) {
+    return Status::PlanError("unbound column id " + std::to_string(id));
+  }
+  return columns_[idx].type;
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << columns_[i].name << "#" << columns_[i].id << ":"
+       << DataTypeName(columns_[i].type);
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace fusiondb

@@ -1,0 +1,76 @@
+// Schema: an ordered list of output columns, each with a plan-wide unique
+// ColumnId. FusionDB follows Athena's convention: every operator instance
+// (including each scan of the same table) gets fresh column identities.
+#ifndef FUSIONDB_TYPES_SCHEMA_H_
+#define FUSIONDB_TYPES_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "types/data_type.h"
+
+namespace fusiondb {
+
+/// Identity of a column within one query plan. Allocated by PlanContext;
+/// never reused within a plan.
+using ColumnId = int32_t;
+
+constexpr ColumnId kInvalidColumnId = -1;
+
+/// One output column of an operator.
+struct ColumnInfo {
+  ColumnId id = kInvalidColumnId;
+  std::string name;
+  DataType type = DataType::kInt64;
+};
+
+/// Ordered column list with O(1) id lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnInfo> columns) : columns_(std::move(columns)) {
+    RebuildIndex();
+  }
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnInfo& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnInfo>& columns() const { return columns_; }
+
+  /// Position of `id` in this schema, or -1 if absent.
+  int IndexOf(ColumnId id) const {
+    auto it = index_.find(id);
+    return it == index_.end() ? -1 : it->second;
+  }
+  bool Contains(ColumnId id) const { return index_.count(id) > 0; }
+
+  /// Looks up a column by name; fails if absent or ambiguous.
+  Result<ColumnInfo> FindByName(const std::string& name) const;
+
+  /// Type of column `id`; fails if absent.
+  Result<DataType> TypeOf(ColumnId id) const;
+
+  void AddColumn(ColumnInfo info) {
+    index_[info.id] = static_cast<int>(columns_.size());
+    columns_.push_back(std::move(info));
+  }
+
+  std::string ToString() const;
+
+ private:
+  void RebuildIndex() {
+    index_.clear();
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      index_[columns_[i].id] = static_cast<int>(i);
+    }
+  }
+
+  std::vector<ColumnInfo> columns_;
+  std::unordered_map<ColumnId, int> index_;
+};
+
+}  // namespace fusiondb
+
+#endif  // FUSIONDB_TYPES_SCHEMA_H_

@@ -1,0 +1,240 @@
+// Aggregation executor: grouped/scalar aggregates, per-aggregate masks
+// (Section III.E semantics), DISTINCT aggregates, window aggregation, and
+// MarkDistinct (Section III.F semantics).
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace fusiondb {
+namespace {
+
+using testutil::MustExecute;
+using testutil::Unwrap;
+
+/// sales(grp, amount, flag): groups a/b/c; amount NULL on every 5th row.
+TablePtr SalesTable() {
+  static TablePtr t = [] {
+    TableBuilder b("sales", {{"grp", DataType::kString},
+                             {"amount", DataType::kInt64},
+                             {"flag", DataType::kInt64}});
+    const char* groups[] = {"a", "a", "b", "b", "b", "c"};
+    for (int64_t i = 0; i < 60; ++i) {
+      Value amount = (i % 5 == 4) ? Value::Null(DataType::kInt64)
+                                  : Value::Int64(i % 10);
+      EXPECT_TRUE(b.AppendRow({Value::String(groups[i % 6]), amount,
+                               Value::Int64(i % 2)})
+                      .ok());
+    }
+    return Unwrap(b.Build());
+  }();
+  return t;
+}
+
+PlanBuilder ScanSales(PlanContext* ctx) {
+  return PlanBuilder::Scan(ctx, SalesTable(), {"grp", "amount", "flag"});
+}
+
+int64_t ScalarInt(const QueryResult& r, int col = 0) {
+  EXPECT_EQ(r.num_rows(), 1);
+  return r.At(0, col).int_value();
+}
+
+TEST(AggregateExecTest, ScalarCountSumAvgMinMax) {
+  PlanContext ctx;
+  PlanBuilder b = ScanSales(&ctx);
+  b.Aggregate({}, {{"cnt", AggFunc::kCountStar, nullptr, nullptr, false},
+                   {"cnt_amount", AggFunc::kCount, b.Ref("amount"), nullptr,
+                    false},
+                   {"total", AggFunc::kSum, b.Ref("amount"), nullptr, false},
+                   {"mean", AggFunc::kAvg, b.Ref("amount"), nullptr, false},
+                   {"lo", AggFunc::kMin, b.Ref("amount"), nullptr, false},
+                   {"hi", AggFunc::kMax, b.Ref("amount"), nullptr, false}});
+  QueryResult r = MustExecute(b.Build());
+  ASSERT_EQ(r.num_rows(), 1);
+  EXPECT_EQ(r.At(0, 0), Value::Int64(60));
+  EXPECT_EQ(r.At(0, 1), Value::Int64(48));  // 12 NULL amounts skipped
+  EXPECT_FALSE(r.At(0, 2).is_null());
+  // AVG ignores NULLs: sum / 48.
+  EXPECT_DOUBLE_EQ(r.At(0, 3).double_value(),
+                   r.At(0, 2).AsDouble() / 48.0);
+  EXPECT_EQ(r.At(0, 4), Value::Int64(0));
+  EXPECT_EQ(r.At(0, 5), Value::Int64(8));  // amounts 9 always fall on NULLs
+}
+
+TEST(AggregateExecTest, ScalarOnEmptyInputReturnsOneRow) {
+  PlanContext ctx;
+  PlanBuilder b = ScanSales(&ctx);
+  b.Filter(eb::Lt(b.Ref("amount"), eb::Int(-1)));
+  b.Aggregate({}, {{"cnt", AggFunc::kCountStar, nullptr, nullptr, false},
+                   {"total", AggFunc::kSum, b.Ref("amount"), nullptr, false}});
+  QueryResult r = MustExecute(b.Build());
+  ASSERT_EQ(r.num_rows(), 1);
+  EXPECT_EQ(r.At(0, 0), Value::Int64(0));
+  EXPECT_TRUE(r.At(0, 1).is_null());  // SUM of nothing is NULL
+}
+
+TEST(AggregateExecTest, GroupedCounts) {
+  PlanContext ctx;
+  PlanBuilder b = ScanSales(&ctx);
+  b.Aggregate({"grp"},
+              {{"cnt", AggFunc::kCountStar, nullptr, nullptr, false}});
+  QueryResult r = MustExecute(b.Build());
+  EXPECT_EQ(r.num_rows(), 3);
+  int64_t total = 0;
+  for (int64_t i = 0; i < 3; ++i) total += r.At(i, 1).int_value();
+  EXPECT_EQ(total, 60);
+}
+
+TEST(AggregateExecTest, MasksSelectSubsets) {
+  // The Athena (a, m) pairs: different masks over the same input — the
+  // construct aggregate fusion compiles into.
+  PlanContext ctx;
+  PlanBuilder b = ScanSales(&ctx);
+  ExprPtr even = eb::Eq(b.Ref("flag"), eb::Int(0));
+  ExprPtr odd = eb::Eq(b.Ref("flag"), eb::Int(1));
+  b.Aggregate({}, {{"cnt_even", AggFunc::kCountStar, nullptr, even, false},
+                   {"cnt_odd", AggFunc::kCountStar, nullptr, odd, false},
+                   {"cnt_all", AggFunc::kCountStar, nullptr, nullptr, false}});
+  QueryResult r = MustExecute(b.Build());
+  EXPECT_EQ(ScalarInt(r, 0), 30);
+  EXPECT_EQ(ScalarInt(r, 1), 30);
+  EXPECT_EQ(ScalarInt(r, 2), 60);
+}
+
+TEST(AggregateExecTest, MaskedGroupStillProducesRow) {
+  // Paper III.E: "aggregations with masks return an aggregated row even if
+  // all input rows have been discarded by the mask" — group rows exist for
+  // any input row, masks only empty the aggregate.
+  PlanContext ctx;
+  PlanBuilder b = ScanSales(&ctx);
+  ExprPtr never = eb::Lt(b.Ref("amount"), eb::Int(-5));
+  b.Aggregate({"grp"}, {{"s", AggFunc::kSum, b.Ref("amount"), never, false}});
+  QueryResult r = MustExecute(b.Build());
+  EXPECT_EQ(r.num_rows(), 3);
+  for (int64_t i = 0; i < 3; ++i) EXPECT_TRUE(r.At(i, 1).is_null());
+}
+
+TEST(AggregateExecTest, DistinctAggregates) {
+  PlanContext ctx;
+  PlanBuilder b = ScanSales(&ctx);
+  b.Aggregate({}, {{"d", AggFunc::kCount, b.Ref("amount"), nullptr, true},
+                   {"ds", AggFunc::kSum, b.Ref("amount"), nullptr, true}});
+  QueryResult r = MustExecute(b.Build());
+  // i%5==4 nulls out amounts 4 and 9, leaving {0,1,2,3,5,6,7,8}.
+  EXPECT_EQ(ScalarInt(r, 0), 8);
+  EXPECT_EQ(r.At(0, 1), Value::Int64(0 + 1 + 2 + 3 + 5 + 6 + 7 + 8));
+}
+
+TEST(AggregateExecTest, DistinctWithMask) {
+  PlanContext ctx;
+  PlanBuilder b = ScanSales(&ctx);
+  ExprPtr small = eb::Lt(b.Ref("amount"), eb::Int(3));
+  b.Aggregate({}, {{"d", AggFunc::kCount, b.Ref("amount"), small, true}});
+  QueryResult r = MustExecute(b.Build());
+  EXPECT_EQ(ScalarInt(r, 0), 3);  // {0, 1, 2}
+}
+
+TEST(AggregateExecTest, NullGroupKeyFormsItsOwnGroup) {
+  PlanContext ctx;
+  PlanBuilder b = ScanSales(&ctx);
+  b.Aggregate({"amount"},
+              {{"cnt", AggFunc::kCountStar, nullptr, nullptr, false}});
+  QueryResult r = MustExecute(b.Build());
+  // Amounts {0,1,2,3,5,6,7,8} plus the NULL group.
+  EXPECT_EQ(r.num_rows(), 9);
+}
+
+TEST(WindowExecTest, PartitionedAggregatesBroadcast) {
+  PlanContext ctx;
+  PlanBuilder b = ScanSales(&ctx);
+  b.Window({"grp"}, {{"grp_cnt", AggFunc::kCountStar, nullptr, nullptr,
+                      false},
+                     {"grp_avg", AggFunc::kAvg, b.Ref("amount"), nullptr,
+                      false}});
+  QueryResult r = MustExecute(b.Build());
+  EXPECT_EQ(r.num_rows(), 60);  // windows never change cardinality
+  // Every row of group "a" carries the same count (20).
+  for (int64_t i = 0; i < r.num_rows(); ++i) {
+    if (r.At(i, 0) == Value::String("a")) {
+      EXPECT_EQ(r.At(i, 3), Value::Int64(20));
+    }
+  }
+}
+
+TEST(WindowExecTest, MaskedWindowItems) {
+  // Fusion can hand windows masked aggregates (IV.A over a fused input).
+  PlanContext ctx;
+  PlanBuilder b = ScanSales(&ctx);
+  ExprPtr even = eb::Eq(b.Ref("flag"), eb::Int(0));
+  b.Window({"grp"},
+           {{"even_cnt", AggFunc::kCountStar, nullptr, even, false}});
+  QueryResult r = MustExecute(b.Build());
+  for (int64_t i = 0; i < r.num_rows(); ++i) {
+    if (r.At(i, 0) == Value::String("a")) {
+      EXPECT_EQ(r.At(i, 3), Value::Int64(10));
+    }
+  }
+}
+
+TEST(WindowExecTest, AgreesWithAggregateJoin) {
+  // The semantic core of GroupByJoinToWindow: window(partition by g) equals
+  // joining back the group-by result.
+  PlanContext ctx;
+  PlanBuilder w = ScanSales(&ctx);
+  w.Window({"grp"}, {{"total", AggFunc::kSum, w.Ref("amount"), nullptr,
+                      false}});
+  w.Project({{"g", w.Ref("grp")}, {"t", w.Ref("total")}});
+  QueryResult via_window = MustExecute(w.Build());
+
+  PlanBuilder base = ScanSales(&ctx);
+  PlanBuilder agg = ScanSales(&ctx);
+  agg.Aggregate({"grp"}, {{"total", AggFunc::kSum, agg.Ref("amount"), nullptr,
+                           false}});
+  ExprPtr bg = base.Ref("grp");
+  base.Join(JoinType::kInner, agg, eb::Eq(bg, agg.Ref("grp")));
+  base.Project({{"g", bg}, {"t", base.Ref("total")}});
+  QueryResult via_join = MustExecute(base.Build());
+  EXPECT_TRUE(ResultsEquivalent(via_window, via_join));
+}
+
+TEST(MarkDistinctExecTest, MarksFirstOccurrences) {
+  PlanContext ctx;
+  PlanBuilder b = ScanSales(&ctx);
+  b.MarkDistinct("first_amount", {"amount"});
+  b.Aggregate({}, {{"marked", AggFunc::kCountStar, nullptr,
+                    b.Ref("first_amount"), false}});
+  QueryResult r = MustExecute(b.Build());
+  // 8 non-null distinct amounts + the NULL combination.
+  EXPECT_EQ(ScalarInt(r, 0), 9);
+}
+
+TEST(MarkDistinctExecTest, ImplementsDistinctAggregates) {
+  // The III.F lowering identity: COUNT(DISTINCT x) == COUNT(x) masked by a
+  // MarkDistinct marker over x.
+  PlanContext ctx;
+  PlanBuilder direct = ScanSales(&ctx);
+  direct.Aggregate({"grp"}, {{"d", AggFunc::kCount, direct.Ref("amount"),
+                              nullptr, true}});
+  QueryResult expected = MustExecute(direct.Build());
+
+  PlanBuilder lowered = ScanSales(&ctx);
+  lowered.MarkDistinct("m", {"grp", "amount"});
+  lowered.Aggregate({"grp"}, {{"d", AggFunc::kCount, lowered.Ref("amount"),
+                               lowered.Ref("m"), false}});
+  QueryResult got = MustExecute(lowered.Build());
+  EXPECT_TRUE(ResultsEquivalent(expected, got));
+}
+
+TEST(MarkDistinctExecTest, StreamsAcrossChunks) {
+  PlanContext ctx;
+  PlanBuilder b = ScanSales(&ctx);
+  b.MarkDistinct("m", {"amount"});
+  b.Aggregate({}, {{"marked", AggFunc::kCountStar, nullptr, b.Ref("m"),
+                    false}});
+  // Tiny chunks must not reset the seen-set between chunks.
+  QueryResult r = MustExecute(b.Build(), /*chunk_size=*/4);
+  EXPECT_EQ(ScalarInt(r, 0), 9);
+}
+
+}  // namespace
+}  // namespace fusiondb

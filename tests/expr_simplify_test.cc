@@ -1,0 +1,163 @@
+// Simplification, absorption, contradiction detection, fingerprints and
+// column remapping — the expression machinery the fusion rules depend on.
+#include <gtest/gtest.h>
+
+#include "expr/column_map.h"
+#include "expr/expr_builder.h"
+#include "expr/simplifier.h"
+
+namespace fusiondb {
+namespace {
+
+using namespace eb;  // NOLINT
+
+ExprPtr C(ColumnId id) { return Col(id, DataType::kInt64); }
+
+TEST(SimplifyTest, ConstantFolding) {
+  EXPECT_TRUE(Simplify(Gt(Int(3), Int(2)))->IsLiteralBool(true));
+  EXPECT_TRUE(Simplify(Eq(Int(3), Int(2)))->IsLiteralBool(false));
+  ExprPtr sum = Simplify(Add(Int(3), Int(4)));
+  ASSERT_EQ(sum->kind(), ExprKind::kLiteral);
+  EXPECT_EQ(sum->literal(), Value::Int64(7));
+  EXPECT_TRUE(Simplify(Not(False()))->IsLiteralBool(true));
+  // NULL propagation folds too.
+  EXPECT_TRUE(Simplify(Gt(NullOf(DataType::kInt64), Int(1)))->IsLiteralNull());
+  EXPECT_TRUE(Simplify(IsNull(NullOf(DataType::kInt64)))->IsLiteralBool(true));
+}
+
+TEST(SimplifyTest, BooleanIdentities) {
+  ExprPtr p = Gt(C(1), Int(5));
+  EXPECT_TRUE(ExprEquivalent(Simplify(And(p, True())), p));
+  EXPECT_TRUE(Simplify(And(p, False()))->IsLiteralBool(false));
+  EXPECT_TRUE(Simplify(Or(p, True()))->IsLiteralBool(true));
+  EXPECT_TRUE(ExprEquivalent(Simplify(Or(p, False())), p));
+  EXPECT_TRUE(ExprEquivalent(Simplify(Not(Not(p))), p));
+}
+
+TEST(SimplifyTest, FlattensAndDedupes) {
+  ExprPtr p = Gt(C(1), Int(5));
+  ExprPtr q = Lt(C(2), Int(9));
+  ExprPtr nested = And(And(p, q), And(p, q));
+  ExprPtr s = Simplify(nested);
+  ASSERT_EQ(s->kind(), ExprKind::kAnd);
+  EXPECT_EQ(s->children().size(), 2u);
+}
+
+TEST(SimplifyTest, Idempotent) {
+  ExprPtr e = And(Gt(C(1), Int(5)), Or(Lt(C(2), Int(3)), Eq(C(3), Int(0))));
+  ExprPtr once = Simplify(e);
+  ExprPtr twice = Simplify(once);
+  EXPECT_EQ(once, twice) << "Simplify must reach a fixpoint in one pass";
+}
+
+TEST(SimplifyTest, AbsorptionCollapsesFusionMaskChains) {
+  // b1 AND (b1 OR b2) AND (b1 OR b2 OR b3)  ==>  b1, even when b1 is itself
+  // a conjunction that the flattener splits apart (the exact shape repeated
+  // pairwise aggregate fusion produces for Q09's masks).
+  ExprPtr b1 = Between(C(1), Int(1), Int(20));
+  ExprPtr b2 = Between(C(1), Int(21), Int(40));
+  ExprPtr b3 = Between(C(1), Int(41), Int(60));
+  ExprPtr chain = And({b1, Or(b1, b2), Or({b1, b2, b3})});
+  ExprPtr s = Simplify(chain);
+  EXPECT_TRUE(ExprEquivalent(s, Simplify(b1)))
+      << "got: " << s->ToString();
+}
+
+TEST(SimplifyTest, DualAbsorptionUnderOr) {
+  ExprPtr p = Gt(C(1), Int(5));
+  ExprPtr q = Lt(C(2), Int(3));
+  // p OR (p AND q) => p.
+  ExprPtr s = Simplify(Or(p, And(p, q)));
+  EXPECT_TRUE(ExprEquivalent(s, p)) << s->ToString();
+}
+
+TEST(SimplifyTest, CaseArmPruning) {
+  ExprPtr e = Case({{False(), Int(1)}, {True(), Int(2)}}, Int(3));
+  ExprPtr s = Simplify(e);
+  ASSERT_EQ(s->kind(), ExprKind::kLiteral);
+  EXPECT_EQ(s->literal(), Value::Int64(2));
+}
+
+TEST(ContradictionTest, DisjointRanges) {
+  // The IV.D shortcut case: BETWEEN buckets that cannot overlap.
+  ExprPtr both = And(Between(C(1), Int(1), Int(20)),
+                     Between(C(1), Int(21), Int(40)));
+  EXPECT_TRUE(IsContradiction(both));
+  ExprPtr overlap = And(Between(C(1), Int(1), Int(20)),
+                        Between(C(1), Int(15), Int(40)));
+  EXPECT_FALSE(IsContradiction(overlap));
+}
+
+TEST(ContradictionTest, ConflictingEqualities) {
+  EXPECT_TRUE(IsContradiction(And(Eq(C(1), Int(3)), Eq(C(1), Int(4)))));
+  EXPECT_FALSE(IsContradiction(And(Eq(C(1), Int(3)), Eq(C(2), Int(4)))));
+  ExprPtr s = Col(9, DataType::kString);
+  EXPECT_TRUE(IsContradiction(And(Eq(s, Str("a")), Eq(s, Str("b")))));
+  EXPECT_FALSE(IsContradiction(And(Eq(s, Str("a")), Eq(s, Str("a")))));
+}
+
+TEST(ContradictionTest, NegatedConjunct) {
+  ExprPtr p = Gt(C(1), Int(5));
+  EXPECT_TRUE(IsContradiction(And(p, Not(p))));
+}
+
+TEST(ContradictionTest, EqualityOutsideRange) {
+  EXPECT_TRUE(IsContradiction(And(Eq(C(1), Int(100)), Lt(C(1), Int(10)))));
+  EXPECT_TRUE(IsContradiction(And(Gt(C(1), Int(5)), Lt(C(1), Int(5)))));
+  EXPECT_FALSE(IsContradiction(And(Ge(C(1), Int(5)), Le(C(1), Int(5)))));
+}
+
+TEST(ContradictionTest, ConservativeOnOpaquePredicates) {
+  // Unprovable contradictions must return false, never a wrong true.
+  EXPECT_FALSE(IsContradiction(Gt(C(1), C(2))));
+  EXPECT_FALSE(IsContradiction(And(Gt(C(1), C(2)), Lt(C(1), C(2)))));
+}
+
+TEST(FingerprintTest, CommutativityAndOrientation) {
+  ExprPtr a = C(1);
+  ExprPtr b = C(2);
+  EXPECT_TRUE(ExprEquivalent(Eq(a, b), Eq(b, a)));
+  EXPECT_TRUE(ExprEquivalent(Add(a, b), Add(b, a)));
+  EXPECT_TRUE(ExprEquivalent(Lt(a, b), Gt(b, a)));
+  EXPECT_FALSE(ExprEquivalent(Lt(a, b), Lt(b, a)));
+  EXPECT_TRUE(ExprEquivalent(And(Gt(a, Int(1)), Lt(b, Int(2))),
+                             And(Lt(b, Int(2)), Gt(a, Int(1)))));
+  EXPECT_FALSE(ExprEquivalent(Sub(a, b), Sub(b, a)));
+}
+
+TEST(ColumnMapTest, RemapsReferences) {
+  ColumnMap m{{2, 7}};
+  ExprPtr e = And(Gt(C(2), Int(1)), Lt(C(3), Int(5)));
+  ExprPtr mapped = ApplyMap(m, e);
+  std::vector<ColumnId> cols;
+  CollectColumns(mapped, &cols);
+  std::sort(cols.begin(), cols.end());
+  EXPECT_EQ(cols, (std::vector<ColumnId>{3, 7}));
+  // Unmapped expressions are shared, not copied.
+  ExprPtr untouched = Lt(C(3), Int(5));
+  EXPECT_EQ(ApplyMap(m, untouched), untouched);
+  EXPECT_EQ(ApplyMap(m, ColumnId{2}), 7);
+  EXPECT_EQ(ApplyMap(m, ColumnId{9}), 9);
+}
+
+TEST(ColumnMapTest, MergeDetectsConflicts) {
+  ColumnMap base{{1, 2}};
+  EXPECT_TRUE(MergeMaps(&base, {{3, 4}}));
+  EXPECT_TRUE(MergeMaps(&base, {{1, 2}}));
+  EXPECT_FALSE(MergeMaps(&base, {{1, 9}}));
+}
+
+TEST(ConjunctTest, SplitAndCombine) {
+  ExprPtr p = Gt(C(1), Int(5));
+  ExprPtr q = Lt(C(2), Int(3));
+  std::vector<ExprPtr> parts;
+  SplitConjuncts(And(And(p, True()), q), &parts);
+  EXPECT_EQ(parts.size(), 2u);
+  EXPECT_TRUE(IsTrueLiteral(CombineConjuncts({})));
+  EXPECT_EQ(CombineConjuncts({p}), p);
+  EXPECT_TRUE(ExprEquivalent(MakeConjunction(p, q), And(p, q)));
+  EXPECT_TRUE(ExprEquivalent(MakeConjunction(p, True()), p));
+}
+
+}  // namespace
+}  // namespace fusiondb

@@ -1,0 +1,151 @@
+// Failure injection: malformed plans, unbound columns, type errors and
+// misconfigurations must surface as Status errors, never crashes.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace fusiondb {
+namespace {
+
+using testutil::SharedTpcds;
+using testutil::Unwrap;
+
+PlanBuilder Items(PlanContext* ctx) {
+  TablePtr item = Unwrap(SharedTpcds().GetTable("item"));
+  return PlanBuilder::Scan(ctx, item, {"i_item_sk", "i_brand_id"});
+}
+
+TEST(FailureTest, FilterOnUnboundColumn) {
+  PlanContext ctx;
+  PlanBuilder b = Items(&ctx);
+  // Reference a column id that exists nowhere.
+  PlanPtr bad = std::make_shared<FilterOp>(
+      b.Build(), eb::Gt(eb::Col(99999, DataType::kInt64), eb::Int(0)));
+  auto result = ExecutePlan(bad);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kPlanError);
+}
+
+TEST(FailureTest, NonBooleanFilterPredicate) {
+  PlanContext ctx;
+  PlanBuilder b = Items(&ctx);
+  PlanPtr bad = std::make_shared<FilterOp>(b.Build(), b.Ref("i_brand_id"));
+  auto result = ExecutePlan(bad);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTypeError);
+}
+
+TEST(FailureTest, NullPredicate) {
+  PlanContext ctx;
+  PlanPtr bad = std::make_shared<FilterOp>(Items(&ctx).Build(), nullptr);
+  EXPECT_FALSE(ExecutePlan(bad).ok());
+}
+
+TEST(FailureTest, AggregateOverForeignGroupColumn) {
+  PlanContext ctx;
+  PlanBuilder b = Items(&ctx);
+  PlanBuilder other = Items(&ctx);
+  // Group by a column belonging to a different scan instance.
+  PlanPtr bad = std::make_shared<AggregateOp>(
+      b.Build(), std::vector<ColumnId>{other.Col("i_brand_id").id},
+      std::vector<AggregateItem>{});
+  auto result = ExecutePlan(bad);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kPlanError);
+}
+
+TEST(FailureTest, AggregateMissingArgument) {
+  PlanContext ctx;
+  PlanBuilder b = Items(&ctx);
+  PlanPtr bad = std::make_shared<AggregateOp>(
+      b.Build(), std::vector<ColumnId>{},
+      std::vector<AggregateItem>{
+          {ctx.NextId(), "s", AggFunc::kSum, nullptr, nullptr, false}});
+  EXPECT_FALSE(ExecutePlan(bad).ok());
+}
+
+TEST(FailureTest, UnionInputMappingMismatch) {
+  PlanContext ctx;
+  PlanBuilder a = Items(&ctx);
+  PlanBuilder b = Items(&ctx);
+  // Map a union output onto a column the child does not produce.
+  PlanPtr bad = std::make_shared<UnionAllOp>(
+      std::vector<PlanPtr>{a.Build(), b.Build()},
+      Schema({{ctx.NextId(), "x", DataType::kInt64}}),
+      std::vector<std::vector<ColumnId>>{{a.Col("i_item_sk").id}, {987654}});
+  auto result = ExecutePlan(bad);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kPlanError);
+}
+
+TEST(FailureTest, ApplyRefusesToExecute) {
+  PlanContext ctx;
+  PlanBuilder outer = Items(&ctx);
+  PlanBuilder inner = Items(&ctx);
+  ColumnId corr = inner.Col("i_brand_id").id;
+  PlanBuilder sub = inner;
+  sub.Aggregate({}, {{"a", AggFunc::kAvg, inner.Ref("i_item_sk"), nullptr,
+                      false}});
+  outer.Apply(sub, {{"i_brand_id", corr}});
+  auto result = ExecutePlan(outer.Build());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kPlanError);
+}
+
+TEST(FailureTest, NegativeLimit) {
+  PlanContext ctx;
+  PlanPtr bad = std::make_shared<LimitOp>(Items(&ctx).Build(), -1);
+  EXPECT_FALSE(ExecutePlan(bad).ok());
+}
+
+TEST(FailureTest, SortOnMissingColumn) {
+  PlanContext ctx;
+  PlanPtr bad = std::make_shared<SortOp>(
+      Items(&ctx).Build(), std::vector<SortKey>{{424242, true}});
+  EXPECT_FALSE(ExecutePlan(bad).ok());
+}
+
+TEST(FailureTest, ValuesRowArityMismatch) {
+  PlanContext ctx;
+  PlanPtr bad = std::make_shared<ValuesOp>(
+      Schema({{ctx.NextId(), "x", DataType::kInt64}}),
+      std::vector<std::vector<Value>>{{Value::Int64(1), Value::Int64(2)}});
+  EXPECT_FALSE(ExecutePlan(bad).ok());
+}
+
+TEST(FailureTest, DatagenRejectsBadScale) {
+  Catalog catalog;
+  tpcds::TpcdsOptions options;
+  options.scale = 0.0;
+  EXPECT_FALSE(tpcds::BuildTpcdsCatalog(options, &catalog).ok());
+  options.scale = -1.0;
+  EXPECT_FALSE(tpcds::BuildTpcdsCatalog(options, &catalog).ok());
+}
+
+TEST(FailureTest, OptimizerSurvivesMalformedPlans) {
+  // The optimizer must pass malformed-but-typed plans through (or error),
+  // never crash; the executor then reports the problem.
+  PlanContext ctx;
+  PlanBuilder b = Items(&ctx);
+  PlanPtr bad = std::make_shared<FilterOp>(
+      b.Build(), eb::Gt(eb::Col(99999, DataType::kInt64), eb::Int(0)));
+  auto optimized = Optimizer(OptimizerOptions::Fused()).Optimize(bad, &ctx);
+  if (optimized.ok()) {
+    EXPECT_FALSE(ExecutePlan(*optimized).ok());
+  }
+}
+
+TEST(FailureTest, CrossJoinWithConditionRejected) {
+  PlanContext ctx;
+  PlanBuilder a = Items(&ctx);
+  PlanBuilder b = Items(&ctx);
+  PlanPtr bad = std::make_shared<JoinOp>(
+      JoinType::kCross, a.Build(), b.Build(),
+      eb::Eq(a.Ref("i_item_sk"), b.Ref("i_item_sk")));
+  auto result = ExecutePlan(bad);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kPlanError);
+}
+
+}  // namespace
+}  // namespace fusiondb

@@ -1,0 +1,346 @@
+// The four Section IV rules: pattern recognition, plan shapes after
+// rewriting, and executed equivalence against the unrewritten plan.
+#include <gtest/gtest.h>
+
+#include "optimizer/rules.h"
+#include "test_util.h"
+
+namespace fusiondb {
+namespace {
+
+using testutil::MustExecute;
+using testutil::SharedTpcds;
+using testutil::Unwrap;
+
+/// Narrows `plan` to `schema`'s columns so result comparisons are not
+/// confused by superset schemas rule rewrites may leave behind.
+PlanPtr Narrow(const PlanPtr& plan, const Schema& schema) {
+  std::vector<NamedExpr> exprs;
+  for (const ColumnInfo& c : schema.columns()) {
+    exprs.push_back({c.id, c.name, Expr::MakeColumnRef(c.id, c.type)});
+  }
+  return std::make_shared<ProjectOp>(plan, std::move(exprs));
+}
+
+PlanBuilder Sales(PlanContext* ctx) {
+  TablePtr ss = Unwrap(SharedTpcds().GetTable("store_sales"));
+  return PlanBuilder::Scan(
+      ctx, ss, {"ss_store_sk", "ss_item_sk", "ss_quantity", "ss_list_price"});
+}
+
+/// Applies one rule at the root only.
+PlanPtr ApplyAtRoot(const Rule& rule, const PlanPtr& plan, PlanContext* ctx) {
+  return Unwrap(rule.Apply(plan, ctx));
+}
+
+void ExpectSameResults(const PlanPtr& a, const PlanPtr& b) {
+  QueryResult ra = MustExecute(a);
+  QueryResult rb = MustExecute(Narrow(b, a->schema()));
+  EXPECT_TRUE(ResultsEquivalent(ra, rb))
+      << "rewrite changed results\nbefore:\n"
+      << PlanToString(a) << "\nafter:\n"
+      << PlanToString(b);
+}
+
+// --- GroupByJoinToWindow (IV.A) ----------------------------------------------
+
+PlanPtr GroupByJoinPattern(PlanContext* ctx, bool with_extra_tables) {
+  // sales joined with AVG-per-store of an identical sales instance.
+  PlanBuilder left = Sales(ctx);
+  PlanBuilder agg_in = Sales(ctx);
+  PlanBuilder agg = agg_in;
+  agg.Aggregate({"ss_store_sk"}, {{"avg_price", AggFunc::kAvg,
+                                   agg_in.Ref("ss_list_price"), nullptr,
+                                   false}});
+  ExprPtr left_store = left.Ref("ss_store_sk");
+  ExprPtr left_price = left.Ref("ss_list_price");
+  if (with_extra_tables) {
+    // Interpose another join so the pattern is only visible n-ary (IV.E).
+    TablePtr store = Unwrap(SharedTpcds().GetTable("store"));
+    PlanBuilder st = PlanBuilder::Scan(ctx, store, {"s_store_sk"});
+    left.Join(JoinType::kInner, st, eb::Eq(left_store, st.Ref("s_store_sk")));
+  }
+  left.Join(JoinType::kInner, agg,
+            eb::And(eb::Eq(left_store, agg.Ref("ss_store_sk")),
+                    eb::Gt(left_price, agg.Ref("avg_price"))));
+  return left.Build();
+}
+
+TEST(GroupByJoinToWindowTest, RewritesAdjacentPattern) {
+  PlanContext ctx;
+  PlanPtr plan = GroupByJoinPattern(&ctx, /*with_extra_tables=*/false);
+  GroupByJoinToWindowRule rule;
+  PlanPtr rewritten = ApplyAtRoot(rule, plan, &ctx);
+  ASSERT_NE(rewritten, plan);
+  EXPECT_EQ(CountOps(rewritten, OpKind::kWindow), 1);
+  EXPECT_EQ(CountOps(rewritten, OpKind::kAggregate), 0);
+  EXPECT_EQ(CountTableScans(rewritten, "store_sales"), 1);
+  ExpectSameResults(plan, rewritten);
+}
+
+TEST(GroupByJoinToWindowTest, RewritesThroughNaryJoin) {
+  PlanContext ctx;
+  PlanPtr plan = GroupByJoinPattern(&ctx, /*with_extra_tables=*/true);
+  GroupByJoinToWindowRule rule;
+  PlanPtr rewritten = ApplyAtRoot(rule, plan, &ctx);
+  ASSERT_NE(rewritten, plan);
+  EXPECT_EQ(CountOps(rewritten, OpKind::kWindow), 1);
+  EXPECT_EQ(CountTableScans(rewritten, "store_sales"), 1);
+  EXPECT_EQ(CountTableScans(rewritten, "store"), 1);
+  ExpectSameResults(plan, rewritten);
+}
+
+TEST(GroupByJoinToWindowTest, RequiresExactFusion) {
+  // If the aggregated instance filters differently, fusion is inexact and
+  // the rule must not fire.
+  PlanContext ctx;
+  PlanBuilder left = Sales(&ctx);
+  PlanBuilder agg_in = Sales(&ctx);
+  agg_in.Filter(eb::Gt(agg_in.Ref("ss_quantity"), eb::Int(50)));
+  PlanBuilder agg = agg_in;
+  agg.Aggregate({"ss_store_sk"},
+                {{"avg_price", AggFunc::kAvg, agg_in.Ref("ss_list_price"),
+                  nullptr, false}});
+  left.Join(JoinType::kInner, agg,
+            eb::Eq(left.Ref("ss_store_sk"), agg.Ref("ss_store_sk")));
+  PlanPtr plan = left.Build();
+  GroupByJoinToWindowRule rule;
+  EXPECT_EQ(ApplyAtRoot(rule, plan, &ctx), plan);
+}
+
+TEST(GroupByJoinToWindowTest, RequiresKeysCoveredByJoin) {
+  // Join on a non-grouping column: no rewrite.
+  PlanContext ctx;
+  PlanBuilder left = Sales(&ctx);
+  PlanBuilder agg_in = Sales(&ctx);
+  PlanBuilder agg = agg_in;
+  agg.Aggregate({"ss_store_sk"},
+                {{"avg_price", AggFunc::kAvg, agg_in.Ref("ss_list_price"),
+                  nullptr, false}});
+  left.Join(JoinType::kInner, agg,
+            eb::Gt(left.Ref("ss_list_price"), agg.Ref("avg_price")));
+  PlanPtr plan = left.Build();
+  GroupByJoinToWindowRule rule;
+  EXPECT_EQ(ApplyAtRoot(rule, plan, &ctx), plan);
+}
+
+// --- JoinOnKeys (IV.B) ---------------------------------------------------------
+
+TEST(JoinOnKeysTest, GroupedSelfJoinCollapses) {
+  PlanContext ctx;
+  auto make = [&](const char* name, AggFunc fn) {
+    PlanBuilder g = Sales(&ctx);
+    g.Aggregate({"ss_store_sk"},
+                {{name, fn, g.Ref("ss_list_price"), nullptr, false}});
+    return g;
+  };
+  PlanBuilder a = make("mx", AggFunc::kMax);
+  PlanBuilder b = make("mn", AggFunc::kMin);
+  a.JoinOn(JoinType::kInner, b, {{"ss_store_sk", "ss_store_sk"}});
+  PlanPtr plan = a.Build();
+  JoinOnKeysRule rule;
+  PlanPtr rewritten = ApplyAtRoot(rule, plan, &ctx);
+  ASSERT_NE(rewritten, plan);
+  EXPECT_EQ(CountOps(rewritten, OpKind::kJoin), 0);
+  EXPECT_EQ(CountOps(rewritten, OpKind::kAggregate), 1);
+  EXPECT_EQ(CountTableScans(rewritten, "store_sales"), 1);
+  ExpectSameResults(plan, rewritten);
+}
+
+TEST(JoinOnKeysTest, ScalarCrossJoinCollapsesAll) {
+  // The Q09 shape: N scalar aggregates cross-joined collapse to one.
+  PlanContext ctx;
+  std::optional<PlanBuilder> root;
+  for (int i = 0; i < 4; ++i) {
+    PlanBuilder g = Sales(&ctx);
+    g.Filter(eb::Between(g.Ref("ss_quantity"), eb::Int(i * 25 + 1),
+                         eb::Int(i * 25 + 25)));
+    g.Aggregate({}, {{"c" + std::to_string(i), AggFunc::kCountStar, nullptr,
+                      nullptr, false}});
+    if (!root.has_value()) {
+      root = g;
+    } else {
+      root->CrossJoin(g);
+    }
+  }
+  PlanPtr plan = root->Build();
+  JoinOnKeysRule rule;
+  PlanPtr rewritten = ApplyAtRoot(rule, plan, &ctx);
+  ASSERT_NE(rewritten, plan);
+  EXPECT_EQ(CountTableScans(rewritten, "store_sales"), 1);
+  EXPECT_EQ(CountOps(rewritten, OpKind::kAggregate), 1);
+  const auto* agg = nullptr == rewritten ? nullptr : &Cast<AggregateOp>(
+      *(rewritten->kind() == OpKind::kAggregate ? rewritten
+                                                : rewritten->child(0)));
+  if (agg != nullptr) {
+    EXPECT_EQ(agg->aggregates().size(), 4u);
+  }
+  ExpectSameResults(plan, rewritten);
+}
+
+TEST(JoinOnKeysTest, DifferentKeyArityDoesNotFire) {
+  PlanContext ctx;
+  PlanBuilder a = Sales(&ctx);
+  a.Aggregate({"ss_store_sk", "ss_item_sk"},
+              {{"c", AggFunc::kCountStar, nullptr, nullptr, false}});
+  PlanBuilder b = Sales(&ctx);
+  b.Aggregate({"ss_store_sk"},
+              {{"d", AggFunc::kCountStar, nullptr, nullptr, false}});
+  a.JoinOn(JoinType::kInner, b, {{"ss_store_sk", "ss_store_sk"}});
+  PlanPtr plan = a.Build();
+  JoinOnKeysRule rule;
+  EXPECT_EQ(ApplyAtRoot(rule, plan, &ctx), plan);
+}
+
+TEST(JoinOnKeysTest, PartialKeyJoinDoesNotFire) {
+  // Joining two-key aggregates on only one key would change multiplicity;
+  // the rule must stay away.
+  PlanContext ctx;
+  auto make = [&](const char* name) {
+    PlanBuilder g = Sales(&ctx);
+    g.Aggregate({"ss_store_sk", "ss_item_sk"},
+                {{name, AggFunc::kCountStar, nullptr, nullptr, false}});
+    return g;
+  };
+  PlanBuilder a = make("c1");
+  PlanBuilder b = make("c2");
+  a.JoinOn(JoinType::kInner, b, {{"ss_store_sk", "ss_store_sk"}});
+  PlanPtr plan = a.Build();
+  JoinOnKeysRule rule;
+  EXPECT_EQ(ApplyAtRoot(rule, plan, &ctx), plan);
+}
+
+// --- UnionAllOnJoin (IV.C) -----------------------------------------------------
+
+TEST(UnionAllOnJoinTest, PushesUnionBelowSemiJoin) {
+  PlanContext ctx;
+  // Two branches semi-joining different facts against the same subquery.
+  auto make_branch = [&](const char* fact, const char* item_col,
+                         const char* qty_col) {
+    TablePtr t = Unwrap(SharedTpcds().GetTable(fact));
+    PlanBuilder f = PlanBuilder::Scan(&ctx, t, {item_col, qty_col});
+    PlanBuilder z = Sales(&ctx);
+    z.Aggregate({"ss_item_sk"},
+                {{"n", AggFunc::kCountStar, nullptr, nullptr, false}});
+    z.Filter(eb::Gt(z.Ref("n"), eb::Int(2)));
+    z.Select({"ss_item_sk"});
+    f.Join(JoinType::kSemi, z, eb::Eq(f.Ref(item_col), z.Ref("ss_item_sk")));
+    f.Project({{"q", f.Ref(qty_col)}});
+    return f;
+  };
+  PlanBuilder b1 = make_branch("catalog_sales", "cs_item_sk", "cs_quantity");
+  PlanBuilder b2 = make_branch("web_sales", "ws_item_sk", "ws_quantity");
+  PlanPtr plan = PlanBuilder::UnionAll(&ctx, {b1, b2}).Build();
+  UnionAllOnJoinRule rule;
+  PlanPtr rewritten = ApplyAtRoot(rule, plan, &ctx);
+  ASSERT_NE(rewritten, plan);
+  // The common subquery is now evaluated once.
+  EXPECT_EQ(CountTableScans(rewritten, "store_sales"), 1);
+  EXPECT_EQ(CountTableScans(plan, "store_sales"), 2);
+  ExpectSameResults(plan, rewritten);
+}
+
+TEST(UnionAllOnJoinTest, DifferentRightSidesDoNotFire) {
+  PlanContext ctx;
+  auto make_branch = [&](const char* fact, const char* item_col,
+                         const char* other_table, const char* other_col) {
+    TablePtr t = Unwrap(SharedTpcds().GetTable(fact));
+    PlanBuilder f = PlanBuilder::Scan(&ctx, t, {item_col});
+    TablePtr o = Unwrap(SharedTpcds().GetTable(other_table));
+    PlanBuilder z = PlanBuilder::Scan(&ctx, o, {other_col});
+    f.Join(JoinType::kSemi, z, eb::Eq(f.Ref(item_col), z.Ref(other_col)));
+    f.Project({{"v", f.Ref(item_col)}});
+    return f;
+  };
+  PlanBuilder b1 =
+      make_branch("catalog_sales", "cs_item_sk", "item", "i_item_sk");
+  PlanBuilder b2 =
+      make_branch("web_sales", "ws_item_sk", "store", "s_store_sk");
+  PlanPtr plan = PlanBuilder::UnionAll(&ctx, {b1, b2}).Build();
+  UnionAllOnJoinRule rule;
+  EXPECT_EQ(ApplyAtRoot(rule, plan, &ctx), plan);
+}
+
+// --- UnionAllFuse (IV.D) -------------------------------------------------------
+
+TEST(UnionAllFuseTest, TagTableForOverlappingBranches) {
+  PlanContext ctx;
+  auto make = [&](int64_t lo) {
+    PlanBuilder b = Sales(&ctx);
+    b.Filter(eb::Ge(b.Ref("ss_quantity"), eb::Int(lo)));
+    b.Select({"ss_item_sk"});
+    return b;
+  };
+  // Overlapping predicates (>=20 and >=60): the tag table is required.
+  PlanPtr plan = PlanBuilder::UnionAll(&ctx, {make(20), make(60)}).Build();
+  UnionAllFuseRule rule;
+  PlanPtr rewritten = ApplyAtRoot(rule, plan, &ctx);
+  ASSERT_NE(rewritten, plan);
+  EXPECT_EQ(CountOps(rewritten, OpKind::kValues), 1);
+  EXPECT_EQ(CountOps(rewritten, OpKind::kUnionAll), 0);
+  EXPECT_EQ(CountTableScans(rewritten, "store_sales"), 1);
+  ExpectSameResults(plan, rewritten);
+}
+
+TEST(UnionAllFuseTest, ContradictionShortcutSkipsTagTable) {
+  PlanContext ctx;
+  auto make = [&](int64_t lo, int64_t hi) {
+    PlanBuilder b = Sales(&ctx);
+    b.Filter(eb::Between(b.Ref("ss_quantity"), eb::Int(lo), eb::Int(hi)));
+    b.Select({"ss_item_sk"});
+    return b;
+  };
+  PlanPtr plan = PlanBuilder::UnionAll(&ctx, {make(1, 20), make(21, 40)})
+                     .Build();
+  UnionAllFuseRule rule;
+  PlanPtr rewritten = ApplyAtRoot(rule, plan, &ctx);
+  ASSERT_NE(rewritten, plan);
+  EXPECT_EQ(CountOps(rewritten, OpKind::kValues), 0);
+  EXPECT_EQ(CountOps(rewritten, OpKind::kJoin), 0);
+  ExpectSameResults(plan, rewritten);
+}
+
+TEST(UnionAllFuseTest, NaryUnionFusesAllBranches) {
+  PlanContext ctx;
+  std::vector<PlanBuilder> branches;
+  for (int i = 0; i < 4; ++i) {
+    PlanBuilder b = Sales(&ctx);
+    b.Filter(eb::Ge(b.Ref("ss_quantity"), eb::Int(20 * i)));
+    b.Select({"ss_item_sk", "ss_quantity"});
+    branches.push_back(b);
+  }
+  PlanPtr plan = PlanBuilder::UnionAll(&ctx, branches).Build();
+  UnionAllFuseRule rule;
+  PlanPtr rewritten = ApplyAtRoot(rule, plan, &ctx);
+  ASSERT_NE(rewritten, plan);
+  EXPECT_EQ(CountTableScans(rewritten, "store_sales"), 1);
+  const auto* values = CastPtr<ValuesOp>([&] {
+    // Find the Values op.
+    std::function<PlanPtr(const PlanPtr&)> find = [&](const PlanPtr& p) {
+      if (p->kind() == OpKind::kValues) return p;
+      for (const PlanPtr& c : p->children()) {
+        PlanPtr f = find(c);
+        if (f != nullptr) return f;
+      }
+      return PlanPtr();
+    };
+    return find(rewritten);
+  }());
+  ASSERT_NE(values, nullptr);
+  EXPECT_EQ(values->rows().size(), 4u);
+  ExpectSameResults(plan, rewritten);
+}
+
+TEST(UnionAllFuseTest, UnfusableBranchesUntouched) {
+  PlanContext ctx;
+  PlanBuilder a = Sales(&ctx);
+  a.Select({"ss_item_sk"});
+  TablePtr item = Unwrap(SharedTpcds().GetTable("item"));
+  PlanBuilder b = PlanBuilder::Scan(&ctx, item, {"i_item_sk"});
+  PlanPtr plan = PlanBuilder::UnionAll(&ctx, {a, b}).Build();
+  UnionAllFuseRule rule;
+  EXPECT_EQ(ApplyAtRoot(rule, plan, &ctx), plan);
+}
+
+}  // namespace
+}  // namespace fusiondb

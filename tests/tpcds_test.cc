@@ -1,0 +1,136 @@
+// TPC-DS substrate: generator determinism, schema/cardinality sanity,
+// partitioning, and that every benchmark query builds and returns sensible
+// results.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace fusiondb {
+namespace {
+
+using testutil::MustExecute;
+using testutil::SharedTpcds;
+using testutil::Unwrap;
+
+TEST(TpcdsDatagenTest, AllTablesPresent) {
+  const Catalog& catalog = SharedTpcds();
+  for (const char* name :
+       {"date_dim", "time_dim", "item", "store", "customer",
+        "customer_address", "household_demographics", "reason", "web_site",
+        "warehouse", "store_sales", "store_returns", "web_sales",
+        "web_returns", "catalog_sales"}) {
+    EXPECT_TRUE(catalog.GetTable(name).ok()) << name;
+  }
+}
+
+TEST(TpcdsDatagenTest, RowCountsScale) {
+  const Catalog& small = SharedTpcds(0.003);
+  const Catalog& large = SharedTpcds(0.01);
+  int64_t small_ss = Unwrap(small.GetTable("store_sales"))->num_rows();
+  int64_t large_ss = Unwrap(large.GetTable("store_sales"))->num_rows();
+  EXPECT_GT(large_ss, small_ss);
+  // Facts scale linearly; dates are calendar-fixed.
+  EXPECT_EQ(Unwrap(small.GetTable("date_dim"))->num_rows(),
+            Unwrap(large.GetTable("date_dim"))->num_rows());
+}
+
+TEST(TpcdsDatagenTest, Deterministic) {
+  Catalog a;
+  Catalog b;
+  tpcds::TpcdsOptions options;
+  options.scale = 0.003;
+  ASSERT_TRUE(tpcds::BuildTpcdsCatalog(options, &a).ok());
+  ASSERT_TRUE(tpcds::BuildTpcdsCatalog(options, &b).ok());
+  PlanContext ctx;
+  PlanPtr pa = ScanOp::Make(&ctx, Unwrap(a.GetTable("store_sales")),
+                            {"ss_item_sk", "ss_sales_price"});
+  PlanPtr pb = ScanOp::Make(&ctx, Unwrap(b.GetTable("store_sales")),
+                            {"ss_item_sk", "ss_sales_price"});
+  EXPECT_TRUE(ResultsEquivalent(MustExecute(pa), MustExecute(pb)));
+}
+
+TEST(TpcdsDatagenTest, FactTablesDatePartitioned) {
+  const Catalog& catalog = SharedTpcds();
+  for (const char* fact : {"store_sales", "store_returns", "web_sales",
+                           "web_returns", "catalog_sales"}) {
+    TablePtr t = Unwrap(catalog.GetTable(fact));
+    EXPECT_GE(t->partitions().size(), 50u)
+        << fact << " should be partitioned monthly over ~6 years";
+    EXPECT_GE(t->partition_column(), 0) << fact;
+  }
+  // Dimensions are a single partition.
+  EXPECT_EQ(Unwrap(catalog.GetTable("item"))->partitions().size(), 1u);
+}
+
+TEST(TpcdsDatagenTest, DateDimMonthSeqMatchesPaperLiterals) {
+  // The paper's Q65 filter is d_month_seq BETWEEN 1212 AND 1223 — that must
+  // select exactly the twelve months of 2001.
+  const Catalog& catalog = SharedTpcds();
+  PlanContext ctx;
+  PlanBuilder b = PlanBuilder::Scan(&ctx, Unwrap(catalog.GetTable("date_dim")),
+                                    {"d_year", "d_month_seq"});
+  b.Filter(eb::Between(b.Ref("d_month_seq"), eb::Int(1212), eb::Int(1223)));
+  b.Aggregate({"d_year"},
+              {{"days", AggFunc::kCountStar, nullptr, nullptr, false}});
+  QueryResult r = MustExecute(b.Build());
+  ASSERT_EQ(r.num_rows(), 1);
+  EXPECT_EQ(r.At(0, 0), Value::Int64(2001));
+  EXPECT_EQ(r.At(0, 1), Value::Int64(365));
+}
+
+TEST(TpcdsDatagenTest, ForeignKeysLandInDimensions) {
+  const Catalog& catalog = SharedTpcds();
+  PlanContext ctx;
+  PlanBuilder ss = PlanBuilder::Scan(&ctx, Unwrap(catalog.GetTable(
+                                               "store_sales")),
+                                     {"ss_item_sk"});
+  PlanBuilder item = PlanBuilder::Scan(
+      &ctx, Unwrap(catalog.GetTable("item")), {"i_item_sk"});
+  ss.JoinOn(JoinType::kInner, item, {{"ss_item_sk", "i_item_sk"}});
+  ss.Aggregate({}, {{"matched", AggFunc::kCountStar, nullptr, nullptr,
+                     false}});
+  QueryResult joined = MustExecute(ss.Build());
+  int64_t total = Unwrap(catalog.GetTable("store_sales"))->num_rows();
+  // ss_item_sk has no NULLs and always lands in item.
+  EXPECT_EQ(joined.At(0, 0), Value::Int64(total));
+}
+
+TEST(TpcdsQueriesTest, RegistryLookup) {
+  EXPECT_EQ(tpcds::Queries().size(), 18u);
+  EXPECT_TRUE(tpcds::QueryByName("q65").ok());
+  EXPECT_FALSE(tpcds::QueryByName("q999").ok());
+  int applicable = 0;
+  for (const tpcds::TpcdsQuery& q : tpcds::Queries()) {
+    applicable += q.fusion_applicable ? 1 : 0;
+  }
+  EXPECT_EQ(applicable, 9);
+}
+
+class TpcdsQueryBuildTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TpcdsQueryBuildTest, BuildsOptimizesAndReturnsRows) {
+  const Catalog& catalog = SharedTpcds();
+  tpcds::TpcdsQuery q = Unwrap(tpcds::QueryByName(GetParam()));
+  PlanContext ctx;
+  PlanPtr plan = Unwrap(q.build(catalog, &ctx));
+  PlanPtr optimized =
+      Unwrap(Optimizer(OptimizerOptions::Fused()).Optimize(plan, &ctx));
+  QueryResult r = MustExecute(optimized);
+  // Every benchmark query must produce at least one row at test scale —
+  // otherwise the comparison exercises nothing.
+  EXPECT_GT(r.num_rows(), 0) << GetParam();
+}
+
+std::vector<std::string> AllNames() {
+  std::vector<std::string> names;
+  for (const tpcds::TpcdsQuery& q : tpcds::Queries()) names.push_back(q.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, TpcdsQueryBuildTest,
+                         ::testing::ValuesIn(AllNames()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace fusiondb
