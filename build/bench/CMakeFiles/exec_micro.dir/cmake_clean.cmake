@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_micro.dir/exec_micro.cc.o"
+  "CMakeFiles/exec_micro.dir/exec_micro.cc.o.d"
+  "exec_micro"
+  "exec_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

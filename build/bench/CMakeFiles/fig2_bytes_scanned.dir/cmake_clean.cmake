@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_bytes_scanned.dir/fig2_bytes_scanned.cc.o"
+  "CMakeFiles/fig2_bytes_scanned.dir/fig2_bytes_scanned.cc.o.d"
+  "fig2_bytes_scanned"
+  "fig2_bytes_scanned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_bytes_scanned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

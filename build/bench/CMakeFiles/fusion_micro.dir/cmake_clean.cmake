@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_micro.dir/fusion_micro.cc.o"
+  "CMakeFiles/fusion_micro.dir/fusion_micro.cc.o.d"
+  "fusion_micro"
+  "fusion_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_ablation.dir/rule_ablation.cc.o"
+  "CMakeFiles/rule_ablation.dir/rule_ablation.cc.o.d"
+  "rule_ablation"
+  "rule_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spool_vs_fusion.dir/spool_vs_fusion.cc.o"
+  "CMakeFiles/spool_vs_fusion.dir/spool_vs_fusion.cc.o.d"
+  "spool_vs_fusion"
+  "spool_vs_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spool_vs_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcds_overall.dir/tpcds_overall.cc.o"
+  "CMakeFiles/tpcds_overall.dir/tpcds_overall.cc.o.d"
+  "tpcds_overall"
+  "tpcds_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcds_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

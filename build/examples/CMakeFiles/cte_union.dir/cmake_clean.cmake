@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cte_union.dir/cte_union.cpp.o"
+  "CMakeFiles/cte_union.dir/cte_union.cpp.o.d"
+  "cte_union"
+  "cte_union.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cte_union.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

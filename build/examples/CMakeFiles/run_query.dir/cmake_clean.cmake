@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_query.dir/run_query.cpp.o"
+  "CMakeFiles/run_query.dir/run_query.cpp.o.d"
+  "run_query"
+  "run_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

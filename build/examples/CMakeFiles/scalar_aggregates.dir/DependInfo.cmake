@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/scalar_aggregates.cpp" "examples/CMakeFiles/scalar_aggregates.dir/scalar_aggregates.cpp.o" "gcc" "examples/CMakeFiles/scalar_aggregates.dir/scalar_aggregates.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tpcds/CMakeFiles/fusiondb_tpcds.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/fusiondb_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/fusiondb_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/fusiondb_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/fusiondb_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/fusiondb_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/fusiondb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/fusiondb_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fusiondb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalar_aggregates.dir/scalar_aggregates.cpp.o"
+  "CMakeFiles/scalar_aggregates.dir/scalar_aggregates.cpp.o.d"
+  "scalar_aggregates"
+  "scalar_aggregates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalar_aggregates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

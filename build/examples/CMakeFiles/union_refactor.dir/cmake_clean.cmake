@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/union_refactor.dir/union_refactor.cpp.o"
+  "CMakeFiles/union_refactor.dir/union_refactor.cpp.o.d"
+  "union_refactor"
+  "union_refactor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/union_refactor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for union_refactor.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_rewrite.dir/window_rewrite.cpp.o"
+  "CMakeFiles/window_rewrite.dir/window_rewrite.cpp.o.d"
+  "window_rewrite"
+  "window_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

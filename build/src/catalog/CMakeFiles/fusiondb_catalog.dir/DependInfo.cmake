@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/encoding.cc" "src/catalog/CMakeFiles/fusiondb_catalog.dir/encoding.cc.o" "gcc" "src/catalog/CMakeFiles/fusiondb_catalog.dir/encoding.cc.o.d"
+  "/root/repo/src/catalog/table.cc" "src/catalog/CMakeFiles/fusiondb_catalog.dir/table.cc.o" "gcc" "src/catalog/CMakeFiles/fusiondb_catalog.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/types/CMakeFiles/fusiondb_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fusiondb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

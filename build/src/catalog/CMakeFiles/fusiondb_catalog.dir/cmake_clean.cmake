@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusiondb_catalog.dir/encoding.cc.o"
+  "CMakeFiles/fusiondb_catalog.dir/encoding.cc.o.d"
+  "CMakeFiles/fusiondb_catalog.dir/table.cc.o"
+  "CMakeFiles/fusiondb_catalog.dir/table.cc.o.d"
+  "libfusiondb_catalog.a"
+  "libfusiondb_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusiondb_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

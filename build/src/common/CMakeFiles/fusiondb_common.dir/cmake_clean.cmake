@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusiondb_common.dir/status.cc.o"
+  "CMakeFiles/fusiondb_common.dir/status.cc.o.d"
+  "libfusiondb_common.a"
+  "libfusiondb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusiondb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/aggregate_exec.cc" "src/exec/CMakeFiles/fusiondb_exec.dir/aggregate_exec.cc.o" "gcc" "src/exec/CMakeFiles/fusiondb_exec.dir/aggregate_exec.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/exec/CMakeFiles/fusiondb_exec.dir/executor.cc.o" "gcc" "src/exec/CMakeFiles/fusiondb_exec.dir/executor.cc.o.d"
+  "/root/repo/src/exec/join_exec.cc" "src/exec/CMakeFiles/fusiondb_exec.dir/join_exec.cc.o" "gcc" "src/exec/CMakeFiles/fusiondb_exec.dir/join_exec.cc.o.d"
+  "/root/repo/src/exec/query_result.cc" "src/exec/CMakeFiles/fusiondb_exec.dir/query_result.cc.o" "gcc" "src/exec/CMakeFiles/fusiondb_exec.dir/query_result.cc.o.d"
+  "/root/repo/src/exec/scan_exec.cc" "src/exec/CMakeFiles/fusiondb_exec.dir/scan_exec.cc.o" "gcc" "src/exec/CMakeFiles/fusiondb_exec.dir/scan_exec.cc.o.d"
+  "/root/repo/src/exec/simple_exec.cc" "src/exec/CMakeFiles/fusiondb_exec.dir/simple_exec.cc.o" "gcc" "src/exec/CMakeFiles/fusiondb_exec.dir/simple_exec.cc.o.d"
+  "/root/repo/src/exec/sort_exec.cc" "src/exec/CMakeFiles/fusiondb_exec.dir/sort_exec.cc.o" "gcc" "src/exec/CMakeFiles/fusiondb_exec.dir/sort_exec.cc.o.d"
+  "/root/repo/src/exec/spool_exec.cc" "src/exec/CMakeFiles/fusiondb_exec.dir/spool_exec.cc.o" "gcc" "src/exec/CMakeFiles/fusiondb_exec.dir/spool_exec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/plan/CMakeFiles/fusiondb_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/fusiondb_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/fusiondb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/fusiondb_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fusiondb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusiondb_exec.dir/aggregate_exec.cc.o"
+  "CMakeFiles/fusiondb_exec.dir/aggregate_exec.cc.o.d"
+  "CMakeFiles/fusiondb_exec.dir/executor.cc.o"
+  "CMakeFiles/fusiondb_exec.dir/executor.cc.o.d"
+  "CMakeFiles/fusiondb_exec.dir/join_exec.cc.o"
+  "CMakeFiles/fusiondb_exec.dir/join_exec.cc.o.d"
+  "CMakeFiles/fusiondb_exec.dir/query_result.cc.o"
+  "CMakeFiles/fusiondb_exec.dir/query_result.cc.o.d"
+  "CMakeFiles/fusiondb_exec.dir/scan_exec.cc.o"
+  "CMakeFiles/fusiondb_exec.dir/scan_exec.cc.o.d"
+  "CMakeFiles/fusiondb_exec.dir/simple_exec.cc.o"
+  "CMakeFiles/fusiondb_exec.dir/simple_exec.cc.o.d"
+  "CMakeFiles/fusiondb_exec.dir/sort_exec.cc.o"
+  "CMakeFiles/fusiondb_exec.dir/sort_exec.cc.o.d"
+  "CMakeFiles/fusiondb_exec.dir/spool_exec.cc.o"
+  "CMakeFiles/fusiondb_exec.dir/spool_exec.cc.o.d"
+  "libfusiondb_exec.a"
+  "libfusiondb_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusiondb_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

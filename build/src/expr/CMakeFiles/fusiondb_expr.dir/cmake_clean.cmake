@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusiondb_expr.dir/column_map.cc.o"
+  "CMakeFiles/fusiondb_expr.dir/column_map.cc.o.d"
+  "CMakeFiles/fusiondb_expr.dir/evaluator.cc.o"
+  "CMakeFiles/fusiondb_expr.dir/evaluator.cc.o.d"
+  "CMakeFiles/fusiondb_expr.dir/expr.cc.o"
+  "CMakeFiles/fusiondb_expr.dir/expr.cc.o.d"
+  "CMakeFiles/fusiondb_expr.dir/scalar_ops.cc.o"
+  "CMakeFiles/fusiondb_expr.dir/scalar_ops.cc.o.d"
+  "CMakeFiles/fusiondb_expr.dir/simplifier.cc.o"
+  "CMakeFiles/fusiondb_expr.dir/simplifier.cc.o.d"
+  "libfusiondb_expr.a"
+  "libfusiondb_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusiondb_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusiondb_fusion.dir/fuse.cc.o"
+  "CMakeFiles/fusiondb_fusion.dir/fuse.cc.o.d"
+  "libfusiondb_fusion.a"
+  "libfusiondb_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusiondb_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimizer/optimizer.cc" "src/optimizer/CMakeFiles/fusiondb_optimizer.dir/optimizer.cc.o" "gcc" "src/optimizer/CMakeFiles/fusiondb_optimizer.dir/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/prune_columns.cc" "src/optimizer/CMakeFiles/fusiondb_optimizer.dir/prune_columns.cc.o" "gcc" "src/optimizer/CMakeFiles/fusiondb_optimizer.dir/prune_columns.cc.o.d"
+  "/root/repo/src/optimizer/rewrite_utils.cc" "src/optimizer/CMakeFiles/fusiondb_optimizer.dir/rewrite_utils.cc.o" "gcc" "src/optimizer/CMakeFiles/fusiondb_optimizer.dir/rewrite_utils.cc.o.d"
+  "/root/repo/src/optimizer/rules_basic.cc" "src/optimizer/CMakeFiles/fusiondb_optimizer.dir/rules_basic.cc.o" "gcc" "src/optimizer/CMakeFiles/fusiondb_optimizer.dir/rules_basic.cc.o.d"
+  "/root/repo/src/optimizer/rules_decorrelate.cc" "src/optimizer/CMakeFiles/fusiondb_optimizer.dir/rules_decorrelate.cc.o" "gcc" "src/optimizer/CMakeFiles/fusiondb_optimizer.dir/rules_decorrelate.cc.o.d"
+  "/root/repo/src/optimizer/rules_distinct.cc" "src/optimizer/CMakeFiles/fusiondb_optimizer.dir/rules_distinct.cc.o" "gcc" "src/optimizer/CMakeFiles/fusiondb_optimizer.dir/rules_distinct.cc.o.d"
+  "/root/repo/src/optimizer/rules_join_keys.cc" "src/optimizer/CMakeFiles/fusiondb_optimizer.dir/rules_join_keys.cc.o" "gcc" "src/optimizer/CMakeFiles/fusiondb_optimizer.dir/rules_join_keys.cc.o.d"
+  "/root/repo/src/optimizer/rules_union.cc" "src/optimizer/CMakeFiles/fusiondb_optimizer.dir/rules_union.cc.o" "gcc" "src/optimizer/CMakeFiles/fusiondb_optimizer.dir/rules_union.cc.o.d"
+  "/root/repo/src/optimizer/rules_window.cc" "src/optimizer/CMakeFiles/fusiondb_optimizer.dir/rules_window.cc.o" "gcc" "src/optimizer/CMakeFiles/fusiondb_optimizer.dir/rules_window.cc.o.d"
+  "/root/repo/src/optimizer/spool_rule.cc" "src/optimizer/CMakeFiles/fusiondb_optimizer.dir/spool_rule.cc.o" "gcc" "src/optimizer/CMakeFiles/fusiondb_optimizer.dir/spool_rule.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fusion/CMakeFiles/fusiondb_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/fusiondb_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/fusiondb_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/fusiondb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/fusiondb_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fusiondb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusiondb_optimizer.dir/optimizer.cc.o"
+  "CMakeFiles/fusiondb_optimizer.dir/optimizer.cc.o.d"
+  "CMakeFiles/fusiondb_optimizer.dir/prune_columns.cc.o"
+  "CMakeFiles/fusiondb_optimizer.dir/prune_columns.cc.o.d"
+  "CMakeFiles/fusiondb_optimizer.dir/rewrite_utils.cc.o"
+  "CMakeFiles/fusiondb_optimizer.dir/rewrite_utils.cc.o.d"
+  "CMakeFiles/fusiondb_optimizer.dir/rules_basic.cc.o"
+  "CMakeFiles/fusiondb_optimizer.dir/rules_basic.cc.o.d"
+  "CMakeFiles/fusiondb_optimizer.dir/rules_decorrelate.cc.o"
+  "CMakeFiles/fusiondb_optimizer.dir/rules_decorrelate.cc.o.d"
+  "CMakeFiles/fusiondb_optimizer.dir/rules_distinct.cc.o"
+  "CMakeFiles/fusiondb_optimizer.dir/rules_distinct.cc.o.d"
+  "CMakeFiles/fusiondb_optimizer.dir/rules_join_keys.cc.o"
+  "CMakeFiles/fusiondb_optimizer.dir/rules_join_keys.cc.o.d"
+  "CMakeFiles/fusiondb_optimizer.dir/rules_union.cc.o"
+  "CMakeFiles/fusiondb_optimizer.dir/rules_union.cc.o.d"
+  "CMakeFiles/fusiondb_optimizer.dir/rules_window.cc.o"
+  "CMakeFiles/fusiondb_optimizer.dir/rules_window.cc.o.d"
+  "CMakeFiles/fusiondb_optimizer.dir/spool_rule.cc.o"
+  "CMakeFiles/fusiondb_optimizer.dir/spool_rule.cc.o.d"
+  "libfusiondb_optimizer.a"
+  "libfusiondb_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusiondb_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

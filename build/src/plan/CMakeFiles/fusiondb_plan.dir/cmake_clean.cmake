@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusiondb_plan.dir/logical_plan.cc.o"
+  "CMakeFiles/fusiondb_plan.dir/logical_plan.cc.o.d"
+  "CMakeFiles/fusiondb_plan.dir/plan_builder.cc.o"
+  "CMakeFiles/fusiondb_plan.dir/plan_builder.cc.o.d"
+  "CMakeFiles/fusiondb_plan.dir/plan_printer.cc.o"
+  "CMakeFiles/fusiondb_plan.dir/plan_printer.cc.o.d"
+  "libfusiondb_plan.a"
+  "libfusiondb_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusiondb_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

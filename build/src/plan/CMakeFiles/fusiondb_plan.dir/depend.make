@@ -1,0 +1,2 @@
+# Empty dependencies file for fusiondb_plan.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tpcds/datagen.cc" "src/tpcds/CMakeFiles/fusiondb_tpcds.dir/datagen.cc.o" "gcc" "src/tpcds/CMakeFiles/fusiondb_tpcds.dir/datagen.cc.o.d"
+  "/root/repo/src/tpcds/queries.cc" "src/tpcds/CMakeFiles/fusiondb_tpcds.dir/queries.cc.o" "gcc" "src/tpcds/CMakeFiles/fusiondb_tpcds.dir/queries.cc.o.d"
+  "/root/repo/src/tpcds/queries_filler.cc" "src/tpcds/CMakeFiles/fusiondb_tpcds.dir/queries_filler.cc.o" "gcc" "src/tpcds/CMakeFiles/fusiondb_tpcds.dir/queries_filler.cc.o.d"
+  "/root/repo/src/tpcds/queries_fusable.cc" "src/tpcds/CMakeFiles/fusiondb_tpcds.dir/queries_fusable.cc.o" "gcc" "src/tpcds/CMakeFiles/fusiondb_tpcds.dir/queries_fusable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/plan/CMakeFiles/fusiondb_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/fusiondb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/fusiondb_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/fusiondb_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fusiondb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusiondb_tpcds.dir/datagen.cc.o"
+  "CMakeFiles/fusiondb_tpcds.dir/datagen.cc.o.d"
+  "CMakeFiles/fusiondb_tpcds.dir/queries.cc.o"
+  "CMakeFiles/fusiondb_tpcds.dir/queries.cc.o.d"
+  "CMakeFiles/fusiondb_tpcds.dir/queries_filler.cc.o"
+  "CMakeFiles/fusiondb_tpcds.dir/queries_filler.cc.o.d"
+  "CMakeFiles/fusiondb_tpcds.dir/queries_fusable.cc.o"
+  "CMakeFiles/fusiondb_tpcds.dir/queries_fusable.cc.o.d"
+  "libfusiondb_tpcds.a"
+  "libfusiondb_tpcds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusiondb_tpcds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusiondb_types.dir/column.cc.o"
+  "CMakeFiles/fusiondb_types.dir/column.cc.o.d"
+  "CMakeFiles/fusiondb_types.dir/schema.cc.o"
+  "CMakeFiles/fusiondb_types.dir/schema.cc.o.d"
+  "CMakeFiles/fusiondb_types.dir/value.cc.o"
+  "CMakeFiles/fusiondb_types.dir/value.cc.o.d"
+  "libfusiondb_types.a"
+  "libfusiondb_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusiondb_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expr_simplify_test.dir/expr_simplify_test.cc.o"
+  "CMakeFiles/expr_simplify_test.dir/expr_simplify_test.cc.o.d"
+  "expr_simplify_test"
+  "expr_simplify_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expr_simplify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

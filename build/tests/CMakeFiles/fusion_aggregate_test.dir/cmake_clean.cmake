@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_aggregate_test.dir/fusion_aggregate_test.cc.o"
+  "CMakeFiles/fusion_aggregate_test.dir/fusion_aggregate_test.cc.o.d"
+  "fusion_aggregate_test"
+  "fusion_aggregate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_aggregate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

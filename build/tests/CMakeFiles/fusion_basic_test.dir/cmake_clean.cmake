@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_basic_test.dir/fusion_basic_test.cc.o"
+  "CMakeFiles/fusion_basic_test.dir/fusion_basic_test.cc.o.d"
+  "fusion_basic_test"
+  "fusion_basic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_property_test.dir/fusion_property_test.cc.o"
+  "CMakeFiles/fusion_property_test.dir/fusion_property_test.cc.o.d"
+  "fusion_property_test"
+  "fusion_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rules_fusion_test.dir/rules_fusion_test.cc.o"
+  "CMakeFiles/rules_fusion_test.dir/rules_fusion_test.cc.o.d"
+  "rules_fusion_test"
+  "rules_fusion_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rules_fusion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

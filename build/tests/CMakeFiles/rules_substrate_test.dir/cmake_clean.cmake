@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rules_substrate_test.dir/rules_substrate_test.cc.o"
+  "CMakeFiles/rules_substrate_test.dir/rules_substrate_test.cc.o.d"
+  "rules_substrate_test"
+  "rules_substrate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rules_substrate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spool_test.dir/spool_test.cc.o"
+  "CMakeFiles/spool_test.dir/spool_test.cc.o.d"
+  "spool_test"
+  "spool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
