@@ -1,0 +1,95 @@
+// Morsel-driven parallel execution: latency of every fusion-applicable
+// TPC-DS query (baseline and fused plans) swept over thread counts, plus a
+// correctness sweep asserting results and bytes_scanned are thread-count
+// invariant. The interesting shape: scans and aggregation builds dominate
+// these queries, so latency should drop near-linearly until the thread
+// count exceeds either the physical cores or the partition count of the
+// largest scanned table.
+//
+// Usage: parallel_scaling [max_threads]     (default: up to 8, capped at
+// 2x hardware_concurrency; FUSIONDB_BENCH_SCALE scales the data)
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace fusiondb;         // NOLINT
+using namespace fusiondb::bench;  // NOLINT
+
+namespace {
+
+double MedianLatencyMs(const PlanPtr& plan, size_t threads, int repeats) {
+  std::vector<double> times;
+  times.reserve(repeats);
+  for (int i = 0; i < repeats; ++i) {
+    QueryResult r = Unwrap(ExecutePlan(plan, 4096, threads));
+    times.push_back(r.wall_ms());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  size_t max_threads = argc > 1 ? std::atoi(argv[1]) : 8;
+  if (max_threads > 2 * hw) max_threads = 2 * hw < 2 ? 2 : 2 * hw;
+  if (max_threads < 1) max_threads = 1;
+  std::vector<size_t> sweep;
+  for (size_t t = 1; t <= max_threads; t *= 2) sweep.push_back(t);
+
+  const Catalog& catalog = BenchCatalog();
+  std::printf("\nParallel scaling — morsel-driven execution, %u hardware "
+              "thread(s) on this host\n\n",
+              hw);
+  std::printf("%-6s %-9s", "query", "plan");
+  for (size_t t : sweep) std::printf(" %7zu-thr", t);
+  std::printf(" %9s %6s\n", "speedup", "ok");
+  std::printf("%s\n", std::string(16 + 11 * sweep.size() + 17, '-').c_str());
+
+  bool all_ok = true;
+  for (const tpcds::TpcdsQuery& q : tpcds::Queries()) {
+    if (!q.fusion_applicable) continue;
+    PlanContext ctx;
+    PlanPtr plan = Unwrap(q.build(catalog, &ctx));
+    for (bool fused : {false, true}) {
+      OptimizerOptions options =
+          fused ? OptimizerOptions::Fused() : OptimizerOptions::Baseline();
+      PlanPtr optimized = Unwrap(Optimizer(options).Optimize(plan, &ctx));
+
+      // Correctness gate: results and scan accounting must not depend on
+      // the thread count.
+      QueryResult serial = Unwrap(ExecutePlan(optimized, 4096, 1));
+      bool ok = true;
+      for (size_t t : sweep) {
+        if (t == 1) continue;
+        QueryResult r = Unwrap(ExecutePlan(optimized, 4096, t));
+        ok = ok && ResultsEquivalent(serial, r) &&
+             r.metrics().bytes_scanned == serial.metrics().bytes_scanned &&
+             r.metrics().rows_scanned == serial.metrics().rows_scanned;
+      }
+      all_ok = all_ok && ok;
+
+      std::printf("%-6s %-9s", q.name.c_str(), fused ? "fused" : "baseline");
+      double base_ms = 0.0;
+      double best_ms = 0.0;
+      for (size_t t : sweep) {
+        double ms = MedianLatencyMs(optimized, t, 3);
+        if (t == 1) base_ms = ms;
+        best_ms = ms;
+        std::printf(" %8.2fms", ms);
+      }
+      std::printf(" %8.2fx %6s\n", base_ms / best_ms, ok ? "yes" : "NO");
+    }
+  }
+  std::printf(
+      "\nspeedup = 1-thread latency / %zu-thread latency. Expect ~linear "
+      "scaling up to the core count on scan/aggregation-bound queries; a "
+      "single-core host shows ~1.0x (the sweep then only checks "
+      "thread-count invariance).\n",
+      sweep.back());
+  return all_ok ? 0 : 1;
+}

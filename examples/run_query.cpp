@@ -1,7 +1,9 @@
 // run_query: execute one TPC-DS query by name under both optimizer
 // configurations, printing plans, results and metrics.
 //
-// Usage: run_query [query=q65] [scale=0.01] [--plans]
+// Usage: run_query [query=q65] [scale=0.01] [--plans] [--threads=N]
+// --threads=N sets morsel-driven intra-query parallelism (0 = all cores;
+// default 1 = single-threaded).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,11 +30,21 @@ T Unwrap(Result<T> result) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string name = argc > 1 ? argv[1] : "q65";
-  double scale = argc > 2 ? std::atof(argv[2]) : 0.01;
+  std::string name = "q65";
+  double scale = 0.01;
   bool show_plans = false;
+  size_t threads = 1;
+  int positional = 0;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--plans") == 0) show_plans = true;
+    if (std::strcmp(argv[i], "--plans") == 0) {
+      show_plans = true;
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = static_cast<size_t>(std::atoi(argv[i] + 10));
+    } else if (++positional == 1) {
+      name = argv[i];
+    } else if (positional == 2) {
+      scale = std::atof(argv[i]);
+    }
   }
 
   std::fprintf(stderr, "building TPC-DS catalog at scale %.3f...\n", scale);
@@ -57,10 +69,10 @@ int main(int argc, char** argv) {
     std::printf("== fused plan ==\n%s\n", PlanToString(fused).c_str());
   }
 
-  std::fprintf(stderr, "executing (baseline)...\n");
-  QueryResult base_result = Unwrap(ExecutePlan(baseline));
-  std::fprintf(stderr, "executing (fused)...\n");
-  QueryResult fused_result = Unwrap(ExecutePlan(fused));
+  std::fprintf(stderr, "executing (baseline, threads=%zu)...\n", threads);
+  QueryResult base_result = Unwrap(ExecutePlan(baseline, 4096, threads));
+  std::fprintf(stderr, "executing (fused, threads=%zu)...\n", threads);
+  QueryResult fused_result = Unwrap(ExecutePlan(fused, 4096, threads));
 
   std::printf("query %s (%s)\n", name.c_str(),
               query.fusion_applicable ? "fusion-applicable" : "filler");

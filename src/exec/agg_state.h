@@ -99,6 +99,35 @@ struct AggState {
     }
   }
 
+  /// Folds another partial state for the same (group, aggregate) into this
+  /// one — the combine step of parallel partial aggregation. Valid only
+  /// before Finalize. Counters and sums add; MIN/MAX keeps the winner under
+  /// `item.func`; DISTINCT sets union (still un-folded, so merged partials
+  /// finalize exactly like a serially-built state).
+  void Merge(const AggregateItem& item, AggState&& other) {
+    mask_rows += other.mask_rows;
+    non_null_args += other.non_null_args;
+    sum_i += other.sum_i;
+    sum_d += other.sum_d;
+    if (other.has_minmax) {
+      if (!has_minmax) {
+        minmax = std::move(other.minmax);
+        has_minmax = true;
+      } else if (item.func == AggFunc::kMin
+                     ? other.minmax.Compare(minmax) < 0
+                     : other.minmax.Compare(minmax) > 0) {
+        minmax = std::move(other.minmax);
+      }
+    }
+    if (!other.distinct.empty()) {
+      if (distinct.empty()) {
+        distinct = std::move(other.distinct);
+      } else {
+        distinct.merge(other.distinct);
+      }
+    }
+  }
+
   /// Final value under SQL semantics: COUNT never NULL; SUM/AVG/MIN/MAX are
   /// NULL when no rows contributed.
   Value Finalize(const AggregateItem& item) {

@@ -162,40 +162,51 @@ class AggregateExec final : public ExecOperator {
   };
   using GroupMap = std::unordered_map<std::string, GroupEntry>;
 
-  Status Drain() {
-    if (scalar_) {
-      GroupEntry& entry = groups_[std::string()];
-      entry.states.resize(aggs_.size());
+  /// Accumulates every row of `in` into `groups` (one hash table — the
+  /// query's for the serial path, a worker-private partial for the parallel
+  /// path). `key` is the reusable row-key buffer.
+  void AccumulateChunk(const Chunk& in, GroupMap* groups, std::string* key) {
+    size_t rows = in.num_rows();
+    // One pass per distinct mask over the whole chunk; aggregates then
+    // just test bits per row.
+    std::vector<std::vector<uint8_t>> bitmaps = mask_set_.Evaluate(in);
+    for (size_t r = 0; r < rows; ++r) {
+      RowKeyEncoder::Encode(in, group_indexes_, r, key);
+      auto [it, inserted] = groups->try_emplace(*key);
+      GroupEntry& entry = it->second;
+      if (inserted) {
+        entry.states.resize(aggs_.size());
+        entry.representative.reserve(group_indexes_.size());
+        for (int g : group_indexes_) {
+          entry.representative.push_back(in.columns[g].GetValue(r));
+        }
+      }
+      for (size_t a = 0; a < aggs_.size(); ++a) {
+        const BoundAgg& agg = aggs_[a];
+        if (agg.mask_slot >= 0 && !bitmaps[agg.mask_slot][r]) continue;
+        if (agg.arg_column >= 0) {
+          entry.states[a].AccumulateColumnRow(*agg.item,
+                                              in.columns[agg.arg_column], r);
+        } else {
+          entry.states[a].AccumulateRow(*agg.item, agg.ArgAt(in, r));
+        }
+      }
     }
-    std::string key;
-    while (true) {
-      FUSIONDB_ASSIGN_OR_RETURN(std::optional<Chunk> in, child_->Next());
-      if (!in.has_value()) break;
-      size_t rows = in->num_rows();
-      // One pass per distinct mask over the whole chunk; aggregates then
-      // just test bits per row.
-      std::vector<std::vector<uint8_t>> bitmaps = mask_set_.Evaluate(*in);
-      for (size_t r = 0; r < rows; ++r) {
-        RowKeyEncoder::Encode(*in, group_indexes_, r, &key);
-        auto [it, inserted] = groups_.try_emplace(key);
-        GroupEntry& entry = it->second;
-        if (inserted) {
-          entry.states.resize(aggs_.size());
-          entry.representative.reserve(group_indexes_.size());
-          for (int g : group_indexes_) {
-            entry.representative.push_back(in->columns[g].GetValue(r));
-          }
-        }
-        for (size_t a = 0; a < aggs_.size(); ++a) {
-          const BoundAgg& agg = aggs_[a];
-          if (agg.mask_slot >= 0 && !bitmaps[agg.mask_slot][r]) continue;
-          if (agg.arg_column >= 0) {
-            entry.states[a].AccumulateColumnRow(*agg.item,
-                                                in->columns[agg.arg_column], r);
-          } else {
-            entry.states[a].AccumulateRow(*agg.item, agg.ArgAt(*in, r));
-          }
-        }
+  }
+
+  Status Drain() {
+    if (ctx_->pool() != nullptr) {
+      FUSIONDB_RETURN_IF_ERROR(DrainParallel());
+    } else {
+      if (scalar_) {
+        GroupEntry& entry = groups_[std::string()];
+        entry.states.resize(aggs_.size());
+      }
+      std::string key;
+      while (true) {
+        FUSIONDB_ASSIGN_OR_RETURN(std::optional<Chunk> in, child_->Next());
+        if (!in.has_value()) break;
+        AccumulateChunk(*in, &groups_, &key);
       }
     }
     int64_t bytes = 0;
@@ -205,6 +216,53 @@ class AggregateExec final : public ExecOperator {
     }
     accounted_bytes_ = bytes;
     ctx_->AddHashBytes(bytes);
+    return Status::OK();
+  }
+
+  /// Thread-partitioned build: the driver drains the child (Next() is not
+  /// thread-safe), chunks are dealt to workers by stride (chunk i -> partial
+  /// i mod W, deterministic for a given thread count), each worker fills a
+  /// private partial hash table, and the partials merge into `groups_` in
+  /// worker order via AggState::Merge. Only the merged table is charged to
+  /// the memory metric, matching the serial accounting.
+  Status DrainParallel() {
+    std::vector<Chunk> buffered;
+    while (true) {
+      FUSIONDB_ASSIGN_OR_RETURN(std::optional<Chunk> in, child_->Next());
+      if (!in.has_value()) break;
+      if (in->num_rows() > 0) buffered.push_back(std::move(*in));
+    }
+    ThreadPool* pool = ctx_->pool();
+    size_t workers = pool->num_workers();
+    std::vector<GroupMap> partials(workers);
+    Status st = pool->ParallelFor(
+        workers, [&](size_t /*worker*/, size_t w) -> Status {
+          // `w` is the partial's index; each is claimed exactly once, so
+          // the partial map is touched by a single thread.
+          std::string key;
+          for (size_t ci = w; ci < buffered.size(); ci += workers) {
+            AccumulateChunk(buffered[ci], &partials[w], &key);
+          }
+          return Status::OK();
+        });
+    FUSIONDB_RETURN_IF_ERROR(st);
+    for (GroupMap& pm : partials) {
+      for (auto& [k, entry] : pm) {
+        auto [it, inserted] = groups_.try_emplace(k);
+        if (inserted) {
+          it->second = std::move(entry);
+        } else {
+          GroupEntry& dst = it->second;
+          for (size_t a = 0; a < aggs_.size(); ++a) {
+            dst.states[a].Merge(*aggs_[a].item, std::move(entry.states[a]));
+          }
+        }
+      }
+    }
+    if (scalar_) {
+      // Scalar aggregates emit one row even over empty input.
+      groups_[std::string()].states.resize(aggs_.size());
+    }
     return Status::OK();
   }
 

@@ -4,16 +4,30 @@
 // S3 "data read" that Athena bills (Figure 2), and `peak_hash_bytes` models
 // the working memory held in join/aggregation hash tables (the Section V.C
 // observation that fusing Q23 halves intermediate state).
+//
+// Threading model (morsel-driven parallelism): one ExecContext serves one
+// query. The driver thread — the one pulling Next() through the operator
+// tree — reads and writes `metrics()` directly, exactly as in serial
+// execution. Parallel regions (scan morsels, partial aggregation, join
+// build) never touch `metrics()` from workers; each worker accumulates into
+// a private ExecMetrics shard and the region calls MergeMetrics() once per
+// shard after it completes, so every counter stays a plain int64 with no
+// hot-path atomics and sums are thread-count-invariant. The one genuinely
+// concurrent quantity, live hash-table memory, uses relaxed atomics with a
+// compare-exchange max loop for the peak; FinalMetrics() folds the peak
+// back into the snapshot handed to QueryResult.
 #ifndef FUSIONDB_EXEC_EXEC_CONTEXT_H_
 #define FUSIONDB_EXEC_EXEC_CONTEXT_H_
 
-#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "catalog/encoding.h"
+#include "exec/thread_pool.h"
 #include "types/chunk.h"
 
 namespace fusiondb {
@@ -48,17 +62,62 @@ class ExecContext {
   size_t chunk_size() const { return chunk_size_; }
   void set_chunk_size(size_t n) { chunk_size_ = n; }
 
+  /// Intra-query parallelism. 1 (the default) keeps every operator on its
+  /// historical single-threaded code path; > 1 spawns a pool of n-1 worker
+  /// threads (the driver thread is the n-th worker inside ParallelFor).
+  size_t parallelism() const { return parallelism_; }
+  void set_parallelism(size_t n) {
+    parallelism_ = n < 1 ? 1 : n;
+    pool_ = parallelism_ > 1 ? std::make_unique<ThreadPool>(parallelism_ - 1)
+                             : nullptr;
+  }
+
+  /// The query's worker pool, or nullptr when parallelism() == 1. Operators
+  /// treat a null pool as "run the serial path".
+  ThreadPool* pool() const { return pool_.get(); }
+
+  /// Driver-thread metrics. Workers inside parallel regions must use a
+  /// private shard + MergeMetrics instead.
   ExecMetrics& metrics() { return metrics_; }
   const ExecMetrics& metrics() const { return metrics_; }
 
-  /// Tracks live hash-table memory; peak is recorded in metrics.
-  void AddHashBytes(int64_t delta) {
-    live_hash_bytes_ += delta;
-    metrics_.peak_hash_bytes =
-        std::max(metrics_.peak_hash_bytes, live_hash_bytes_);
+  /// Folds one worker's metric shard into the query totals. Called once per
+  /// worker per parallel region (never per row/chunk). `peak_hash_bytes` is
+  /// not additive and is ignored here — peak tracking goes through
+  /// AddHashBytes.
+  void MergeMetrics(const ExecMetrics& shard) {
+    std::lock_guard<std::mutex> lock(merge_mu_);
+    metrics_.bytes_scanned += shard.bytes_scanned;
+    metrics_.rows_scanned += shard.rows_scanned;
+    metrics_.partitions_scanned += shard.partitions_scanned;
+    metrics_.partitions_pruned += shard.partitions_pruned;
+    metrics_.rows_produced += shard.rows_produced;
+    metrics_.spool_bytes_written += shard.spool_bytes_written;
+    metrics_.spool_bytes_read += shard.spool_bytes_read;
   }
 
-  /// The spool buffer for `spool_id`, created on first use.
+  /// Tracks live hash-table memory; the peak is kept in a relaxed atomic
+  /// max loop so blocking operators can account from worker threads.
+  void AddHashBytes(int64_t delta) {
+    int64_t live =
+        live_hash_bytes_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    int64_t peak = peak_hash_bytes_.load(std::memory_order_relaxed);
+    while (live > peak && !peak_hash_bytes_.compare_exchange_weak(
+                              peak, live, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Metrics snapshot with the tracked memory peak folded in; what
+  /// ExecutePlan hands to QueryResult after the operator tree is torn down.
+  ExecMetrics FinalMetrics() const {
+    ExecMetrics out = metrics_;
+    out.peak_hash_bytes = peak_hash_bytes_.load(std::memory_order_relaxed);
+    return out;
+  }
+
+  /// The spool buffer for `spool_id`, created on first use. Spool
+  /// materialization runs on the driver thread only (operator build and
+  /// SpoolExec are serial), so the map needs no lock.
   std::shared_ptr<SpoolBuffer> GetSpool(int32_t spool_id) {
     std::shared_ptr<SpoolBuffer>& slot = spools_[spool_id];
     if (slot == nullptr) slot = std::make_shared<SpoolBuffer>();
@@ -67,8 +126,12 @@ class ExecContext {
 
  private:
   size_t chunk_size_ = 4096;
+  size_t parallelism_ = 1;
+  std::unique_ptr<ThreadPool> pool_;
   ExecMetrics metrics_;
-  int64_t live_hash_bytes_ = 0;
+  std::mutex merge_mu_;
+  std::atomic<int64_t> live_hash_bytes_{0};
+  std::atomic<int64_t> peak_hash_bytes_{0};
   std::unordered_map<int32_t, std::shared_ptr<SpoolBuffer>> spools_;
 };
 

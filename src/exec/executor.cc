@@ -1,6 +1,7 @@
 #include "exec/executor.h"
 
 #include <chrono>
+#include <thread>
 
 #include "exec/operators_internal.h"
 
@@ -59,9 +60,15 @@ Result<ExecOperatorPtr> BuildExecutor(const PlanPtr& plan, ExecContext* ctx) {
   }
 }
 
-Result<QueryResult> ExecutePlan(const PlanPtr& plan, size_t chunk_size) {
+Result<QueryResult> ExecutePlan(const PlanPtr& plan, size_t chunk_size,
+                                size_t parallelism) {
   ExecContext ctx;
   ctx.set_chunk_size(chunk_size);
+  if (parallelism == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    parallelism = hw == 0 ? 1 : hw;
+  }
+  ctx.set_parallelism(parallelism);
   auto start = std::chrono::steady_clock::now();
   std::vector<Chunk> chunks;
   {
@@ -81,7 +88,8 @@ Result<QueryResult> ExecutePlan(const PlanPtr& plan, size_t chunk_size) {
       std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
           end - start)
           .count();
-  return QueryResult(plan->schema(), std::move(chunks), ctx.metrics(), wall_ms);
+  return QueryResult(plan->schema(), std::move(chunks), ctx.FinalMetrics(),
+                     wall_ms);
 }
 
 }  // namespace fusiondb

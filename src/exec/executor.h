@@ -15,7 +15,17 @@ namespace fusiondb {
 Result<ExecOperatorPtr> BuildExecutor(const PlanPtr& plan, ExecContext* ctx);
 
 /// Runs `plan` to completion, collecting all output and metrics.
-Result<QueryResult> ExecutePlan(const PlanPtr& plan, size_t chunk_size = 4096);
+///
+/// `parallelism` is the morsel-driven intra-query parallelism degree:
+///   1 (default) — the historical single-threaded execution, byte-for-byte;
+///   0           — auto: std::thread::hardware_concurrency();
+///   n > 1       — a pool of n-1 workers plus the driver thread. Scans hand
+///                 out partition morsels, aggregation builds per-worker
+///                 partial hash tables merged at finalize, and join builds
+///                 partition the key encoding; results and all additive
+///                 metrics are thread-count-invariant.
+Result<QueryResult> ExecutePlan(const PlanPtr& plan, size_t chunk_size = 4096,
+                                size_t parallelism = 1);
 
 }  // namespace fusiondb
 

@@ -67,13 +67,17 @@ class HashJoinExec final : public ExecOperator {
     }
     size_t n = right_data_.num_rows();
     if (!keys_.empty()) {
-      table_.reserve(n);
-      std::string key;
-      for (size_t r = 0; r < n; ++r) {
-        if (RowKeyEncoder::Encode(right_data_, right_key_indexes_, r, &key)) {
-          continue;  // NULL keys never join
+      if (ctx_->pool() != nullptr && n > 1) {
+        FUSIONDB_RETURN_IF_ERROR(BuildTableParallel(n));
+      } else {
+        table_.reserve(n);
+        std::string key;
+        for (size_t r = 0; r < n; ++r) {
+          if (RowKeyEncoder::Encode(right_data_, right_key_indexes_, r, &key)) {
+            continue;  // NULL keys never join
+          }
+          table_[key].push_back(r);
         }
-        table_[key].push_back(r);
       }
     }
     // Account buffered rows + hash entries against working memory.
@@ -82,6 +86,48 @@ class HashJoinExec final : public ExecOperator {
     bytes += static_cast<int64_t>(n) * 48;
     accounted_bytes_ = bytes;
     ctx_->AddHashBytes(bytes);
+    return Status::OK();
+  }
+
+  /// Thread-partitioned build phase: worker w encodes keys for the
+  /// contiguous row range [w*n/W, (w+1)*n/W) into a private partial table;
+  /// the partials merge into `table_` in worker order. Because the ranges
+  /// are contiguous and ascending, every bucket's row list comes out in
+  /// ascending row order — exactly what the serial loop produces — so probe
+  /// output is identical to single-threaded execution. The probe side stays
+  /// streaming on the driver thread.
+  Status BuildTableParallel(size_t n) {
+    ThreadPool* pool = ctx_->pool();
+    size_t workers = pool->num_workers();
+    using PartialTable = std::unordered_map<std::string, std::vector<size_t>>;
+    std::vector<PartialTable> partials(workers);
+    Status st = pool->ParallelFor(
+        workers, [&](size_t /*worker*/, size_t w) -> Status {
+          size_t begin = n * w / workers;
+          size_t end = n * (w + 1) / workers;
+          PartialTable& local = partials[w];
+          std::string key;
+          for (size_t r = begin; r < end; ++r) {
+            if (RowKeyEncoder::Encode(right_data_, right_key_indexes_, r,
+                                      &key)) {
+              continue;  // NULL keys never join
+            }
+            local[key].push_back(r);
+          }
+          return Status::OK();
+        });
+    FUSIONDB_RETURN_IF_ERROR(st);
+    table_.reserve(n);
+    for (PartialTable& pt : partials) {
+      for (auto& [key, rows] : pt) {
+        std::vector<size_t>& bucket = table_[key];
+        if (bucket.empty()) {
+          bucket = std::move(rows);
+        } else {
+          bucket.insert(bucket.end(), rows.begin(), rows.end());
+        }
+      }
+    }
     return Status::OK();
   }
 

@@ -133,6 +133,18 @@ class ScanExec final : public ExecOperator {
   }
 
   Result<std::optional<Chunk>> Next() override {
+    // Morsel-driven path: with a pool available, the first pull decodes all
+    // surviving partitions in parallel and later pulls just stream the
+    // prepared chunks (in partition order, matching the serial output).
+    if (ctx_->pool() != nullptr) {
+      if (!parallel_scanned_) {
+        FUSIONDB_RETURN_IF_ERROR(ParallelScan());
+        parallel_scanned_ = true;
+      }
+      if (out_cursor_ >= out_chunks_.size()) return std::optional<Chunk>();
+      Chunk out = std::move(out_chunks_[out_cursor_++]);
+      return std::optional<Chunk>(std::move(out));
+    }
     const auto& partitions = table_->partitions();
     while (true) {
       if (partition_ >= partitions.size()) return std::optional<Chunk>();
@@ -187,6 +199,62 @@ class ScanExec final : public ExecOperator {
   }
 
  private:
+  /// One ParallelFor over the partitions: each morsel is one partition —
+  /// prune check, page decode, slicing into chunk_size chunks. Workers
+  /// accumulate scan metrics into private shards merged once at region end,
+  /// so every additive counter is identical for any thread count.
+  Status ParallelScan() {
+    const auto& partitions = table_->partitions();
+    ThreadPool* pool = ctx_->pool();
+    std::vector<std::vector<Chunk>> per_partition(partitions.size());
+    std::vector<ExecMetrics> shards(pool->num_workers());
+    Status st = pool->ParallelFor(
+        partitions.size(), [&](size_t worker, size_t pi) -> Status {
+          const Partition& p = partitions[pi];
+          ExecMetrics& m = shards[worker];
+          if (!prune_.KeepsRange(p.min_key, p.max_key)) {
+            ++m.partitions_pruned;
+            return Status::OK();
+          }
+          std::vector<Column> decoded;
+          decoded.reserve(table_columns_.size());
+          for (int c : table_columns_) {
+            FUSIONDB_ASSIGN_OR_RETURN(Column col, DecodeColumn(p.columns[c]));
+            decoded.push_back(std::move(col));
+            m.bytes_scanned += p.column_bytes[c];
+          }
+          ++m.partitions_scanned;
+          size_t rows = p.num_rows();
+          m.rows_scanned += static_cast<int64_t>(rows);
+          std::vector<Chunk>& out = per_partition[pi];
+          if (rows <= ctx_->chunk_size()) {
+            Chunk chunk = Chunk::Empty(OutputTypes());
+            chunk.columns = std::move(decoded);
+            if (rows > 0) out.push_back(std::move(chunk));
+            return Status::OK();
+          }
+          for (size_t offset = 0; offset < rows;
+               offset += ctx_->chunk_size()) {
+            size_t take = std::min(ctx_->chunk_size(), rows - offset);
+            Chunk chunk = Chunk::Empty(OutputTypes());
+            for (size_t i = 0; i < decoded.size(); ++i) {
+              chunk.columns[i].Reserve(take);
+              for (size_t r = offset; r < offset + take; ++r) {
+                chunk.columns[i].AppendFrom(decoded[i], r);
+              }
+            }
+            out.push_back(std::move(chunk));
+          }
+          return Status::OK();
+        });
+    FUSIONDB_RETURN_IF_ERROR(st);
+    for (const ExecMetrics& shard : shards) ctx_->MergeMetrics(shard);
+    for (std::vector<Chunk>& chunks : per_partition) {
+      for (Chunk& c : chunks) out_chunks_.push_back(std::move(c));
+    }
+    return Status::OK();
+  }
+
   TablePtr table_;
   std::vector<int> table_columns_;
   ExecContext* ctx_;
@@ -195,6 +263,10 @@ class ScanExec final : public ExecOperator {
   size_t offset_ = 0;
   // Decoded pages of the partition currently being streamed.
   std::vector<Column> decoded_;
+  // Parallel-path state: chunks prepared by ParallelScan, streamed in order.
+  bool parallel_scanned_ = false;
+  std::vector<Chunk> out_chunks_;
+  size_t out_cursor_ = 0;
 };
 
 }  // namespace

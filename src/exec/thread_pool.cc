@@ -1,0 +1,105 @@
+#include "exec/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace fusiondb {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+namespace {
+
+/// Shared state of one ParallelFor region. The cursor is the morsel
+/// dispenser; `pending` counts helper tasks that have not yet finished so
+/// the caller knows when the region is fully drained.
+struct ForRegion {
+  std::atomic<size_t> cursor{0};
+  std::atomic<bool> failed{false};
+  size_t n = 0;
+  const std::function<Status(size_t, size_t)>* body = nullptr;
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  Status first_error;
+  size_t pending = 0;
+
+  void Drain(size_t worker) {
+    while (!failed.load(std::memory_order_relaxed)) {
+      size_t index = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (index >= n) return;
+      Status st = (*body)(worker, index);
+      if (!st.ok()) {
+        bool expected = false;
+        if (failed.compare_exchange_strong(expected, true)) {
+          std::lock_guard<std::mutex> lock(mu);
+          first_error = std::move(st);
+        }
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+Status ThreadPool::ParallelFor(
+    size_t n, const std::function<Status(size_t, size_t)>& body) {
+  if (n == 0) return Status::OK();
+  auto region = std::make_shared<ForRegion>();
+  region->n = n;
+  region->body = &body;
+  // Never more helpers than remaining work; the caller covers one share.
+  size_t helpers = std::min(threads_.size(), n > 0 ? n - 1 : size_t{0});
+  region->pending = helpers;
+  for (size_t h = 0; h < helpers; ++h) {
+    size_t worker = h + 1;
+    Submit([region, worker] {
+      region->Drain(worker);
+      std::lock_guard<std::mutex> lock(region->mu);
+      if (--region->pending == 0) region->done_cv.notify_all();
+    });
+  }
+  region->Drain(/*worker=*/0);
+  std::unique_lock<std::mutex> lock(region->mu);
+  region->done_cv.wait(lock, [&region] { return region->pending == 0; });
+  return region->first_error;
+}
+
+}  // namespace fusiondb

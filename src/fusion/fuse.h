@@ -44,21 +44,76 @@ class Fuser {
   std::optional<FuseResult> Fuse(const PlanPtr& p1, const PlanPtr& p2);
 
  private:
+  /// Section III.A (table scans — the base case). Two scans of the same
+  /// table fuse into one scan reading the union of their column sets; both
+  /// compensating filters are TRUE.
+  ///   before: Scan_T{a,b}   ,  Scan_T{b,c}
+  ///   after:  P = Scan_T{a,b,c};  M = {b2→b, c2→c};  L = R = TRUE
   std::optional<FuseResult> FuseScan(const ScanOp& s1, const ScanOp& s2);
+
+  /// Section III.A (constant relations, same base-case role as scans).
+  /// Structurally identical Values nodes fuse into one; L = R = TRUE.
+  ///   before: Values[rows]  ,  Values[rows]
+  ///   after:  P = Values[rows];  M maps positionally;  L = R = TRUE
   std::optional<FuseResult> FuseValues(const PlanPtr& p1, const PlanPtr& p2);
+
+  /// Section III.B (filters). Fuse the children, then filter on the
+  /// disjunction of the two (remapped) predicates; each side's own
+  /// predicate joins its child compensation conjunctively. Equivalent
+  /// predicates short-circuit to a single filter with unchanged L/R.
+  ///   before: σ_p1(C1)  ,  σ_p2(C2)
+  ///   after:  P = σ_{p1 ∨ p2'}(Fuse(C1,C2));  L = L_c ∧ p1;  R = R_c ∧ p2'
   std::optional<FuseResult> FuseFilter(const FilterOp& f1, const FilterOp& f2);
+
+  /// Section III.C (projections). Fuse the children and concatenate the
+  /// assignment lists (remapping P2's through M); compensating filters pass
+  /// through from the child fusion.
+  ///   before: π_{e1..}(C1)  ,  π_{f1..}(C2)
+  ///   after:  P = π_{e1.., f1'..}(Fuse(C1,C2));  L, R from the children
   std::optional<FuseResult> FuseProject(const ProjectOp& r1,
                                         const ProjectOp& r2);
+
+  /// Section III.D (joins). Requires exact child fusions on both sides and
+  /// equivalent join conditions modulo M; the fused join is re-derived over
+  /// the fused inputs.
+  ///   before: (A1 ⋈_c B1)  ,  (A2 ⋈_c' B2)   with c ≡ M(c')
+  ///   after:  P = Fuse(A1,A2) ⋈_c Fuse(B1,B2);  L = R = TRUE
   std::optional<FuseResult> FuseJoin(const JoinOp& j1, const JoinOp& j2);
+
+  /// Section III.E (aggregations — the paper's core case, built on
+  /// Athena's per-aggregate masks). Same grouping keys modulo M; the fused
+  /// GroupBy carries both aggregate lists with each aggregate's mask
+  /// AND-ed with its side's compensating filter, plus compensating
+  /// COUNT(*) aggregates (cnt_L, cnt_R) so each side can be restored by
+  /// filtering groups where its count is positive.
+  ///   before: γ_{k}[aggs1](C1)  ,  γ_{k'}[aggs2](C2)
+  ///   after:  P = γ_{k}[aggs1@L, aggs2'@R, cnt_L, cnt_R](Fuse(C1,C2));
+  ///           L = (cnt_L > 0);  R = (cnt_R > 0)
   std::optional<FuseResult> FuseAggregate(const AggregateOp& g1,
                                           const AggregateOp& g2);
+
+  /// Section III.F (MarkDistinct, the lowering target of distinct
+  /// aggregates). Same distinct-key set modulo M; when the child fusion is
+  /// inexact the marker must be guarded so "first seen" is evaluated within
+  /// each side's subset (see AddMarkDistinct).
+  ///   before: MD_{keys}(C1)  ,  MD_{keys'}(C2)
+  ///   after:  P = MD_{keys∪guard}(Fuse(C1,C2)) per side;  L, R from child
   std::optional<FuseResult> FuseMarkDistinct(const MarkDistinctOp& m1,
                                              const MarkDistinctOp& m2);
-  /// Default fusion for parameter-compatible unary operators whose child
-  /// fusion is exact (EnforceSingleRow, Limit, Sort) — Section III.G.
+
+  /// Section III.G (default case). Parameter-compatible unary operators
+  /// over an *exact* child fusion (EnforceSingleRow, Limit, Sort) pass
+  /// through: the fused operator is re-instantiated over the fused child.
+  ///   before: op(C1)  ,  op(C2)   with Fuse(C1,C2) exact
+  ///   after:  P = op(Fuse(C1,C2));  L = R = TRUE
   std::optional<FuseResult> FuseDefault(const PlanPtr& p1, const PlanPtr& p2);
-  /// Root-mismatch compensation (Section III.G): skip MarkDistinct on one
-  /// side, or manufacture a trivial Filter/Project.
+
+  /// Section III.G (root-mismatch compensation). When the roots differ,
+  /// skip a MarkDistinct on one side (its marker column is additive), or
+  /// manufacture a trivial σ_TRUE / identity-π root so a structural case
+  /// applies.
+  ///   before: MD(C1)  ,  C2         (or σ/π vs bare child)
+  ///   after:  fuse C1 with C2, re-adding the skipped operator on top
   std::optional<FuseResult> FuseMismatched(const PlanPtr& p1,
                                            const PlanPtr& p2);
 

@@ -21,7 +21,10 @@
 namespace fusiondb {
 
 /// Simplifies every expression held by the node (predicates, projections,
-/// join conditions, aggregate masks).
+/// join conditions, aggregate masks). Substrate: the paper assumes a
+/// normalizing engine below the Section IV rules.
+///   before: σ_{x=1 AND TRUE AND x=1}(C)
+///   after:  σ_{x=1}(C)
 class SimplifyExpressionsRule final : public Rule {
  public:
   std::string_view name() const override { return "SimplifyExpressions"; }
@@ -29,6 +32,8 @@ class SimplifyExpressionsRule final : public Rule {
 };
 
 /// Filter(Filter(x)) => Filter(x) with the conjunction; drops TRUE filters.
+///   before: σ_p(σ_q(C))
+///   after:  σ_{p∧q}(C)
 class MergeFiltersRule final : public Rule {
  public:
   std::string_view name() const override { return "MergeFilters"; }
@@ -36,6 +41,8 @@ class MergeFiltersRule final : public Rule {
 };
 
 /// Project(Project(x)) => Project(x) by inlining the inner assignments.
+///   before: π_{a:=f(b)}(π_{b:=g(c)}(C))
+///   after:  π_{a:=f(g(c))}(C)
 class MergeProjectsRule final : public Rule {
  public:
   std::string_view name() const override { return "MergeProjects"; }
@@ -44,6 +51,8 @@ class MergeProjectsRule final : public Rule {
 
 /// Filter over Scan: hand the predicate to the scan for partition pruning
 /// (the filter stays; the scan only uses it to skip partitions).
+///   before: σ_{date BETWEEN ...}(Scan_T)
+///   after:  σ_{date BETWEEN ...}(Scan_T[prune: date BETWEEN ...])
 class PushFilterIntoScanRule final : public Rule {
  public:
   std::string_view name() const override { return "PushFilterIntoScan"; }
@@ -51,6 +60,8 @@ class PushFilterIntoScanRule final : public Rule {
 };
 
 /// Pushes filter conjuncts through projections and into inner-join sides.
+///   before: σ_{p(A) ∧ q(B)}(A ⋈ B)
+///   after:  σ_p(A) ⋈ σ_q(B)
 class FilterPushdownRule final : public Rule {
  public:
   std::string_view name() const override { return "FilterPushdown"; }
@@ -61,6 +72,9 @@ class FilterPushdownRule final : public Rule {
 /// Join(outer, GroupBy_{correlated cols}(subquery input)).
 /// Sound here because the correlated scalar aggregate is only consumed by
 /// NULL-rejecting comparisons (the Q01/Q30 pattern; see the rule's comment).
+/// Substrate: the [20]-style decorrelation the paper runs before fusion.
+///   before: Apply(O, γ[](σ_{k=O.k}(S)))
+///   after:  O ⋈_{O.k=k} γ_{k}[aggs](S)
 class DecorrelateScalarAggRule final : public Rule {
  public:
   std::string_view name() const override { return "DecorrelateScalarAgg"; }
@@ -68,6 +82,8 @@ class DecorrelateScalarAggRule final : public Rule {
 };
 
 /// Lowers DISTINCT aggregates onto MarkDistinct + masks (Section III.F).
+///   before: γ_{g}[COUNT(DISTINCT x)](C)
+///   after:  γ_{g}[COUNT(x) @mask=m](MD_{g,x}→m(C))
 class DistinctAggToMarkDistinctRule final : public Rule {
  public:
   std::string_view name() const override { return "DistinctAggToMarkDistinct"; }
@@ -76,6 +92,8 @@ class DistinctAggToMarkDistinctRule final : public Rule {
 
 /// SemiJoin(L, R, l=r) => Join(L, GroupBy_{r}(R), l=r) — the first step of
 /// the paper's Q95 pipeline (Section V.D).
+///   before: L ⋉_{l=r} R
+///   after:  L ⋈_{l=r} γ_{r}[](R)
 class SemiJoinToDistinctJoinRule final : public Rule {
  public:
   std::string_view name() const override { return "SemiJoinToDistinctJoin"; }
@@ -85,6 +103,8 @@ class SemiJoinToDistinctJoinRule final : public Rule {
 /// GroupBy_{b}(Join(A, B, a=b)) with no aggregates =>
 /// Join(GroupBy_{a}(A), GroupBy_{b}(B), a=b) — the "push a distinct below a
 /// join whenever the distinct and join columns agree" rule of Section V.D.
+///   before: γ_{a,b}[](A ⋈_{a=b} B)
+///   after:  γ_{a}[](A) ⋈_{a=b} γ_{b}[](B)
 class PushDistinctBelowJoinRule final : public Rule {
  public:
   std::string_view name() const override { return "PushDistinctBelowJoin"; }
@@ -92,8 +112,11 @@ class PushDistinctBelowJoinRule final : public Rule {
 };
 
 /// Section IV.A: P1 join GroupBy(P2) on the grouping keys, with exact
-/// fusion of P1 and P2, becomes a windowed aggregation over the fused plan.
+/// fusion of P1 and P2, becomes a windowed aggregation over the fused plan
+/// — one scan instead of two, aggregates broadcast to member rows.
 /// Handles n-ary joins (inputs separated by other tables) per IV.E.
+///   before: P1 ⋈_{k=g} γ_{g}[aggs](P2)      with Fuse(P1,P2) exact
+///   after:  σ_{agg IS NOT NULL}(Window_{partition k}[aggs](P))
 class GroupByJoinToWindowRule final : public Rule {
  public:
   std::string_view name() const override { return "GroupByJoinToWindow"; }
@@ -103,7 +126,11 @@ class GroupByJoinToWindowRule final : public Rule {
 /// Section IV.B: self-joins on keys of both sides collapse onto the fused
 /// plan. Implemented for the cases Athena can guarantee keys for:
 /// GroupBy-GroupBy pairs (grouping columns are keys) including the scalar
-/// aggregate / cross-join specialization. Handles n-ary joins per IV.E.
+/// aggregate / cross-join specialization (Q09/Q28/Q88: fifteen scalar
+/// aggregates over one scan). Handles n-ary joins per IV.E.
+///   before: γ_{k}[a1](P1) ⋈_{k=k'} γ_{k'}[a2](P2)
+///   after:  γ_{k}[a1@L, a2@R](P)             (join gone; masks compensate)
+///   scalar: γ[a1](P1) × γ[a2](P2)  =>  γ[a1@L, a2@R](P)
 class JoinOnKeysRule final : public Rule {
  public:
   std::string_view name() const override { return "JoinOnKeys"; }
@@ -111,7 +138,10 @@ class JoinOnKeysRule final : public Rule {
 };
 
 /// Section IV.C: UnionAll of two (semi-)joins against fusable right sides
-/// pushes the union below the join, tagging branches.
+/// pushes the union below the join, tagging branches so the shared right
+/// side is built (and scanned) once — the Q23 rewrite.
+///   before: (A ⋉ Z1) ∪ (B ⋉ Z2)             with Fuse(Z1,Z2) defined
+///   after:  (A+tag1 ∪ B+tag2) ⋉_{cond∧tag-filter} Z
 class UnionAllOnJoinRule final : public Rule {
  public:
   std::string_view name() const override { return "UnionAllOnJoin"; }
@@ -121,6 +151,9 @@ class UnionAllOnJoinRule final : public Rule {
 /// Section IV.D: UnionAll over fusable branches becomes a cross join of the
 /// fused plan with a constant tag table (or, when the compensating filters
 /// are contradictory, a CASE projection with no tag table).
+///   before: P1 ∪ P2                          with Fuse(P1,P2) defined
+///   after:  π_{CASE tag...}(σ_{(tag=1∧L)∨(tag=2∧R)}(P × Values[(1),(2)]))
+///   L∧R≡⊥:  π_{CASE L...}(P)                 (no tag table needed)
 class UnionAllFuseRule final : public Rule {
  public:
   std::string_view name() const override { return "UnionAllFuse"; }
