@@ -1,0 +1,230 @@
+#include "analysis/expr_type_checker.h"
+
+#include <string>
+
+namespace fusiondb {
+
+namespace {
+
+Status StructuralViolation(const char* invariant, std::string detail) {
+  return Status::PlanError("[" + std::string(invariant) + "] " +
+                           std::move(detail));
+}
+
+Status TypeViolation(const char* invariant, std::string detail) {
+  return Status::TypeError("[" + std::string(invariant) + "] " +
+                           std::move(detail));
+}
+
+/// Two values are comparable when both sides are numeric (int64 / float64 /
+/// date promote freely, mirroring CompareColumns) or the types are equal.
+bool Comparable(DataType a, DataType b) {
+  return a == b || (IsNumeric(a) && IsNumeric(b));
+}
+
+Status RequireArity(const Expr& e, size_t n) {
+  if (e.children().size() != n) {
+    return StructuralViolation(
+        "expr-arity", internal::StrCat(e.ToString(), " has ",
+                                       e.children().size(),
+                                       " children, expected ", n));
+  }
+  return Status::OK();
+}
+
+Status RequireBoolChild(const Expr& parent, const ExprPtr& child,
+                        const char* role) {
+  if (child->type() != DataType::kBool) {
+    return TypeViolation(
+        "boolean-operand",
+        internal::StrCat(role, " ", child->ToString(), " of ",
+                         parent.ToString(), " has type ",
+                         DataTypeName(child->type()), ", expected bool"));
+  }
+  return Status::OK();
+}
+
+Status RequireDeclaredBool(const Expr& e) {
+  if (e.type() != DataType::kBool) {
+    return TypeViolation(
+        "expr-result-type",
+        internal::StrCat(e.ToString(), " declares type ",
+                         DataTypeName(e.type()), ", expected bool"));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ExprTypeChecker::Check(const ExprPtr& expr) const {
+  if (expr == nullptr) {
+    return StructuralViolation("expr-null", "null expression node");
+  }
+  const Expr& e = *expr;
+  for (const ExprPtr& c : e.children()) {
+    if (c == nullptr) {
+      return StructuralViolation(
+          "expr-null", "null child of expression " + e.ToString());
+    }
+    FUSIONDB_RETURN_IF_ERROR(Check(c));
+  }
+  switch (e.kind()) {
+    case ExprKind::kColumnRef: {
+      int idx = input_.IndexOf(e.column_id());
+      if (idx < 0) {
+        return StructuralViolation(
+            "unresolved-column",
+            internal::StrCat("column #", e.column_id(),
+                             " is not produced by the input schema ",
+                             input_.ToString()));
+      }
+      DataType actual = input_.column(static_cast<size_t>(idx)).type;
+      if (actual != e.type()) {
+        return TypeViolation(
+            "column-type-mismatch",
+            internal::StrCat("reference to column #", e.column_id(),
+                             " declares type ", DataTypeName(e.type()),
+                             " but the input produces ",
+                             DataTypeName(actual)));
+      }
+      return Status::OK();
+    }
+    case ExprKind::kLiteral:
+      if (e.literal().type() != e.type()) {
+        return TypeViolation(
+            "literal-type-mismatch",
+            internal::StrCat("literal ", e.literal().ToString(),
+                             " of type ", DataTypeName(e.literal().type()),
+                             " declared as ", DataTypeName(e.type())));
+      }
+      return Status::OK();
+    case ExprKind::kCompare: {
+      FUSIONDB_RETURN_IF_ERROR(RequireArity(e, 2));
+      DataType l = e.child(0)->type();
+      DataType r = e.child(1)->type();
+      if (!Comparable(l, r)) {
+        return TypeViolation(
+            "compare-operand-types",
+            internal::StrCat("cannot compare ", DataTypeName(l), " with ",
+                             DataTypeName(r), " in ", e.ToString()));
+      }
+      return RequireDeclaredBool(e);
+    }
+    case ExprKind::kArith: {
+      FUSIONDB_RETURN_IF_ERROR(RequireArity(e, 2));
+      DataType l = e.child(0)->type();
+      DataType r = e.child(1)->type();
+      if (!IsNumeric(l) || !IsNumeric(r)) {
+        return TypeViolation(
+            "arith-operand-types",
+            internal::StrCat("arithmetic over ", DataTypeName(l), " and ",
+                             DataTypeName(r), " in ", e.ToString()));
+      }
+      // The evaluator's kernel selection depends on the declared type:
+      // division always produces float64, and any float64 operand promotes
+      // the result. The integer case tolerates kDate so date arithmetic
+      // (day-number offsets) can keep its logical type.
+      if (e.arith_op() == ArithOp::kDiv) {
+        if (e.type() != DataType::kFloat64) {
+          return TypeViolation(
+              "arith-result-type",
+              internal::StrCat("division ", e.ToString(), " declares ",
+                               DataTypeName(e.type()),
+                               " but always produces float64"));
+        }
+        return Status::OK();
+      }
+      bool any_float = l == DataType::kFloat64 || r == DataType::kFloat64;
+      bool ok = any_float ? e.type() == DataType::kFloat64
+                          : (e.type() == DataType::kInt64 ||
+                             e.type() == DataType::kDate);
+      if (!ok) {
+        return TypeViolation(
+            "arith-result-type",
+            internal::StrCat(e.ToString(), " declares ",
+                             DataTypeName(e.type()), " over operands ",
+                             DataTypeName(l), ", ", DataTypeName(r)));
+      }
+      return Status::OK();
+    }
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+      for (const ExprPtr& c : e.children()) {
+        FUSIONDB_RETURN_IF_ERROR(RequireBoolChild(e, c, "conjunct"));
+      }
+      return RequireDeclaredBool(e);
+    case ExprKind::kNot:
+      FUSIONDB_RETURN_IF_ERROR(RequireArity(e, 1));
+      FUSIONDB_RETURN_IF_ERROR(RequireBoolChild(e, e.child(0), "operand"));
+      return RequireDeclaredBool(e);
+    case ExprKind::kIsNull:
+      FUSIONDB_RETURN_IF_ERROR(RequireArity(e, 1));
+      return RequireDeclaredBool(e);
+    case ExprKind::kCase: {
+      size_t n = e.children().size();
+      if (n < 1 || n % 2 == 0) {
+        return StructuralViolation(
+            "case-shape",
+            internal::StrCat("CASE needs (when, then)* else — got ", n,
+                             " children in ", e.ToString()));
+      }
+      for (size_t i = 0; i + 1 < n; i += 2) {
+        FUSIONDB_RETURN_IF_ERROR(RequireBoolChild(e, e.child(i), "WHEN arm"));
+        if (e.child(i + 1)->type() != e.type()) {
+          return TypeViolation(
+              "case-arm-type",
+              internal::StrCat("THEN arm ", e.child(i + 1)->ToString(),
+                               " has type ",
+                               DataTypeName(e.child(i + 1)->type()),
+                               " but the CASE declares ",
+                               DataTypeName(e.type())));
+        }
+      }
+      if (e.child(n - 1)->type() != e.type()) {
+        return TypeViolation(
+            "case-arm-type",
+            internal::StrCat("ELSE arm ", e.child(n - 1)->ToString(),
+                             " has type ",
+                             DataTypeName(e.child(n - 1)->type()),
+                             " but the CASE declares ",
+                             DataTypeName(e.type())));
+      }
+      return Status::OK();
+    }
+    case ExprKind::kInList: {
+      if (e.children().size() < 2) {
+        return StructuralViolation(
+            "expr-arity",
+            "IN list needs an operand and at least one item: " + e.ToString());
+      }
+      DataType operand = e.child(0)->type();
+      for (size_t i = 1; i < e.children().size(); ++i) {
+        if (!Comparable(operand, e.child(i)->type())) {
+          return TypeViolation(
+              "compare-operand-types",
+              internal::StrCat("IN item ", e.child(i)->ToString(),
+                               " of type ",
+                               DataTypeName(e.child(i)->type()),
+                               " is not comparable with ",
+                               DataTypeName(operand), " operand"));
+        }
+      }
+      return RequireDeclaredBool(e);
+    }
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+Status ExprTypeChecker::CheckBoolean(const ExprPtr& expr,
+                                     const char* what) const {
+  FUSIONDB_RETURN_IF_ERROR(Check(expr));
+  if (expr->type() != DataType::kBool) {
+    return TypeViolation(
+        (std::string(what) + "-not-boolean").c_str(),
+        internal::StrCat(what, " ", expr->ToString(), " has type ",
+                         DataTypeName(expr->type()), ", expected bool"));
+  }
+  return Status::OK();
+}
+
+}  // namespace fusiondb

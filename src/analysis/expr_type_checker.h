@@ -1,0 +1,47 @@
+// Static type checking of scalar expressions against an input schema.
+//
+// Every expression node carries a declared DataType, but nothing in the
+// expression factories validates it: a rewrite that rebinds a column to the
+// wrong id, compares a string with an int, or declares an integer division
+// as int64 (the evaluator always produces float64 for kDiv) silently builds
+// an expression whose declared type lies about its runtime behaviour. The
+// checker re-infers every node's type bottom-up and reports the first
+// disagreement.
+//
+// Violation messages start with a bracketed invariant tag (the catalog is in
+// DESIGN.md) so tests and humans can pinpoint which rule was broken.
+// Structural problems (unresolved columns, wrong arity) report kPlanError;
+// type disagreements report kTypeError — matching the executor's own codes
+// so enabling verification never changes which error a caller observes.
+#ifndef FUSIONDB_ANALYSIS_EXPR_TYPE_CHECKER_H_
+#define FUSIONDB_ANALYSIS_EXPR_TYPE_CHECKER_H_
+
+#include "common/status.h"
+#include "expr/expr.h"
+#include "types/schema.h"
+
+namespace fusiondb {
+
+class ExprTypeChecker {
+ public:
+  /// Checks expressions against `input` (the producing operator's child
+  /// schema). The schema must outlive the checker.
+  explicit ExprTypeChecker(const Schema& input) : input_(input) {}
+
+  /// Validates `expr` recursively: column references resolve in the input
+  /// schema with their declared type, operand types are compatible, and each
+  /// node's declared type equals the inferred type.
+  Status Check(const ExprPtr& expr) const;
+
+  /// Check() plus the requirement that the top-level type is boolean.
+  /// `what` names the role for diagnostics ("predicate", "mask", ...) and
+  /// the violated invariant is reported as [<what>-not-boolean].
+  Status CheckBoolean(const ExprPtr& expr, const char* what) const;
+
+ private:
+  const Schema& input_;
+};
+
+}  // namespace fusiondb
+
+#endif  // FUSIONDB_ANALYSIS_EXPR_TYPE_CHECKER_H_

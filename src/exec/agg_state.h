@@ -67,8 +67,11 @@ struct AggState {
           sum_d += col.DoubleAt(row);
         }
         break;
-      default:
-        break;
+      case AggFunc::kCountStar:
+      case AggFunc::kCount:
+      case AggFunc::kMin:
+      case AggFunc::kMax:
+        break;  // count needs no value; min/max handled above
     }
   }
 

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "analysis/plan_verifier.h"
 #include "exec/operators_internal.h"
 
 namespace fusiondb {
@@ -10,16 +11,16 @@ namespace fusiondb {
 Result<ExecOperatorPtr> BuildExecutor(const PlanPtr& plan, ExecContext* ctx) {
   using namespace internal;  // NOLINT: operator factories
   if (plan == nullptr) return Status::PlanError("null plan");
-  switch (plan->kind()) {
-    case OpKind::kScan:
-      return MakeScanExec(Cast<ScanOp>(*plan), ctx);
-    case OpKind::kValues:
-      return MakeValuesExec(Cast<ValuesOp>(*plan), ctx);
-    case OpKind::kApply:
-      return Status::PlanError(
-          "Apply (correlated subquery) must be decorrelated before execution");
-    default:
-      break;
+  // Leaves and the one non-executable kind, before children are built.
+  if (plan->kind() == OpKind::kScan) {
+    return MakeScanExec(Cast<ScanOp>(*plan), ctx);
+  }
+  if (plan->kind() == OpKind::kValues) {
+    return MakeValuesExec(Cast<ValuesOp>(*plan), ctx);
+  }
+  if (plan->kind() == OpKind::kApply) {
+    return Status::PlanError(
+        "Apply (correlated subquery) must be decorrelated before execution");
   }
   std::vector<ExecOperatorPtr> children;
   children.reserve(plan->num_children());
@@ -54,14 +55,22 @@ Result<ExecOperatorPtr> BuildExecutor(const PlanPtr& plan, ExecContext* ctx) {
                                std::move(children[0]));
     case OpKind::kSpool:
       return MakeSpoolExec(Cast<SpoolOp>(*plan), std::move(children[0]), ctx);
-    default:
-      return Status::NotImplemented(std::string("no executor for ") +
-                                    OpKindName(plan->kind()));
+    case OpKind::kScan:
+    case OpKind::kValues:
+    case OpKind::kApply:
+      break;  // handled above
   }
+  return Status::NotImplemented(std::string("no executor for ") +
+                                OpKindName(plan->kind()));
 }
 
 Result<QueryResult> ExecutePlan(const PlanPtr& plan, size_t chunk_size,
                                 size_t parallelism) {
+  // Static checks first: a malformed plan is reported with the violated
+  // invariant and the offending subplan instead of whichever binding error
+  // the operator tree happens to hit first. (ApplyOp is structurally valid
+  // pre-decorrelation, so it passes here and BuildExecutor rejects it.)
+  FUSIONDB_RETURN_IF_ERROR(VerifyPlanIfEnabled(plan, "pre-execution"));
   ExecContext ctx;
   ctx.set_chunk_size(chunk_size);
   if (parallelism == 0) {

@@ -73,8 +73,9 @@ void ApplyPruneConjunct(const ExprPtr& e, ColumnId part_col, PruneSpec* spec) {
       case CompareOp::kGe:
         op = CompareOp::kLe;
         break;
-      default:
-        break;
+      case CompareOp::kEq:
+      case CompareOp::kNe:
+        break;  // symmetric; no flip needed
     }
   } else {
     return;

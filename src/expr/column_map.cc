@@ -12,8 +12,15 @@ ExprPtr ApplyMap(const ColumnMap& m, const ExprPtr& expr) {
     }
     case ExprKind::kLiteral:
       return expr;
-    default:
-      break;
+    case ExprKind::kCompare:
+    case ExprKind::kArith:
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+    case ExprKind::kNot:
+    case ExprKind::kIsNull:
+    case ExprKind::kCase:
+    case ExprKind::kInList:
+      break;  // recurse into children below
   }
   bool changed = false;
   std::vector<ExprPtr> new_children;
@@ -43,9 +50,11 @@ ExprPtr ApplyMap(const ColumnMap& m, const ExprPtr& expr) {
       return Expr::MakeCase(std::move(new_children), expr->type());
     case ExprKind::kInList:
       return Expr::MakeInList(std::move(new_children));
-    default:
-      return expr;
+    case ExprKind::kColumnRef:
+    case ExprKind::kLiteral:
+      return expr;  // leaves; handled before recursion
   }
+  return expr;
 }
 
 bool MergeMaps(ColumnMap* base, const ColumnMap& extra) {

@@ -8,23 +8,20 @@ Result<BoundExpr> BindExpr(const ExprPtr& expr, const Schema& schema) {
   BoundExpr b;
   b.kind_ = expr->kind();
   b.type_ = expr->type();
-  switch (expr->kind()) {
-    case ExprKind::kColumnRef: {
-      int idx = schema.IndexOf(expr->column_id());
-      if (idx < 0) {
-        return Status::PlanError("expression references column #" +
-                                 std::to_string(expr->column_id()) +
-                                 " not present in input schema " +
-                                 schema.ToString());
-      }
-      b.column_index_ = idx;
-      return b;
+  if (expr->kind() == ExprKind::kColumnRef) {
+    int idx = schema.IndexOf(expr->column_id());
+    if (idx < 0) {
+      return Status::PlanError("expression references column #" +
+                               std::to_string(expr->column_id()) +
+                               " not present in input schema " +
+                               schema.ToString());
     }
-    case ExprKind::kLiteral:
-      b.literal_ = expr->literal();
-      return b;
-    default:
-      break;
+    b.column_index_ = idx;
+    return b;
+  }
+  if (expr->kind() == ExprKind::kLiteral) {
+    b.literal_ = expr->literal();
+    return b;
   }
   b.cmp_ = expr->compare_op();
   b.arith_ = expr->arith_op();

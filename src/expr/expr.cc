@@ -219,7 +219,8 @@ void Fingerprint(const Expr& e, std::ostream& os) {
           case CompareOp::kGe:
             op = CompareOp::kLe;
             break;
-          default:
+          case CompareOp::kEq:
+          case CompareOp::kNe:
             break;  // =, <> are symmetric
         }
       }

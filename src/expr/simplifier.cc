@@ -35,9 +35,11 @@ ExprPtr Rebuild(const ExprPtr& e, std::vector<ExprPtr> children) {
       return Expr::MakeCase(std::move(children), e->type());
     case ExprKind::kInList:
       return Expr::MakeInList(std::move(children));
-    default:
-      return e;
+    case ExprKind::kColumnRef:
+    case ExprKind::kLiteral:
+      return e;  // leaves have no children to rebuild
   }
+  return e;
 }
 
 /// Folds a node whose children are all literals, using the scalar kernels.
@@ -56,9 +58,15 @@ std::optional<Value> TryFold(const ExprPtr& e) {
       return EvalNot(e->child(0)->literal());
     case ExprKind::kIsNull:
       return Value::Bool(e->child(0)->literal().is_null());
-    default:
-      return std::nullopt;
+    case ExprKind::kColumnRef:
+    case ExprKind::kLiteral:
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+    case ExprKind::kCase:
+    case ExprKind::kInList:
+      return std::nullopt;  // folded elsewhere (or not foldable)
   }
+  return std::nullopt;
 }
 
 }  // namespace
@@ -238,11 +246,17 @@ ExprPtr Simplify(const ExprPtr& expr) {
       if (arms.size() == cs.size()) return node;
       return Expr::MakeCase(std::move(arms), node->type());
     }
-    default: {
+    case ExprKind::kColumnRef:
+    case ExprKind::kLiteral:
+    case ExprKind::kCompare:
+    case ExprKind::kArith:
+    case ExprKind::kIsNull:
+    case ExprKind::kInList: {
       if (auto v = TryFold(node)) return Expr::MakeLiteral(*v);
       return node;
     }
   }
+  return node;
 }
 
 namespace {
@@ -307,8 +321,9 @@ void ApplyConjunct(const ExprPtr& e, std::map<ColumnId, Range>* ranges) {
       case CompareOp::kGe:
         op = CompareOp::kLe;
         break;
-      default:
-        break;
+      case CompareOp::kEq:
+      case CompareOp::kNe:
+        break;  // symmetric; no flip needed
     }
   } else {
     return;

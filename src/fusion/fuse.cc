@@ -72,9 +72,12 @@ std::optional<FuseResult> Fuser::Fuse(const PlanPtr& p1, const PlanPtr& p2) {
       return FuseResult{p1, ColumnMap(), Expr::MakeLiteral(Value::Bool(true)),
                         Expr::MakeLiteral(Value::Bool(true))};
     }
-    default:
-      return std::nullopt;
+    case OpKind::kWindow:
+    case OpKind::kUnionAll:
+    case OpKind::kApply:
+      return std::nullopt;  // no fusion rule for these kinds
   }
+  return std::nullopt;
 }
 
 // --- Section III.A: table scans -------------------------------------------
@@ -429,8 +432,18 @@ std::optional<FuseResult> Fuser::FuseDefault(const PlanPtr& p1,
       }
       break;
     }
-    default:
-      return std::nullopt;
+    case OpKind::kScan:
+    case OpKind::kFilter:
+    case OpKind::kProject:
+    case OpKind::kJoin:
+    case OpKind::kAggregate:
+    case OpKind::kWindow:
+    case OpKind::kMarkDistinct:
+    case OpKind::kUnionAll:
+    case OpKind::kValues:
+    case OpKind::kApply:
+    case OpKind::kSpool:
+      return std::nullopt;  // these kinds have dedicated Fuse* handlers
   }
   PlanPtr fused = p1->CloneWithChildren({sub->plan});
   return FuseResult{std::move(fused), std::move(sub->mapping), TrueExpr(),

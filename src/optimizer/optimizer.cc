@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "analysis/plan_verifier.h"
 #include "optimizer/prune_columns.h"
 #include "optimizer/rules.h"
 #include "optimizer/spool_rule.h"
@@ -62,6 +63,16 @@ Result<PlanPtr> SweepOnce(const PlanPtr& plan,
     for (const Rule* rule : rules) {
       FUSIONDB_ASSIGN_OR_RETURN(PlanPtr next, rule->Apply(current, ctx));
       if (next != current) {
+        // An invalid rewrite is a bug in the rule: pinpoint it here, at the
+        // first bad application, rather than as a downstream symptom.
+        if (PlanVerificationEnabled()) {
+          Status st = PlanVerifier::Verify(next);
+          if (!st.ok()) {
+            return Status::Internal(internal::StrCat(
+                "rule '", rule->name(), "' produced an invalid plan: ",
+                st.message()));
+          }
+        }
         current = std::move(next);
         round_changed = true;
         *changed = true;
@@ -110,6 +121,11 @@ Result<PlanPtr> Optimizer::Optimize(const PlanPtr& plan,
   static const JoinOnKeysRule join_on_keys;
   static const UnionAllOnJoinRule union_on_join;
   static const UnionAllFuseRule union_fuse;
+
+  // Catch plan-construction bugs (plan_builder, hand-built plans) before
+  // any rule runs: rule applications are only verified incrementally, so a
+  // pre-existing violation would otherwise be misattributed to a rule.
+  FUSIONDB_RETURN_IF_ERROR(VerifyPlanIfEnabled(plan, "initial plan"));
 
   PlanPtr current = plan;
 
@@ -173,6 +189,7 @@ Result<PlanPtr> Optimizer::Optimize(const PlanPtr& plan,
   if (options_.enable_column_pruning) {
     PhaseTimer timer("prune");
     FUSIONDB_ASSIGN_OR_RETURN(current, PruneColumns(current));
+    FUSIONDB_RETURN_IF_ERROR(VerifyPlanIfEnabled(current, "column pruning"));
   }
 
   // 8. Spooling (off by default): share duplicated subtrees through
@@ -181,6 +198,7 @@ Result<PlanPtr> Optimizer::Optimize(const PlanPtr& plan,
   if (options_.enable_spooling) {
     PhaseTimer timer("spool");
     FUSIONDB_ASSIGN_OR_RETURN(current, SpoolCommonSubexpressions(current, ctx));
+    FUSIONDB_RETURN_IF_ERROR(VerifyPlanIfEnabled(current, "spooling"));
   }
 
   // Schema stability contract: rewrites may leave superset schemas behind
@@ -202,6 +220,9 @@ Result<PlanPtr> Optimizer::Optimize(const PlanPtr& plan,
     }
     current = std::make_shared<ProjectOp>(current, std::move(narrow));
   }
+  // Final gate before the plan is handed to the executor: also covers the
+  // schema-narrowing projection built just above.
+  FUSIONDB_RETURN_IF_ERROR(VerifyPlanIfEnabled(current, "optimized plan"));
   return current;
 }
 

@@ -59,9 +59,19 @@ Result<PlanPtr> SimplifyExpressionsRule::Apply(const PlanPtr& plan,
           std::make_shared<AggregateOp>(agg.child(0), agg.group_by(),
                                         std::move(items)));
     }
-    default:
-      return plan;
+    case OpKind::kScan:
+    case OpKind::kWindow:
+    case OpKind::kMarkDistinct:
+    case OpKind::kUnionAll:
+    case OpKind::kValues:
+    case OpKind::kSort:
+    case OpKind::kLimit:
+    case OpKind::kEnforceSingleRow:
+    case OpKind::kApply:
+    case OpKind::kSpool:
+      return plan;  // no embedded expressions to simplify
   }
+  return plan;
 }
 
 Result<PlanPtr> MergeFiltersRule::Apply(const PlanPtr& plan,
@@ -123,9 +133,11 @@ Result<PlanPtr> MergeProjectsRule::Apply(const PlanPtr& plan,
           return Expr::MakeCase(std::move(children), e->type());
         case ExprKind::kInList:
           return Expr::MakeInList(std::move(children));
-        default:
-          return e;
+        case ExprKind::kColumnRef:
+        case ExprKind::kLiteral:
+          return e;  // leaves; handled before recursion
       }
+      return e;
     }
   };
   Subst subst{defs};

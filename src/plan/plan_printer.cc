@@ -8,6 +8,12 @@ namespace fusiondb {
 
 namespace {
 
+/// The verifier pretty-prints malformed subplans, so the printer must
+/// tolerate null expressions instead of dereferencing them.
+std::string ExprStr(const ExprPtr& e) {
+  return e == nullptr ? "<null>" : e->ToString();
+}
+
 void PrintNode(const PlanPtr& plan, int indent, std::ostream& os) {
   std::string pad(static_cast<size_t>(indent) * 2, ' ');
   os << pad << OpKindName(plan->kind());
@@ -21,7 +27,7 @@ void PrintNode(const PlanPtr& plan, int indent, std::ostream& os) {
       break;
     }
     case OpKind::kFilter:
-      os << " " << Cast<FilterOp>(*plan).predicate()->ToString();
+      os << " " << ExprStr(Cast<FilterOp>(*plan).predicate());
       break;
     case OpKind::kProject: {
       const auto& proj = Cast<ProjectOp>(*plan);
@@ -29,7 +35,7 @@ void PrintNode(const PlanPtr& plan, int indent, std::ostream& os) {
       for (size_t i = 0; i < proj.exprs().size(); ++i) {
         if (i > 0) os << ", ";
         const NamedExpr& e = proj.exprs()[i];
-        os << e.name << "#" << e.id << ":=" << e.expr->ToString();
+        os << e.name << "#" << e.id << ":=" << ExprStr(e.expr);
       }
       os << "]";
       break;
@@ -37,7 +43,7 @@ void PrintNode(const PlanPtr& plan, int indent, std::ostream& os) {
     case OpKind::kJoin: {
       const auto& join = Cast<JoinOp>(*plan);
       os << "(" << JoinTypeName(join.join_type()) << ") on "
-         << join.condition()->ToString();
+         << ExprStr(join.condition());
       break;
     }
     case OpKind::kAggregate: {
@@ -108,8 +114,10 @@ void PrintNode(const PlanPtr& plan, int indent, std::ostream& os) {
       os << "]";
       break;
     }
-    default:
-      break;
+    case OpKind::kUnionAll:
+    case OpKind::kSort:
+    case OpKind::kEnforceSingleRow:
+      break;  // nothing beyond the kind name and schema
   }
   os << "  -> " << plan->schema().ToString() << "\n";
   for (const PlanPtr& c : plan->children()) {

@@ -34,9 +34,12 @@ inline PhysicalType PhysicalTypeOf(DataType t) {
       return PhysicalType::kDouble;
     case DataType::kString:
       return PhysicalType::kString;
-    default:
+    case DataType::kBool:
+    case DataType::kInt64:
+    case DataType::kDate:
       return PhysicalType::kInt;
   }
+  return PhysicalType::kInt;
 }
 
 inline const char* DataTypeName(DataType t) {

@@ -1,0 +1,224 @@
+// PlanVerifier: hand-built broken plans must be rejected with the right
+// invariant tag and status code, and every TPC-DS plan — before and after
+// optimization, in every configuration — must verify cleanly.
+#include <gtest/gtest.h>
+
+#include "analysis/plan_verifier.h"
+#include "plan/spool.h"
+#include "test_util.h"
+
+namespace fusiondb {
+namespace {
+
+using testutil::SharedTpcds;
+using testutil::Unwrap;
+
+PlanBuilder Items(PlanContext* ctx) {
+  TablePtr item = Unwrap(SharedTpcds().GetTable("item"));
+  return PlanBuilder::Scan(ctx, item, {"i_item_sk", "i_brand_id"});
+}
+
+/// Asserts `plan` is rejected with `code` and an invariant tag in brackets.
+void ExpectViolation(const PlanPtr& plan, StatusCode code, const char* tag) {
+  Status st = PlanVerifier::Verify(plan, "test");
+  ASSERT_FALSE(st.ok()) << "expected [" << tag << "] violation, plan:\n"
+                        << PlanToString(plan);
+  EXPECT_EQ(st.code(), code) << st.ToString();
+  EXPECT_NE(st.message().find(std::string("[") + tag + "]"),
+            std::string::npos)
+      << "expected tag [" << tag << "] in: " << st.ToString();
+  // Diagnostics must carry the pretty-printed offending subplan.
+  EXPECT_NE(st.message().find("offending subplan:"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(PlanVerifierTest, AcceptsValidPlan) {
+  PlanContext ctx;
+  PlanBuilder b = Items(&ctx);
+  PlanPtr plan = std::make_shared<FilterOp>(
+      b.Build(), eb::Gt(b.Ref("i_brand_id"), eb::Int(0)));
+  FUSIONDB_EXPECT_OK(PlanVerifier::Verify(plan, "test"));
+}
+
+TEST(PlanVerifierTest, RejectsUnboundColumnReference) {
+  PlanContext ctx;
+  PlanPtr bad = std::make_shared<FilterOp>(
+      Items(&ctx).Build(),
+      eb::Gt(eb::Col(99999, DataType::kInt64), eb::Int(0)));
+  ExpectViolation(bad, StatusCode::kPlanError, "unresolved-column");
+}
+
+TEST(PlanVerifierTest, RejectsNonBooleanPredicate) {
+  PlanContext ctx;
+  PlanBuilder b = Items(&ctx);
+  PlanPtr bad = std::make_shared<FilterOp>(b.Build(), b.Ref("i_brand_id"));
+  ExpectViolation(bad, StatusCode::kTypeError, "predicate-not-boolean");
+}
+
+TEST(PlanVerifierTest, RejectsUnionMappingArityMismatch) {
+  PlanContext ctx;
+  PlanBuilder a = Items(&ctx);
+  PlanBuilder b = Items(&ctx);
+  // The second input maps two columns onto a single-column output.
+  PlanPtr bad = std::make_shared<UnionAllOp>(
+      std::vector<PlanPtr>{a.Build(), b.Build()},
+      Schema({{ctx.NextId(), "x", DataType::kInt64}}),
+      std::vector<std::vector<ColumnId>>{
+          {a.Col("i_item_sk").id},
+          {b.Col("i_item_sk").id, b.Col("i_brand_id").id}});
+  ExpectViolation(bad, StatusCode::kPlanError, "union-mapping-arity");
+}
+
+TEST(PlanVerifierTest, RejectsUnionBranchFeedingWrongType) {
+  PlanContext ctx;
+  ColumnId ia = ctx.NextId();
+  ColumnId fb = ctx.NextId();
+  PlanPtr ints = std::make_shared<ValuesOp>(
+      Schema({{ia, "a", DataType::kInt64}}),
+      std::vector<std::vector<Value>>{{Value::Int64(1)}});
+  PlanPtr floats = std::make_shared<ValuesOp>(
+      Schema({{fb, "b", DataType::kFloat64}}),
+      std::vector<std::vector<Value>>{{Value::Float64(2.5)}});
+  // Output declares int64, second branch feeds it float64.
+  PlanPtr bad = std::make_shared<UnionAllOp>(
+      std::vector<PlanPtr>{ints, floats},
+      Schema({{ctx.NextId(), "x", DataType::kInt64}}),
+      std::vector<std::vector<ColumnId>>{{ia}, {fb}});
+  ExpectViolation(bad, StatusCode::kTypeError, "union-branch-type");
+}
+
+TEST(PlanVerifierTest, RejectsSpoolConsumersWithDivergedProducers) {
+  PlanContext ctx;
+  ColumnId a = ctx.NextId();
+  ColumnId b = ctx.NextId();
+  // Two spools claim id 7 but materialize *different* subtrees: one
+  // consumer would silently read the other relation's buffer.
+  PlanPtr left = std::make_shared<SpoolOp>(
+      7, std::make_shared<ValuesOp>(
+             Schema({{a, "a", DataType::kInt64}}),
+             std::vector<std::vector<Value>>{{Value::Int64(1)}}));
+  PlanPtr right = std::make_shared<SpoolOp>(
+      7, std::make_shared<ValuesOp>(
+             Schema({{b, "b", DataType::kInt64}}),
+             std::vector<std::vector<Value>>{{Value::Int64(2)}}));
+  PlanPtr bad = std::make_shared<UnionAllOp>(
+      std::vector<PlanPtr>{left, right},
+      Schema({{ctx.NextId(), "x", DataType::kInt64}}),
+      std::vector<std::vector<ColumnId>>{{a}, {b}});
+  ExpectViolation(bad, StatusCode::kPlanError, "dangling-spool");
+}
+
+TEST(PlanVerifierTest, AcceptsSpoolConsumersSharingOneProducer) {
+  PlanContext ctx;
+  ColumnId a = ctx.NextId();
+  PlanPtr producer = std::make_shared<ValuesOp>(
+      Schema({{a, "a", DataType::kInt64}}),
+      std::vector<std::vector<Value>>{{Value::Int64(1)}});
+  PlanPtr left = std::make_shared<SpoolOp>(7, producer);
+  PlanPtr right = std::make_shared<SpoolOp>(7, producer);
+  PlanPtr plan = std::make_shared<UnionAllOp>(
+      std::vector<PlanPtr>{left, right},
+      Schema({{ctx.NextId(), "x", DataType::kInt64}}),
+      std::vector<std::vector<ColumnId>>{{a}, {a}});
+  FUSIONDB_EXPECT_OK(PlanVerifier::Verify(plan, "test"));
+}
+
+TEST(PlanVerifierTest, RejectsSortOnMissingColumn) {
+  PlanContext ctx;
+  PlanPtr bad = std::make_shared<SortOp>(
+      Items(&ctx).Build(), std::vector<SortKey>{{424242, true}});
+  ExpectViolation(bad, StatusCode::kPlanError, "sort-key-unresolved");
+}
+
+TEST(PlanVerifierTest, RejectsNegativeLimit) {
+  PlanContext ctx;
+  PlanPtr bad = std::make_shared<LimitOp>(Items(&ctx).Build(), -5);
+  ExpectViolation(bad, StatusCode::kPlanError, "limit-negative");
+}
+
+TEST(PlanVerifierTest, RejectsValuesRowArityMismatch) {
+  PlanContext ctx;
+  PlanPtr bad = std::make_shared<ValuesOp>(
+      Schema({{ctx.NextId(), "a", DataType::kInt64},
+              {ctx.NextId(), "b", DataType::kInt64}}),
+      std::vector<std::vector<Value>>{{Value::Int64(1)}});
+  ExpectViolation(bad, StatusCode::kPlanError, "values-row-arity");
+}
+
+TEST(PlanVerifierTest, RejectsValuesCellTypeMismatch) {
+  PlanContext ctx;
+  PlanPtr bad = std::make_shared<ValuesOp>(
+      Schema({{ctx.NextId(), "a", DataType::kInt64}}),
+      std::vector<std::vector<Value>>{{Value::String("oops")}});
+  ExpectViolation(bad, StatusCode::kTypeError, "values-cell-type");
+}
+
+TEST(PlanVerifierTest, RejectsForeignGroupByColumn) {
+  PlanContext ctx;
+  PlanBuilder b = Items(&ctx);
+  PlanBuilder other = Items(&ctx);
+  PlanPtr bad = std::make_shared<AggregateOp>(
+      b.Build(), std::vector<ColumnId>{other.Col("i_brand_id").id},
+      std::vector<AggregateItem>{});
+  ExpectViolation(bad, StatusCode::kPlanError, "aggregate-group-unresolved");
+}
+
+TEST(PlanVerifierTest, RejectsCrossJoinWithRealCondition) {
+  PlanContext ctx;
+  PlanBuilder a = Items(&ctx);
+  PlanBuilder b = Items(&ctx);
+  PlanPtr bad = std::make_shared<JoinOp>(
+      JoinType::kCross, a.Build(), b.Build(),
+      eb::Eq(a.Ref("i_item_sk"), b.Ref("i_item_sk")));
+  ExpectViolation(bad, StatusCode::kPlanError, "cross-join-condition");
+}
+
+TEST(PlanVerifierTest, ContextAppearsInViolationMessage) {
+  PlanContext ctx;
+  PlanPtr bad = std::make_shared<LimitOp>(Items(&ctx).Build(), -1);
+  Status st = PlanVerifier::Verify(bad, "unit-test-context");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("unit-test-context"), std::string::npos)
+      << st.ToString();
+}
+
+// Every freshly-built TPC-DS plan must verify before optimization. This
+// includes the correlated queries whose plans still contain Apply: Apply is
+// structurally valid pre-decorrelation (the executor, not the verifier,
+// refuses to run it).
+TEST(PlanVerifierTest, AllTpcdsPlansVerifyUnoptimized) {
+  const Catalog& catalog = SharedTpcds();
+  PlanContext ctx;
+  for (const tpcds::TpcdsQuery& q : tpcds::Queries()) {
+    PlanPtr plan = Unwrap(q.build(catalog, &ctx));
+    FUSIONDB_ASSERT_OK(PlanVerifier::Verify(plan, q.name + " unoptimized"));
+  }
+}
+
+// Every TPC-DS plan must verify after optimization under every
+// configuration: a rewrite that emits an invalid plan is a bug even when the
+// plan happens to execute.
+TEST(PlanVerifierTest, AllTpcdsPlansVerifyAfterOptimization) {
+  const Catalog& catalog = SharedTpcds();
+  const struct {
+    const char* name;
+    OptimizerOptions options;
+  } configs[] = {
+      {"baseline", OptimizerOptions::Baseline()},
+      {"fused", OptimizerOptions::Fused()},
+      {"spooling", OptimizerOptions::Spooling()},
+  };
+  for (const auto& cfg : configs) {
+    Optimizer optimizer(cfg.options);
+    for (const tpcds::TpcdsQuery& q : tpcds::Queries()) {
+      PlanContext ctx;
+      PlanPtr plan = Unwrap(q.build(catalog, &ctx));
+      PlanPtr optimized = Unwrap(optimizer.Optimize(plan, &ctx));
+      FUSIONDB_ASSERT_OK(PlanVerifier::Verify(
+          optimized, q.name + std::string(" optimized/") + cfg.name));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fusiondb

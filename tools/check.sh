@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# The full pre-merge gate, in the order a failure is cheapest to hit:
+#   1. tier-1: plain build + full ctest (plan verification on by default)
+#   2. ThreadSanitizer over the `parallel`-labelled tests
+#   3. UndefinedBehaviorSanitizer over the full suite
+#   4. tools/lint.sh (banned patterns + clang-tidy when available)
+#
+# Usage: tools/check.sh [-j N]
+set -eu
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+while getopts "j:" opt; do
+  case "$opt" in
+    j) JOBS="$OPTARG" ;;
+    *) echo "usage: $0 [-j N]" >&2; exit 2 ;;
+  esac
+done
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+echo "== [1/4] tier-1 build + tests =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$JOBS"
+ctest --test-dir build --output-on-failure -j"$JOBS"
+
+echo "== [2/4] ThreadSanitizer (parallel tests) =="
+cmake -B build-tsan -S . -DFUSIONDB_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j"$JOBS"
+ctest --test-dir build-tsan --output-on-failure -L parallel
+
+echo "== [3/4] UndefinedBehaviorSanitizer (full suite) =="
+cmake -B build-ubsan -S . -DFUSIONDB_SANITIZE=undefined >/dev/null
+cmake --build build-ubsan -j"$JOBS"
+ctest --test-dir build-ubsan --output-on-failure -j"$JOBS"
+
+echo "== [4/4] lint =="
+tools/lint.sh build
+
+echo "check: all gates passed"

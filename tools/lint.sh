@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Static checks beyond the compiler.
+#
+# Usage: tools/lint.sh [BUILD_DIR]
+#
+# Two layers:
+#   1. Banned-pattern greps (always run; no external tools needed).
+#   2. clang-tidy over src/ using BUILD_DIR/compile_commands.json, when
+#      clang-tidy is installed (skipped otherwise so the check degrades
+#      gracefully on toolchains without it).
+#
+# Run from the repository root, or via `cmake --build <dir> --target lint`.
+set -u
+
+BUILD_DIR="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+failures=0
+
+note_failure() {
+  failures=$((failures + 1))
+  echo "lint: $1" >&2
+}
+
+# --- Layer 1: banned patterns ----------------------------------------------
+
+# Nothing may include generated build output.
+if grep -rn '#include "build/' src tests bench examples 2>/dev/null; then
+  note_failure 'sources must not include files from build/'
+fi
+
+# Raw assert() is compiled out in release builds; library code must report
+# through Status (or FUSIONDB_CHECK for true invariants). Tests may assert.
+if grep -rn --include='*.cc' --include='*.h' '^[[:space:]]*assert(' \
+    src bench examples 2>/dev/null; then
+  note_failure 'use Status / FUSIONDB_CHECK instead of raw assert() outside tests'
+fi
+
+# --- Layer 2: clang-tidy (optional) ----------------------------------------
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [ -f "$BUILD_DIR/compile_commands.json" ]; then
+    # shellcheck disable=SC2046
+    if ! clang-tidy -p "$BUILD_DIR" --quiet $(find src -name '*.cc'); then
+      note_failure 'clang-tidy reported findings'
+    fi
+  else
+    echo "lint: skipping clang-tidy ($BUILD_DIR/compile_commands.json not found;" \
+         "configure with CMake first)" >&2
+  fi
+else
+  echo "lint: clang-tidy not installed; running grep checks only" >&2
+fi
+
+if [ "$failures" -ne 0 ]; then
+  echo "lint: FAILED ($failures issue(s))" >&2
+  exit 1
+fi
+echo "lint: OK"
