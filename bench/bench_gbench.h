@@ -1,0 +1,53 @@
+// Glue between the google-benchmark micros and the BENCH_<name>.json
+// report: a console reporter that mirrors every run into a BenchReport,
+// and a BENCHMARK_MAIN() replacement that writes the report on exit.
+#ifndef FUSIONDB_BENCH_BENCH_GBENCH_H_
+#define FUSIONDB_BENCH_BENCH_GBENCH_H_
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace fusiondb::bench {
+
+/// Captures each run as a BenchRecord (query = benchmark name, config =
+/// "micro", wall_ms = real time per iteration) while still printing the
+/// normal console table. Bytes/memory fields stay zero: the micros
+/// measure throughput of single operators, not whole-query scans.
+class RecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit RecordingReporter(BenchReport* report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      report_->Add({run.benchmark_name(), "micro",
+                    run.real_accumulated_time / iters * 1e3, 0, 0, 1});
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  BenchReport* report_;
+};
+
+/// Drop-in replacement for BENCHMARK_MAIN()'s body.
+inline int RunGbenchWithReport(const std::string& name, int argc,
+                               char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  BenchReport report(name);
+  RecordingReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  report.Write();
+  return 0;
+}
+
+}  // namespace fusiondb::bench
+
+#endif  // FUSIONDB_BENCH_BENCH_GBENCH_H_

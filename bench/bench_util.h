@@ -5,8 +5,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "fusiondb.h"
+#include "obs/json_writer.h"
 
 namespace fusiondb::bench {
 
@@ -43,6 +46,72 @@ inline const Catalog& BenchCatalog() {
   return *catalog;
 }
 
+/// Per-operator profiling during benches; disable with
+/// FUSIONDB_BENCH_PROFILE=0 (used to measure the profiling overhead
+/// itself, see EXPERIMENTS.md).
+inline bool BenchProfileEnabled() {
+  const char* env = std::getenv("FUSIONDB_BENCH_PROFILE");
+  return env == nullptr || std::atoi(env) != 0;
+}
+
+/// One measurement row in a bench's machine-readable report.
+struct BenchRecord {
+  std::string query;
+  std::string config;  // e.g. "baseline", "fused", "spool"
+  double wall_ms = 0.0;
+  int64_t bytes_scanned = 0;
+  int64_t peak_hash_bytes = 0;
+  int64_t threads = 1;
+};
+
+/// Accumulates BenchRecords and writes BENCH_<name>.json in the working
+/// directory (schema documented in EXPERIMENTS.md), so figure data can be
+/// consumed by scripts instead of scraped from stdout.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void Add(BenchRecord record) { records_.push_back(std::move(record)); }
+
+  void Write() const {
+    JsonWriter w;
+    w.BeginObject();
+    w.Field("bench", name_);
+    w.Field("scale", BenchScale());
+    w.Field("profile_enabled", BenchProfileEnabled());
+    w.Key("records");
+    w.BeginArray();
+    for (const BenchRecord& r : records_) {
+      w.BeginObject();
+      w.Field("query", r.query);
+      w.Field("config", r.config);
+      w.Field("wall_ms", r.wall_ms);
+      w.Field("bytes_scanned", r.bytes_scanned);
+      w.Field("peak_hash_bytes", r.peak_hash_bytes);
+      w.Field("threads", r.threads);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return;
+    }
+    const std::string& json = w.str();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s (%zu records)\n", path.c_str(),
+                 records_.size());
+  }
+
+ private:
+  std::string name_;
+  std::vector<BenchRecord> records_;
+};
+
 struct RunStats {
   double latency_ms = 0.0;
   int64_t bytes_scanned = 0;
@@ -58,7 +127,8 @@ inline RunStats RunPlan(const PlanPtr& plan, const OptimizerOptions& options,
   RunStats stats;
   std::vector<double> times;
   for (int i = 0; i < repeats; ++i) {
-    QueryResult result = Unwrap(ExecutePlan(optimized));
+    QueryResult result =
+        Unwrap(ExecutePlan(optimized, 4096, 1, BenchProfileEnabled()));
     times.push_back(result.wall_ms());
     stats.bytes_scanned = result.metrics().bytes_scanned;
     stats.peak_hash_bytes = result.metrics().peak_hash_bytes;
@@ -91,6 +161,15 @@ inline Comparison CompareQuery(const tpcds::TpcdsQuery& query,
   out.baseline = RunPlan(plan, OptimizerOptions::Baseline(), &ctx, repeats);
   out.fused = RunPlan(plan, OptimizerOptions::Fused(), &ctx, repeats);
   return out;
+}
+
+/// Records a Comparison as one "baseline" and one "fused" BenchRecord.
+inline void AddComparison(BenchReport* report, const std::string& query,
+                          const Comparison& c, int64_t threads = 1) {
+  report->Add({query, "baseline", c.baseline.latency_ms,
+               c.baseline.bytes_scanned, c.baseline.peak_hash_bytes, threads});
+  report->Add({query, "fused", c.fused.latency_ms, c.fused.bytes_scanned,
+               c.fused.peak_hash_bytes, threads});
 }
 
 }  // namespace fusiondb::bench

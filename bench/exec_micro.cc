@@ -3,6 +3,7 @@
 // bytes-scanned metric track latency in this engine.
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench.h"
 #include "bench_util.h"
 
 using namespace fusiondb;         // NOLINT
@@ -120,4 +121,6 @@ BENCHMARK(BM_WindowAggregation);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return RunGbenchWithReport("exec_micro", argc, argv);
+}

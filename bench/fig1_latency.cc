@@ -11,6 +11,7 @@ using namespace fusiondb::bench;  // NOLINT
 
 int main() {
   const Catalog& catalog = BenchCatalog();
+  BenchReport report("fig1_latency");
   std::printf("\nFigure 1 — latency improvement for selected queries\n");
   std::printf("(speedup = baseline latency / fused latency)\n\n");
   std::printf("%-6s %-8s %14s %14s %9s %7s\n", "query", "section",
@@ -19,6 +20,7 @@ int main() {
   for (const tpcds::TpcdsQuery& q : tpcds::Queries()) {
     if (!q.fusion_applicable) continue;
     Comparison c = CompareQuery(q, catalog);
+    AddComparison(&report, q.name, c);
     std::printf("%-6s %-8s %14.2f %14.2f %8.2fx %7s\n", q.name.c_str(),
                 q.paper_section.c_str(), c.baseline.latency_ms,
                 c.fused.latency_ms,
@@ -28,5 +30,6 @@ int main() {
   std::printf(
       "\npaper (3TB, production cluster): Q01/Q30/Q65 below 10%%; "
       "Q09/Q28/Q88 3x-6x; Q23 ~2x; Q95 ~30%%.\n");
+  report.Write();
   return 0;
 }

@@ -11,6 +11,7 @@ using namespace fusiondb::bench;  // NOLINT
 
 int main() {
   const Catalog& catalog = BenchCatalog();
+  BenchReport report("fig2_bytes_scanned");
   std::printf("\nFigure 2 — reduction in data read for selected queries\n");
   std::printf("(fraction = fused bytes scanned / baseline bytes scanned)\n\n");
   std::printf("%-6s %-8s %16s %16s %10s %7s\n", "query", "section",
@@ -19,6 +20,7 @@ int main() {
   for (const tpcds::TpcdsQuery& q : tpcds::Queries()) {
     if (!q.fusion_applicable) continue;
     Comparison c = CompareQuery(q, catalog, /*repeats=*/1);
+    AddComparison(&report, q.name, c);
     std::printf("%-6s %-8s %16lld %16lld %9.1f%% %7s\n", q.name.c_str(),
                 q.paper_section.c_str(),
                 static_cast<long long>(c.baseline.bytes_scanned),
@@ -30,5 +32,6 @@ int main() {
   std::printf(
       "\npaper (3TB): selected queries read 15%%-80%% of baseline bytes "
       "(>=~20%% reduction each); Q09/Q28/Q88 cut 60%%-85%%.\n");
+  report.Write();
   return 0;
 }

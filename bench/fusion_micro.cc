@@ -4,6 +4,7 @@
 // compile-time overhead the paper's rules add to the engine.
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench.h"
 #include "bench_util.h"
 
 using namespace fusiondb;         // NOLINT
@@ -111,4 +112,6 @@ BENCHMARK(BM_Simplify);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return RunGbenchWithReport("fusion_micro", argc, argv);
+}

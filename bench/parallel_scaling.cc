@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
   for (size_t t = 1; t <= max_threads; t *= 2) sweep.push_back(t);
 
   const Catalog& catalog = BenchCatalog();
+  BenchReport report("parallel_scaling");
   std::printf("\nParallel scaling — morsel-driven execution, %u hardware "
               "thread(s) on this host\n\n",
               hw);
@@ -80,6 +81,12 @@ int main(int argc, char** argv) {
         double ms = MedianLatencyMs(optimized, t, 3);
         if (t == 1) base_ms = ms;
         best_ms = ms;
+        // bytes/memory come from the serial run: both are thread-count
+        // invariant (the gate above checks bytes explicitly).
+        report.Add({q.name, fused ? "fused" : "baseline", ms,
+                    serial.metrics().bytes_scanned,
+                    serial.metrics().peak_hash_bytes,
+                    static_cast<int64_t>(t)});
         std::printf(" %8.2fms", ms);
       }
       std::printf(" %8.2fx %6s\n", base_ms / best_ms, ok ? "yes" : "NO");
@@ -91,5 +98,6 @@ int main(int argc, char** argv) {
       "single-core host shows ~1.0x (the sweep then only checks "
       "thread-count invariance).\n",
       sweep.back());
+  report.Write();
   return all_ok ? 0 : 1;
 }

@@ -57,6 +57,7 @@ std::vector<Variant> Variants() {
 
 int main() {
   const Catalog& catalog = BenchCatalog();
+  BenchReport report("rule_ablation");
   std::vector<Variant> variants = Variants();
 
   std::printf("\nRule ablation — bytes scanned per optimizer variant\n\n");
@@ -71,6 +72,8 @@ int main() {
       PlanContext ctx;
       PlanPtr plan = Unwrap(q.build(catalog, &ctx));
       RunStats stats = RunPlan(plan, v.options, &ctx, /*repeats=*/1);
+      report.Add({q.name, v.name, stats.latency_ms, stats.bytes_scanned,
+                  stats.peak_hash_bytes, 1});
       std::printf(" %12lld", static_cast<long long>(stats.bytes_scanned));
     }
     std::printf("\n");
@@ -78,5 +81,6 @@ int main() {
   std::printf(
       "\nReading: a query's bytes jump back to the baseline level exactly "
       "when the rule that rewrites it is disabled.\n");
+  report.Write();
   return 0;
 }

@@ -18,6 +18,7 @@ using namespace fusiondb::bench;  // NOLINT
 
 int main() {
   const Catalog& catalog = BenchCatalog();
+  BenchReport report("spool_vs_fusion");
   std::printf("\nFusion vs spooling (baseline-normalized latency)\n\n");
   std::printf("%-6s %10s %10s %10s %7s %13s %13s %13s\n", "query",
               "base (ms)", "spool(ms)", "fused(ms)", "spools",
@@ -34,6 +35,12 @@ int main() {
     RunStats base = RunPlan(plan, OptimizerOptions::Baseline(), &ctx);
     RunStats spool = RunPlan(plan, OptimizerOptions::Spooling(), &ctx);
     RunStats fused = RunPlan(plan, OptimizerOptions::Fused(), &ctx);
+    report.Add({q.name, "baseline", base.latency_ms, base.bytes_scanned,
+                base.peak_hash_bytes, 1});
+    report.Add({q.name, "spool", spool.latency_ms, spool.bytes_scanned,
+                spool.peak_hash_bytes, 1});
+    report.Add({q.name, "fused", fused.latency_ms, fused.bytes_scanned,
+                fused.peak_hash_bytes, 1});
 
     // Correctness across all three configurations.
     QueryResult rb = Unwrap(ExecutePlan(
@@ -56,5 +63,6 @@ int main() {
       "spools its identical demographic/store fragments but cannot share "
       "the differing time windows. Where both apply, fusion needs no spool "
       "buffers and skips the per-read deserialization.\n");
+  report.Write();
   return 0;
 }

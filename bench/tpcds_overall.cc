@@ -18,6 +18,7 @@ using namespace fusiondb::bench;  // NOLINT
 
 int main() {
   const Catalog& catalog = BenchCatalog();
+  BenchReport report("tpcds_overall");
   std::printf("\nWhole-workload comparison (Section V headline numbers)\n\n");
   std::printf("%-6s %-5s %12s %12s %9s %13s %13s %7s\n", "query", "appl",
               "base (ms)", "fused (ms)", "speedup", "base mem (B)",
@@ -34,6 +35,7 @@ int main() {
 
   for (const tpcds::TpcdsQuery& q : tpcds::Queries()) {
     Comparison c = CompareQuery(q, catalog);
+    AddComparison(&report, q.name, c);
     double speedup = c.baseline.latency_ms / c.fused.latency_ms;
     std::printf("%-6s %-5s %12.2f %12.2f %8.2fx %13lld %13lld %7s\n",
                 q.name.c_str(), q.fusion_applicable ? "yes" : "no",
@@ -63,5 +65,6 @@ int main() {
       100.0 * applicable_ratio_sum / applicable_count);
   std::printf("best speedup: %s at %.2fx   (paper: over 6x)\n",
               best_query.c_str(), best_speedup);
+  report.Write();
   return 0;
 }

@@ -1,9 +1,17 @@
 // run_query: execute one TPC-DS query by name under both optimizer
 // configurations, printing plans, results and metrics.
 //
-// Usage: run_query [query=q65] [scale=0.01] [--plans] [--threads=N]
-// --threads=N sets morsel-driven intra-query parallelism (0 = all cores;
-// default 1 = single-threaded).
+// Usage: run_query [query=q65] [scale=0.01] [flags]
+//   --plans             print baseline and fused plans before executing
+//   --explain           print the plans and exit without executing
+//   --explain-analyze   print plans annotated with per-operator runtime
+//                       stats after executing (EXPLAIN ANALYZE)
+//   --trace-optimizer   print the optimizer/fusion trace for the fused
+//                       configuration (rules attempted/fired, fusion steps)
+//   --profile=PATH      write a JSON QueryProfile of the fused execution
+//   --threads=N         morsel-driven intra-query parallelism (0 = all
+//                       cores; default 1 = single-threaded)
+// Unknown --flags are rejected with exit code 2.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,13 +41,34 @@ int main(int argc, char** argv) {
   std::string name = "q65";
   double scale = 0.01;
   bool show_plans = false;
+  bool explain_only = false;
+  bool explain_analyze = false;
+  bool trace_optimizer = false;
+  std::string profile_path;
   size_t threads = 1;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--plans") == 0) {
       show_plans = true;
+    } else if (std::strcmp(argv[i], "--explain") == 0) {
+      explain_only = true;
+    } else if (std::strcmp(argv[i], "--explain-analyze") == 0) {
+      explain_analyze = true;
+    } else if (std::strcmp(argv[i], "--trace-optimizer") == 0) {
+      trace_optimizer = true;
+    } else if (std::strncmp(argv[i], "--profile=", 10) == 0) {
+      profile_path = argv[i] + 10;
+    } else if (std::strcmp(argv[i], "--profile") == 0 && i + 1 < argc) {
+      profile_path = argv[++i];
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       threads = static_cast<size_t>(std::atoi(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr, "run_query: unknown flag '%s'\n", argv[i]);
+      std::fprintf(stderr,
+                   "usage: run_query [query] [scale] [--plans] [--explain] "
+                   "[--explain-analyze] [--trace-optimizer] [--profile=PATH] "
+                   "[--threads=N]\n");
+      return 2;
     } else if (++positional == 1) {
       name = argv[i];
     } else if (positional == 2) {
@@ -61,18 +90,42 @@ int main(int argc, char** argv) {
   PlanPtr baseline =
       Unwrap(Optimizer(OptimizerOptions::Baseline()).Optimize(plan, &ctx));
   std::fprintf(stderr, "optimizing (fused)...\n");
+  // The trace rides on the PlanContext only around the fused optimization,
+  // so it records exactly the rewrite sequence that produced `fused`.
+  OptimizerTrace trace;
+  bool want_trace = trace_optimizer || !profile_path.empty();
+  if (want_trace) ctx.set_trace(&trace);
   PlanPtr fused =
       Unwrap(Optimizer(OptimizerOptions::Fused()).Optimize(plan, &ctx));
+  if (want_trace) ctx.set_trace(nullptr);
 
-  if (show_plans) {
+  if (show_plans || explain_only) {
     std::printf("== baseline plan ==\n%s\n", PlanToString(baseline).c_str());
     std::printf("== fused plan ==\n%s\n", PlanToString(fused).c_str());
   }
+  if (trace_optimizer) {
+    std::printf("== optimizer trace (fused) ==\n%s\n",
+                trace.ToString().c_str());
+  }
+  if (explain_only) return 0;
 
   std::fprintf(stderr, "executing (baseline, threads=%zu)...\n", threads);
   QueryResult base_result = Unwrap(ExecutePlan(baseline, 4096, threads));
   std::fprintf(stderr, "executing (fused, threads=%zu)...\n", threads);
   QueryResult fused_result = Unwrap(ExecutePlan(fused, 4096, threads));
+
+  if (explain_analyze) {
+    std::printf("== baseline (explain analyze) ==\n%s\n",
+                ExplainAnalyze(baseline, base_result).c_str());
+    std::printf("== fused (explain analyze) ==\n%s\n",
+                ExplainAnalyze(fused, fused_result).c_str());
+  }
+  if (!profile_path.empty()) {
+    QueryProfile profile =
+        MakeQueryProfile(name, "fused", fused, fused_result, &trace);
+    DieIf(WriteProfileJson(profile, profile_path));
+    std::fprintf(stderr, "profile written to %s\n", profile_path.c_str());
+  }
 
   std::printf("query %s (%s)\n", name.c_str(),
               query.fusion_applicable ? "fusion-applicable" : "filler");

@@ -142,9 +142,10 @@ class AggregateExec final : public ExecOperator {
         group_indexes_(std::move(group_indexes)),
         aggs_(std::move(aggs.aggs)),
         mask_set_(std::move(aggs.mask_set)),
-        ctx_(ctx) {}
+        ctx_(ctx),
+        op_id_(ctx->building_op()) {}
 
-  ~AggregateExec() override { ctx_->AddHashBytes(-accounted_bytes_); }
+  ~AggregateExec() override { ctx_->AddHashBytes(-accounted_bytes_, op_id_); }
 
   Result<std::optional<Chunk>> Next() override {
     if (done_) return std::optional<Chunk>();
@@ -215,7 +216,7 @@ class AggregateExec final : public ExecOperator {
       for (const AggState& s : entry.states) bytes += AggStateBytes(s);
     }
     accounted_bytes_ = bytes;
-    ctx_->AddHashBytes(bytes);
+    ctx_->AddHashBytes(bytes, op_id_);
     return Status::OK();
   }
 
@@ -235,6 +236,7 @@ class AggregateExec final : public ExecOperator {
     ThreadPool* pool = ctx_->pool();
     size_t workers = pool->num_workers();
     std::vector<GroupMap> partials(workers);
+    ParallelRegion region(ctx_);
     Status st = pool->ParallelFor(
         workers, [&](size_t /*worker*/, size_t w) -> Status {
           // `w` is the partial's index; each is claimed exactly once, so
@@ -290,6 +292,7 @@ class AggregateExec final : public ExecOperator {
   GroupMap groups_;
   bool done_ = false;
   int64_t accounted_bytes_ = 0;
+  int32_t op_id_ = -1;
 };
 
 class WindowExec final : public ExecOperator {
@@ -303,9 +306,10 @@ class WindowExec final : public ExecOperator {
         items_(std::move(items.aggs)),
         mask_set_(std::move(items.mask_set)),
         item_storage_(std::move(item_storage)),
-        ctx_(ctx) {}
+        ctx_(ctx),
+        op_id_(ctx->building_op()) {}
 
-  ~WindowExec() override { ctx_->AddHashBytes(-accounted_bytes_); }
+  ~WindowExec() override { ctx_->AddHashBytes(-accounted_bytes_, op_id_); }
 
   Result<std::optional<Chunk>> Next() override {
     if (!materialized_) {
@@ -378,7 +382,7 @@ class WindowExec final : public ExecOperator {
     for (const Column& c : data_.columns) bytes += c.ByteSize();
     bytes += static_cast<int64_t>(partitions.size()) * 64;
     accounted_bytes_ = bytes;
-    ctx_->AddHashBytes(bytes);
+    ctx_->AddHashBytes(bytes, op_id_);
     return Status::OK();
   }
 
@@ -394,6 +398,7 @@ class WindowExec final : public ExecOperator {
   bool materialized_ = false;
   size_t offset_ = 0;
   int64_t accounted_bytes_ = 0;
+  int32_t op_id_ = -1;
 };
 
 class MarkDistinctExec final : public ExecOperator {
@@ -403,9 +408,10 @@ class MarkDistinctExec final : public ExecOperator {
       : ExecOperator(op.schema()),
         child_(std::move(child)),
         key_indexes_(std::move(key_indexes)),
-        ctx_(ctx) {}
+        ctx_(ctx),
+        op_id_(ctx->building_op()) {}
 
-  ~MarkDistinctExec() override { ctx_->AddHashBytes(-accounted_bytes_); }
+  ~MarkDistinctExec() override { ctx_->AddHashBytes(-accounted_bytes_, op_id_); }
 
   Result<std::optional<Chunk>> Next() override {
     FUSIONDB_ASSIGN_OR_RETURN(std::optional<Chunk> in, child_->Next());
@@ -421,7 +427,7 @@ class MarkDistinctExec final : public ExecOperator {
       if (inserted) {
         // ~48 bytes map overhead + key bytes, charged incrementally.
         int64_t bytes = 48 + static_cast<int64_t>(key.size());
-        ctx_->AddHashBytes(bytes);
+        ctx_->AddHashBytes(bytes, op_id_);
         accounted_bytes_ += bytes;
       }
       marker.AppendBool(inserted);
@@ -437,6 +443,7 @@ class MarkDistinctExec final : public ExecOperator {
   ExecContext* ctx_;
   std::unordered_set<std::string> seen_;
   int64_t accounted_bytes_ = 0;
+  int32_t op_id_ = -1;
 };
 
 }  // namespace

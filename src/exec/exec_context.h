@@ -21,13 +21,18 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "catalog/encoding.h"
+#include "common/check.h"
 #include "exec/thread_pool.h"
+#include "obs/operator_stats.h"
 #include "types/chunk.h"
 
 namespace fusiondb {
@@ -38,6 +43,10 @@ struct ExecMetrics {
   int64_t partitions_scanned = 0;
   int64_t partitions_pruned = 0;
   int64_t rows_produced = 0;
+  // Peak live hash/buffer memory across the whole query. NOT additive: two
+  // shards' peaks cannot be summed (their maxima may not coincide in time),
+  // so MergeMetrics ignores this field — all peak tracking goes through
+  // ExecContext::AddHashBytes, never through worker shards.
   int64_t peak_hash_bytes = 0;
   // Spooling costs (the materialization alternative to fusion): bytes
   // written once into spool buffers and bytes read back by consumers.
@@ -83,9 +92,13 @@ class ExecContext {
 
   /// Folds one worker's metric shard into the query totals. Called once per
   /// worker per parallel region (never per row/chunk). `peak_hash_bytes` is
-  /// not additive and is ignored here — peak tracking goes through
-  /// AddHashBytes.
+  /// not additive and must never travel in a shard — any region that also
+  /// touches hash memory routes it through AddHashBytes instead; a shard
+  /// arriving with a nonzero peak is a shard-discipline bug.
   void MergeMetrics(const ExecMetrics& shard) {
+    FUSIONDB_CHECK(shard.peak_hash_bytes == 0,
+                   "peak_hash_bytes is not additive; shards must account "
+                   "hash memory via AddHashBytes");
     std::lock_guard<std::mutex> lock(merge_mu_);
     metrics_.bytes_scanned += shard.bytes_scanned;
     metrics_.rows_scanned += shard.rows_scanned;
@@ -97,21 +110,96 @@ class ExecContext {
   }
 
   /// Tracks live hash-table memory; the peak is kept in a relaxed atomic
-  /// max loop so blocking operators can account from worker threads.
-  void AddHashBytes(int64_t delta) {
+  /// max loop so blocking operators can account from worker threads. When
+  /// `op_id` names a registered operator slot, the delta is also attributed
+  /// to that operator's live/peak counters — operators account once per
+  /// build (on the driver thread, after any parallel region has merged), so
+  /// the per-operator side needs no atomics.
+  void AddHashBytes(int64_t delta, int32_t op_id = -1) {
     int64_t live =
         live_hash_bytes_.fetch_add(delta, std::memory_order_relaxed) + delta;
     int64_t peak = peak_hash_bytes_.load(std::memory_order_relaxed);
     while (live > peak && !peak_hash_bytes_.compare_exchange_weak(
                               peak, live, std::memory_order_relaxed)) {
     }
+    if (op_id >= 0 && static_cast<size_t>(op_id) < op_slots_.size()) {
+      int64_t& op_live = op_live_bytes_[static_cast<size_t>(op_id)];
+      op_live += delta;
+      OperatorStats& s = op_slots_[static_cast<size_t>(op_id)];
+      if (op_live > s.peak_memory_bytes) s.peak_memory_bytes = op_live;
+    }
   }
 
   /// Metrics snapshot with the tracked memory peak folded in; what
   /// ExecutePlan hands to QueryResult after the operator tree is torn down.
+  /// Taking it while a parallel region is still open would observe a torn
+  /// total — regions bracket themselves so this can assert.
   ExecMetrics FinalMetrics() const {
+    FUSIONDB_CHECK(open_regions_.load(std::memory_order_relaxed) == 0,
+                   "FinalMetrics() taken before all parallel regions merged");
     ExecMetrics out = metrics_;
     out.peak_hash_bytes = peak_hash_bytes_.load(std::memory_order_relaxed);
+    return out;
+  }
+
+  /// Parallel regions bracket themselves (see ParallelRegion below) so the
+  /// FinalMetrics assertion can detect a region that never merged.
+  void BeginParallelRegion() {
+    open_regions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void EndParallelRegion() {
+    open_regions_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  // --- per-operator profiling ----------------------------------------------
+
+  /// Whether per-operator stats are collected (default on; benches flip it
+  /// off to measure the instrumentation overhead). Must be set before
+  /// BuildExecutor: with profiling off no slots are registered and the
+  /// operator tree is built without stats wrappers.
+  bool profile_enabled() const { return profile_enabled_; }
+  void set_profile_enabled(bool on) { profile_enabled_ = on; }
+
+  /// Registers one operator slot during BuildExecutor's preorder walk and
+  /// returns its id (== the node's preorder index). Driver thread only.
+  int32_t RegisterOperator(std::string kind, std::string detail,
+                           int32_t parent) {
+    int32_t id = static_cast<int32_t>(op_slots_.size());
+    op_slots_.emplace_back();
+    OperatorStats& s = op_slots_.back();
+    s.id = id;
+    s.parent = parent;
+    s.kind = std::move(kind);
+    s.detail = std::move(detail);
+    op_live_bytes_.push_back(0);
+    return id;
+  }
+
+  /// The slot for `id`. Pointers stay valid for the context's lifetime
+  /// (deque storage). Driver thread only.
+  OperatorStats* op_stats(int32_t id) {
+    return &op_slots_[static_cast<size_t>(id)];
+  }
+
+  /// The operator id whose physical operator is currently being constructed;
+  /// blocking operators capture it so their memory accounting can name
+  /// their own slot. -1 when profiling is off.
+  int32_t building_op() const { return building_op_; }
+  void set_building_op(int32_t id) { building_op_ = id; }
+
+  /// Records one consumer served from an already-built spool buffer.
+  void AddSpoolHit(int32_t op_id) {
+    if (op_id >= 0 && static_cast<size_t>(op_id) < op_slots_.size()) {
+      ++op_slots_[static_cast<size_t>(op_id)].spool_hits;
+    }
+  }
+
+  /// Snapshot of all operator slots with derived fields (rows_in, self
+  /// time) filled in; taken after the operator tree is torn down so close
+  /// times are complete. Empty when profiling is off.
+  std::vector<OperatorStats> FinalOperatorStats() const {
+    std::vector<OperatorStats> out(op_slots_.begin(), op_slots_.end());
+    FinalizeOperatorStats(&out);
     return out;
   }
 
@@ -132,7 +220,30 @@ class ExecContext {
   std::mutex merge_mu_;
   std::atomic<int64_t> live_hash_bytes_{0};
   std::atomic<int64_t> peak_hash_bytes_{0};
+  std::atomic<int32_t> open_regions_{0};
   std::unordered_map<int32_t, std::shared_ptr<SpoolBuffer>> spools_;
+  bool profile_enabled_ = true;
+  int32_t building_op_ = -1;
+  // Deque: RegisterOperator must not invalidate pointers handed out by
+  // op_stats while the tree is still being built.
+  std::deque<OperatorStats> op_slots_;
+  std::deque<int64_t> op_live_bytes_;  // live bytes behind each slot's peak
+};
+
+/// RAII bracket for a parallel region (scan morsels, aggregation partials,
+/// join build): Begin on entry, End after every shard has merged. Scoped so
+/// early error returns cannot leave a region open.
+class ParallelRegion {
+ public:
+  explicit ParallelRegion(ExecContext* ctx) : ctx_(ctx) {
+    ctx_->BeginParallelRegion();
+  }
+  ~ParallelRegion() { ctx_->EndParallelRegion(); }
+  ParallelRegion(const ParallelRegion&) = delete;
+  ParallelRegion& operator=(const ParallelRegion&) = delete;
+
+ private:
+  ExecContext* ctx_;
 };
 
 }  // namespace fusiondb

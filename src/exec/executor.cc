@@ -1,33 +1,89 @@
 #include "exec/executor.h"
 
-#include <chrono>
 #include <thread>
 
 #include "analysis/plan_verifier.h"
 #include "exec/operators_internal.h"
+#include "obs/operator_stats.h"
+#include "plan/spool.h"
 
 namespace fusiondb {
 
-Result<ExecOperatorPtr> BuildExecutor(const PlanPtr& plan, ExecContext* ctx) {
+namespace {
+
+/// Kind-specific context recorded in an operator's stats slot so profiles
+/// identify nodes without the full plan ("which scan was hot?").
+std::string NodeDetail(const LogicalOp& plan) {
+  switch (plan.kind()) {
+    case OpKind::kScan:
+      return Cast<ScanOp>(plan).table()->name();
+    case OpKind::kJoin:
+      return JoinTypeName(Cast<JoinOp>(plan).join_type());
+    case OpKind::kAggregate: {
+      const auto& agg = Cast<AggregateOp>(plan);
+      return "groups=" + std::to_string(agg.group_by().size()) +
+             " aggs=" + std::to_string(agg.aggregates().size());
+    }
+    case OpKind::kLimit:
+      return std::to_string(Cast<LimitOp>(plan).limit());
+    case OpKind::kSpool:
+      return "id=" + std::to_string(Cast<SpoolOp>(plan).spool_id());
+    case OpKind::kFilter:
+    case OpKind::kProject:
+    case OpKind::kWindow:
+    case OpKind::kMarkDistinct:
+    case OpKind::kUnionAll:
+    case OpKind::kValues:
+    case OpKind::kSort:
+    case OpKind::kEnforceSingleRow:
+    case OpKind::kApply:
+      return std::string();
+  }
+  return std::string();
+}
+
+/// Transparent profiling decorator: owns the real operator and charges each
+/// Next() call (and teardown) to the operator's stats slot. Only the driver
+/// thread calls Next(), so the counters are plain int64s — parallel regions
+/// live *inside* operators and never cross this wrapper. Inserted only when
+/// ExecContext::profile_enabled(); a disabled build has zero wrappers.
+class StatsExec final : public ExecOperator {
+ public:
+  StatsExec(ExecOperatorPtr inner, OperatorStats* stats)
+      : ExecOperator(inner->schema()),
+        inner_(std::move(inner)),
+        stats_(stats) {}
+
+  ~StatsExec() override {
+    int64_t start = NowNanos();
+    inner_.reset();
+    stats_->close_ns += NowNanos() - start;
+  }
+
+  Result<std::optional<Chunk>> Next() override {
+    int64_t start = NowNanos();
+    Result<std::optional<Chunk>> result = inner_->Next();
+    stats_->next_ns += NowNanos() - start;
+    ++stats_->next_calls;
+    if (result.ok() && result.ValueOrDie().has_value()) {
+      ++stats_->chunks_out;
+      stats_->rows_out +=
+          static_cast<int64_t>(result.ValueOrDie()->num_rows());
+    }
+    return result;
+  }
+
+ private:
+  ExecOperatorPtr inner_;
+  OperatorStats* stats_;
+};
+
+/// The factory switch, unchanged from the pre-profiling executor: children
+/// already built, `plan` is never Scan/Values/Apply here.
+Result<ExecOperatorPtr> MakeOperator(const PlanPtr& plan,
+                                     std::vector<ExecOperatorPtr> children,
+                                     ExecContext* ctx) {
   using namespace internal;  // NOLINT: operator factories
-  if (plan == nullptr) return Status::PlanError("null plan");
-  // Leaves and the one non-executable kind, before children are built.
-  if (plan->kind() == OpKind::kScan) {
-    return MakeScanExec(Cast<ScanOp>(*plan), ctx);
-  }
-  if (plan->kind() == OpKind::kValues) {
-    return MakeValuesExec(Cast<ValuesOp>(*plan), ctx);
-  }
-  if (plan->kind() == OpKind::kApply) {
-    return Status::PlanError(
-        "Apply (correlated subquery) must be decorrelated before execution");
-  }
-  std::vector<ExecOperatorPtr> children;
-  children.reserve(plan->num_children());
-  for (const PlanPtr& c : plan->children()) {
-    FUSIONDB_ASSIGN_OR_RETURN(ExecOperatorPtr child, BuildExecutor(c, ctx));
-    children.push_back(std::move(child));
-  }
   switch (plan->kind()) {
     case OpKind::kFilter:
       return MakeFilterExec(Cast<FilterOp>(*plan), std::move(children[0]));
@@ -58,14 +114,65 @@ Result<ExecOperatorPtr> BuildExecutor(const PlanPtr& plan, ExecContext* ctx) {
     case OpKind::kScan:
     case OpKind::kValues:
     case OpKind::kApply:
-      break;  // handled above
+      break;  // handled by the caller
   }
   return Status::NotImplemented(std::string("no executor for ") +
                                 OpKindName(plan->kind()));
 }
 
+/// Recursive build with preorder operator-id assignment. Ids are handed out
+/// parent-before-children in the exact order PlanToString and the profile
+/// JSON walk the tree, which is what makes the id ↔ plan-node mapping
+/// stable with no side table.
+Result<ExecOperatorPtr> BuildNode(const PlanPtr& plan, ExecContext* ctx,
+                                  int32_t parent) {
+  using namespace internal;  // NOLINT: operator factories
+  if (plan == nullptr) return Status::PlanError("null plan");
+  if (plan->kind() == OpKind::kApply) {
+    return Status::PlanError(
+        "Apply (correlated subquery) must be decorrelated before execution");
+  }
+  const bool profiled = ctx->profile_enabled();
+  int32_t id = -1;
+  int64_t build_start = 0;
+  if (profiled) {
+    id = ctx->RegisterOperator(OpKindName(plan->kind()), NodeDetail(*plan),
+                               parent);
+    build_start = NowNanos();
+  }
+  std::vector<ExecOperatorPtr> children;
+  children.reserve(plan->num_children());
+  for (const PlanPtr& c : plan->children()) {
+    FUSIONDB_ASSIGN_OR_RETURN(ExecOperatorPtr child, BuildNode(c, ctx, id));
+    children.push_back(std::move(child));
+  }
+  // Blocking operators capture building_op() in their constructors to
+  // attribute their memory accounting to their own slot.
+  ctx->set_building_op(id);
+  ExecOperatorPtr op;
+  if (plan->kind() == OpKind::kScan) {
+    FUSIONDB_ASSIGN_OR_RETURN(op, MakeScanExec(Cast<ScanOp>(*plan), ctx));
+  } else if (plan->kind() == OpKind::kValues) {
+    FUSIONDB_ASSIGN_OR_RETURN(op, MakeValuesExec(Cast<ValuesOp>(*plan), ctx));
+  } else {
+    FUSIONDB_ASSIGN_OR_RETURN(op,
+                              MakeOperator(plan, std::move(children), ctx));
+  }
+  ctx->set_building_op(-1);
+  if (!profiled) return op;
+  OperatorStats* stats = ctx->op_stats(id);
+  stats->open_ns = NowNanos() - build_start;  // subtree build time
+  return ExecOperatorPtr(new StatsExec(std::move(op), stats));
+}
+
+}  // namespace
+
+Result<ExecOperatorPtr> BuildExecutor(const PlanPtr& plan, ExecContext* ctx) {
+  return BuildNode(plan, ctx, /*parent=*/-1);
+}
+
 Result<QueryResult> ExecutePlan(const PlanPtr& plan, size_t chunk_size,
-                                size_t parallelism) {
+                                size_t parallelism, bool profile) {
   // Static checks first: a malformed plan is reported with the violated
   // invariant and the offending subplan instead of whichever binding error
   // the operator tree happens to hit first. (ApplyOp is structurally valid
@@ -73,12 +180,13 @@ Result<QueryResult> ExecutePlan(const PlanPtr& plan, size_t chunk_size,
   FUSIONDB_RETURN_IF_ERROR(VerifyPlanIfEnabled(plan, "pre-execution"));
   ExecContext ctx;
   ctx.set_chunk_size(chunk_size);
+  ctx.set_profile_enabled(profile);
   if (parallelism == 0) {
     unsigned hw = std::thread::hardware_concurrency();
     parallelism = hw == 0 ? 1 : hw;
   }
   ctx.set_parallelism(parallelism);
-  auto start = std::chrono::steady_clock::now();
+  int64_t start = NowNanos();
   std::vector<Chunk> chunks;
   {
     // Scope the operator tree so destructors release accounted memory
@@ -92,13 +200,9 @@ Result<QueryResult> ExecutePlan(const PlanPtr& plan, size_t chunk_size,
       chunks.push_back(std::move(*chunk));
     }
   }
-  auto end = std::chrono::steady_clock::now();
-  double wall_ms =
-      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
-          end - start)
-          .count();
+  double wall_ms = static_cast<double>(NowNanos() - start) * 1e-6;
   return QueryResult(plan->schema(), std::move(chunks), ctx.FinalMetrics(),
-                     wall_ms);
+                     wall_ms, ctx.FinalOperatorStats());
 }
 
 }  // namespace fusiondb

@@ -24,8 +24,12 @@ Result<ExecOperatorPtr> BuildExecutor(const PlanPtr& plan, ExecContext* ctx);
 ///                 partial hash tables merged at finalize, and join builds
 ///                 partition the key encoding; results and all additive
 ///                 metrics are thread-count-invariant.
+///
+/// `profile` controls per-operator stats collection (OperatorStats slots +
+/// chunk-granularity timers on the driver thread). On by default; the
+/// overhead knob exists so benches can measure the instrumentation cost.
 Result<QueryResult> ExecutePlan(const PlanPtr& plan, size_t chunk_size = 4096,
-                                size_t parallelism = 1);
+                                size_t parallelism = 1, bool profile = true);
 
 }  // namespace fusiondb
 

@@ -29,7 +29,8 @@ class HashJoinExec final : public ExecOperator {
         right_(std::move(right)),
         keys_(std::move(keys)),
         residual_(std::move(residual)),
-        ctx_(ctx) {
+        ctx_(ctx),
+        op_id_(ctx->building_op()) {
     right_types_.reserve(right_->schema().num_columns());
     for (const ColumnInfo& c : right_->schema().columns()) {
       right_types_.push_back(c.type);
@@ -40,7 +41,7 @@ class HashJoinExec final : public ExecOperator {
     }
   }
 
-  ~HashJoinExec() override { ctx_->AddHashBytes(-accounted_bytes_); }
+  ~HashJoinExec() override { ctx_->AddHashBytes(-accounted_bytes_, op_id_); }
 
   Result<std::optional<Chunk>> Next() override {
     if (!built_) {
@@ -85,7 +86,7 @@ class HashJoinExec final : public ExecOperator {
     for (const Column& c : right_data_.columns) bytes += c.ByteSize();
     bytes += static_cast<int64_t>(n) * 48;
     accounted_bytes_ = bytes;
-    ctx_->AddHashBytes(bytes);
+    ctx_->AddHashBytes(bytes, op_id_);
     return Status::OK();
   }
 
@@ -101,6 +102,7 @@ class HashJoinExec final : public ExecOperator {
     size_t workers = pool->num_workers();
     using PartialTable = std::unordered_map<std::string, std::vector<size_t>>;
     std::vector<PartialTable> partials(workers);
+    ParallelRegion region(ctx_);
     Status st = pool->ParallelFor(
         workers, [&](size_t /*worker*/, size_t w) -> Status {
           size_t begin = n * w / workers;
@@ -208,6 +210,7 @@ class HashJoinExec final : public ExecOperator {
   std::unordered_map<std::string, std::vector<size_t>> table_;
   bool built_ = false;
   int64_t accounted_bytes_ = 0;
+  int32_t op_id_ = -1;
 };
 
 }  // namespace

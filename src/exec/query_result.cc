@@ -7,11 +7,13 @@
 namespace fusiondb {
 
 QueryResult::QueryResult(Schema schema, std::vector<Chunk> chunks,
-                         ExecMetrics metrics, double wall_ms)
+                         ExecMetrics metrics, double wall_ms,
+                         std::vector<OperatorStats> operator_stats)
     : schema_(std::move(schema)),
       chunks_(std::move(chunks)),
       metrics_(metrics),
-      wall_ms_(wall_ms) {
+      wall_ms_(wall_ms),
+      operator_stats_(std::move(operator_stats)) {
   for (const Chunk& c : chunks_) num_rows_ += static_cast<int64_t>(c.num_rows());
 }
 

@@ -15,12 +15,18 @@ class QueryResult {
  public:
   QueryResult() = default;
   QueryResult(Schema schema, std::vector<Chunk> chunks, ExecMetrics metrics,
-              double wall_ms);
+              double wall_ms, std::vector<OperatorStats> operator_stats = {});
 
   const Schema& schema() const { return schema_; }
   const std::vector<Chunk>& chunks() const { return chunks_; }
   const ExecMetrics& metrics() const { return metrics_; }
   double wall_ms() const { return wall_ms_; }
+
+  /// Per-operator runtime stats in preorder over the executed plan (index
+  /// == stable operator id). Empty when profiling was disabled.
+  const std::vector<OperatorStats>& operator_stats() const {
+    return operator_stats_;
+  }
 
   int64_t num_rows() const { return num_rows_; }
 
@@ -41,6 +47,7 @@ class QueryResult {
   ExecMetrics metrics_;
   double wall_ms_ = 0.0;
   int64_t num_rows_ = 0;
+  std::vector<OperatorStats> operator_stats_;
 };
 
 /// Order-insensitive result equivalence (multiset of rendered rows). Used

@@ -209,6 +209,7 @@ class ScanExec final : public ExecOperator {
     ThreadPool* pool = ctx_->pool();
     std::vector<std::vector<Chunk>> per_partition(partitions.size());
     std::vector<ExecMetrics> shards(pool->num_workers());
+    ParallelRegion region(ctx_);
     Status st = pool->ParallelFor(
         partitions.size(), [&](size_t worker, size_t pi) -> Status {
           const Partition& p = partitions[pi];

@@ -16,9 +16,10 @@ class SortExec final : public ExecOperator {
       : ExecOperator(op.schema()),
         child_(std::move(child)),
         keys_(std::move(keys)),
-        ctx_(ctx) {}
+        ctx_(ctx),
+        op_id_(ctx->building_op()) {}
 
-  ~SortExec() override { ctx_->AddHashBytes(-accounted_bytes_); }
+  ~SortExec() override { ctx_->AddHashBytes(-accounted_bytes_, op_id_); }
 
   Result<std::optional<Chunk>> Next() override {
     if (!sorted_) {
@@ -51,7 +52,7 @@ class SortExec final : public ExecOperator {
     int64_t bytes = 0;
     for (const Column& c : data_.columns) bytes += c.ByteSize();
     accounted_bytes_ = bytes;
-    ctx_->AddHashBytes(bytes);
+    ctx_->AddHashBytes(bytes, op_id_);
     return Status::OK();
   }
 
@@ -72,6 +73,7 @@ class SortExec final : public ExecOperator {
   bool sorted_ = false;
   size_t offset_ = 0;
   int64_t accounted_bytes_ = 0;
+  int32_t op_id_ = -1;
 };
 
 }  // namespace

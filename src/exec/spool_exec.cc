@@ -18,15 +18,21 @@ class SpoolExec final : public ExecOperator {
       : ExecOperator(op.schema()),
         child_(std::move(child)),
         buffer_(std::move(buffer)),
-        ctx_(ctx) {}
+        ctx_(ctx),
+        op_id_(ctx->building_op()) {}
 
   ~SpoolExec() override {
-    if (accounted_) ctx_->AddHashBytes(-buffer_->bytes);
+    if (accounted_) ctx_->AddHashBytes(-buffer_->bytes, op_id_);
   }
 
   Result<std::optional<Chunk>> Next() override {
     if (!buffer_->built) {
       FUSIONDB_RETURN_IF_ERROR(Materialize());
+    } else if (!accounted_ && !counted_hit_) {
+      // Another consumer already built the buffer: this read is a spool
+      // hit — the reuse event the paper's spooling baseline counts on.
+      counted_hit_ = true;
+      ctx_->AddSpoolHit(op_id_);
     }
     if (cursor_ >= buffer_->pages.size()) return std::optional<Chunk>();
     const std::vector<EncodedColumn>& pages = buffer_->pages[cursor_++];
@@ -60,7 +66,7 @@ class SpoolExec final : public ExecOperator {
     ctx_->metrics().spool_bytes_written += buffer_->bytes;
     // The buffer lives until the end of the query (charged once, by the
     // materializing consumer).
-    ctx_->AddHashBytes(buffer_->bytes);
+    ctx_->AddHashBytes(buffer_->bytes, op_id_);
     accounted_ = true;
     return Status::OK();
   }
@@ -70,6 +76,8 @@ class SpoolExec final : public ExecOperator {
   ExecContext* ctx_;
   size_t cursor_ = 0;
   bool accounted_ = false;
+  bool counted_hit_ = false;
+  int32_t op_id_ = -1;
 };
 
 }  // namespace

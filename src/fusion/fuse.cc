@@ -1,10 +1,13 @@
 #include "fusion/fuse.h"
 
 #include <algorithm>
+#include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "expr/expr_builder.h"
 #include "expr/simplifier.h"
+#include "obs/optimizer_trace.h"
 #include "plan/spool.h"
 
 namespace fusiondb {
@@ -34,14 +37,72 @@ bool SameColumnSet(const std::vector<ColumnId>& a,
   return sa == sb;
 }
 
+/// Which Section III case handled a *successful* fusion of this root pair.
+/// Derived from the kinds after the fact (rather than recorded inside the
+/// case handlers) so nested recursive fusions cannot clobber the label.
+const char* FusionCaseLabel(OpKind k1, OpKind k2) {
+  if (k1 != k2) return "III.G (root-mismatch compensation)";
+  switch (k1) {
+    case OpKind::kScan:
+    case OpKind::kValues:
+      return "III.A (base relations)";
+    case OpKind::kFilter:
+      return "III.B (filter)";
+    case OpKind::kProject:
+      return "III.C (project)";
+    case OpKind::kJoin:
+      return "III.D (join)";
+    case OpKind::kAggregate:
+      return "III.E (aggregate)";
+    case OpKind::kMarkDistinct:
+      return "III.F (mark-distinct)";
+    case OpKind::kEnforceSingleRow:
+    case OpKind::kLimit:
+    case OpKind::kSort:
+      return "III.G (default pass-through)";
+    case OpKind::kSpool:
+      return "spool identity";
+    case OpKind::kWindow:
+    case OpKind::kUnionAll:
+    case OpKind::kApply:
+      return "fused";  // unreachable: these kinds never fuse successfully
+  }
+  return "fused";
+}
+
 }  // namespace
 
 bool FuseResult::Exact() const {
   return IsTrueLiteral(left_filter) && IsTrueLiteral(right_filter);
 }
 
+std::optional<FuseResult> Fuser::Reject(std::string reason) {
+  last_reason_ = std::move(reason);
+  return std::nullopt;
+}
+
 std::optional<FuseResult> Fuser::Fuse(const PlanPtr& p1, const PlanPtr& p2) {
   if (p1 == nullptr || p2 == nullptr) return std::nullopt;
+  OptimizerTrace* trace = ctx_->trace();
+  if (trace == nullptr) return FuseImpl(p1, p2);
+  int step = trace->FusionEnter(*p1, *p2);
+  last_reason_.clear();
+  std::optional<FuseResult> result = FuseImpl(p1, p2);
+  std::string outcome =
+      result.has_value()
+          ? std::string(FusionCaseLabel(p1->kind(), p2->kind()))
+          : (last_reason_.empty() ? std::string("child fusion returned \xE2\x8A\xA5")
+                                  : std::move(last_reason_));
+  trace->FusionResolve(step, result.has_value(), std::move(outcome));
+  // What the *caller's* frame sees if it fails without its own Reject: its
+  // child fusion (this frame) was the cause.
+  last_reason_ =
+      result.has_value() ? std::string() : "child fusion returned \xE2\x8A\xA5";
+  return result;
+}
+
+std::optional<FuseResult> Fuser::FuseImpl(const PlanPtr& p1,
+                                          const PlanPtr& p2) {
   if (p1->kind() != p2->kind()) return FuseMismatched(p1, p2);
   switch (p1->kind()) {
     case OpKind::kScan:
@@ -68,14 +129,20 @@ std::optional<FuseResult> Fuser::Fuse(const PlanPtr& p1, const PlanPtr& p2) {
       // construction (shared child): identity fusion.
       const auto& s1 = Cast<SpoolOp>(*p1);
       const auto& s2 = Cast<SpoolOp>(*p2);
-      if (s1.spool_id() != s2.spool_id()) return std::nullopt;
+      if (s1.spool_id() != s2.spool_id()) {
+        return Reject("consumers of different spools");
+      }
       return FuseResult{p1, ColumnMap(), Expr::MakeLiteral(Value::Bool(true)),
                         Expr::MakeLiteral(Value::Bool(true))};
     }
     case OpKind::kWindow:
     case OpKind::kUnionAll:
-    case OpKind::kApply:
-      return std::nullopt;  // no fusion rule for these kinds
+    case OpKind::kApply: {
+      std::string reason = "no fusion rule for ";
+      reason += OpKindName(p1->kind());
+      reason += " roots";
+      return Reject(std::move(reason));
+    }
   }
   return std::nullopt;
 }
@@ -83,7 +150,7 @@ std::optional<FuseResult> Fuser::Fuse(const PlanPtr& p1, const PlanPtr& p2) {
 // --- Section III.A: table scans -------------------------------------------
 
 std::optional<FuseResult> Fuser::FuseScan(const ScanOp& s1, const ScanOp& s2) {
-  if (s1.table() != s2.table()) return std::nullopt;
+  if (s1.table() != s2.table()) return Reject("scans read different tables");
   // Start from S1's columns; add S2 columns not already selected (keeping
   // S2's ids for the new ones), and map every S2 column.
   std::vector<int> table_columns = s1.table_columns();
@@ -120,17 +187,21 @@ std::optional<FuseResult> Fuser::FuseValues(const PlanPtr& p1,
   const auto& v1 = Cast<ValuesOp>(*p1);
   const auto& v2 = Cast<ValuesOp>(*p2);
   if (v1.schema().num_columns() != v2.schema().num_columns()) {
-    return std::nullopt;
+    return Reject("values nodes have different widths");
   }
-  if (v1.rows().size() != v2.rows().size()) return std::nullopt;
+  if (v1.rows().size() != v2.rows().size()) {
+    return Reject("values nodes have different row counts");
+  }
   for (size_t c = 0; c < v1.schema().num_columns(); ++c) {
     if (v1.schema().column(c).type != v2.schema().column(c).type) {
-      return std::nullopt;
+      return Reject("values nodes have different column types");
     }
   }
   for (size_t r = 0; r < v1.rows().size(); ++r) {
     for (size_t c = 0; c < v1.rows()[r].size(); ++c) {
-      if (!(v1.rows()[r][c] == v2.rows()[r][c])) return std::nullopt;
+      if (!(v1.rows()[r][c] == v2.rows()[r][c])) {
+        return Reject("values nodes have different literals");
+      }
     }
   }
   ColumnMap mapping;
@@ -217,18 +288,22 @@ std::optional<FuseResult> Fuser::FuseProject(const ProjectOp& r1,
 // --- Section III.D: joins --------------------------------------------------
 
 std::optional<FuseResult> Fuser::FuseJoin(const JoinOp& j1, const JoinOp& j2) {
-  if (j1.join_type() != j2.join_type()) return std::nullopt;
+  if (j1.join_type() != j2.join_type()) return Reject("join types differ");
   auto left = Fuse(j1.left(), j2.left());
   if (!left.has_value()) return std::nullopt;
   auto right = Fuse(j1.right(), j2.right());
   if (!right.has_value()) return std::nullopt;
 
   ColumnMap mapping = left->mapping;
-  if (!MergeMaps(&mapping, right->mapping)) return std::nullopt;
+  if (!MergeMaps(&mapping, right->mapping)) {
+    return Reject("conflicting column mappings between join sides");
+  }
 
   ExprPtr c1 = Simplify(j1.condition());
   ExprPtr c2m = Simplify(ApplyMap(mapping, j2.condition()));
-  if (!ExprEquivalent(c1, c2m)) return std::nullopt;
+  if (!ExprEquivalent(c1, c2m)) {
+    return Reject("join conditions differ modulo mapping");
+  }
 
   // Semi and left joins do not output (or NULL-extend) right-side rows, so
   // a non-exact right fusion would change the match sets / extension rows.
@@ -238,13 +313,15 @@ std::optional<FuseResult> Fuser::FuseJoin(const JoinOp& j1, const JoinOp& j2) {
   if ((j1.join_type() == JoinType::kSemi ||
        j1.join_type() == JoinType::kLeft) &&
       !right_exact) {
-    return std::nullopt;
+    return Reject("non-exact right fusion under semi/left join");
   }
   // Similarly, left joins with a non-exact *left* fusion would NULL-extend
   // rows that one input never contained; keep it sound.
   bool left_exact =
       IsTrueLiteral(left->left_filter) && IsTrueLiteral(left->right_filter);
-  if (j1.join_type() == JoinType::kLeft && !left_exact) return std::nullopt;
+  if (j1.join_type() == JoinType::kLeft && !left_exact) {
+    return Reject("non-exact left fusion under left join");
+  }
 
   PlanPtr fused =
       std::make_shared<JoinOp>(j1.join_type(), left->plan, right->plan, c1);
@@ -266,7 +343,9 @@ std::optional<FuseResult> Fuser::FuseAggregate(const AggregateOp& g1,
   for (ColumnId k : g2.group_by()) {
     k2_mapped.push_back(ApplyMap(sub->mapping, k));
   }
-  if (!SameColumnSet(g1.group_by(), k2_mapped)) return std::nullopt;
+  if (!SameColumnSet(g1.group_by(), k2_mapped)) {
+    return Reject("differing group keys");
+  }
 
   const ExprPtr& l = sub->left_filter;
   const ExprPtr& r = sub->right_filter;
@@ -409,25 +488,30 @@ std::optional<FuseResult> Fuser::FuseMarkDistinct(const MarkDistinctOp& m1,
 std::optional<FuseResult> Fuser::FuseDefault(const PlanPtr& p1,
                                              const PlanPtr& p2) {
   auto sub = Fuse(p1->child(0), p2->child(0));
-  if (!sub.has_value() || !sub->Exact()) return std::nullopt;
+  if (!sub.has_value()) return std::nullopt;
+  if (!sub->Exact()) {
+    return Reject("non-exact child fusion under pass-through root");
+  }
   // Check operator parameters are equivalent modulo the mapping.
   switch (p1->kind()) {
     case OpKind::kEnforceSingleRow:
       break;
     case OpKind::kLimit:
       if (Cast<LimitOp>(*p1).limit() != Cast<LimitOp>(*p2).limit()) {
-        return std::nullopt;
+        return Reject("limit values differ");
       }
       break;
     case OpKind::kSort: {
       const auto& s1 = Cast<SortOp>(*p1);
       const auto& s2 = Cast<SortOp>(*p2);
-      if (s1.keys().size() != s2.keys().size()) return std::nullopt;
+      if (s1.keys().size() != s2.keys().size()) {
+        return Reject("sort keys differ");
+      }
       for (size_t i = 0; i < s1.keys().size(); ++i) {
         if (s1.keys()[i].column !=
                 ApplyMap(sub->mapping, s2.keys()[i].column) ||
             s1.keys()[i].ascending != s2.keys()[i].ascending) {
-          return std::nullopt;
+          return Reject("sort keys differ");
         }
       }
       break;
@@ -504,7 +588,12 @@ std::optional<FuseResult> Fuser::FuseMismatched(const PlanPtr& p1,
     PlanPtr wrapped = ProjectOp::MakeIdentity(p1);
     return FuseProject(Cast<ProjectOp>(*wrapped), Cast<ProjectOp>(*p2));
   }
-  return std::nullopt;
+  std::string reason = "non-fusable root pair (";
+  reason += OpKindName(p1->kind());
+  reason += " vs ";
+  reason += OpKindName(p2->kind());
+  reason += ")";
+  return Reject(std::move(reason));
 }
 
 }  // namespace fusiondb

@@ -16,6 +16,7 @@
 #define FUSIONDB_FUSION_FUSE_H_
 
 #include <optional>
+#include <string>
 
 #include "expr/column_map.h"
 #include "plan/logical_plan.h"
@@ -40,10 +41,21 @@ class Fuser {
  public:
   explicit Fuser(PlanContext* ctx) : ctx_(ctx) {}
 
-  /// Fuse(P1, P2); std::nullopt is the paper's ⊥.
+  /// Fuse(P1, P2); std::nullopt is the paper's ⊥. When the PlanContext
+  /// carries an OptimizerTrace, every recursive invocation is recorded as a
+  /// FusionStep with either the Section III case that applied or a
+  /// structured ⊥ reason.
   std::optional<FuseResult> Fuse(const PlanPtr& p1, const PlanPtr& p2);
 
  private:
+  /// The recursive dispatch (the untraced body of Fuse); the public Fuse
+  /// wraps it with per-step trace bookkeeping.
+  std::optional<FuseResult> FuseImpl(const PlanPtr& p1, const PlanPtr& p2);
+
+  /// Record why the current fusion attempt failed — the structured ⊥
+  /// reason surfaced by the optimizer trace — and return ⊥.
+  std::optional<FuseResult> Reject(std::string reason);
+
   /// Section III.A (table scans — the base case). Two scans of the same
   /// table fuse into one scan reading the union of their column sets; both
   /// compensating filters are TRUE.
@@ -127,6 +139,10 @@ class Fuser {
                           const ExprPtr& guard);
 
   PlanContext* ctx_;
+
+  /// ⊥ reason set by Reject for the innermost failing case; consumed (and
+  /// reset) by the public Fuse wrapper when tracing is active.
+  std::string last_reason_;
 };
 
 }  // namespace fusiondb

@@ -7,6 +7,7 @@
 //   - optimizer/: rule-based optimizer with the Section-IV fusion rules
 //   - fusion/   : the Fuse(P1, P2) primitive itself
 //   - exec/     : streaming executor + metrics
+//   - obs/      : per-operator profiling, optimizer trace, JSON export
 //   - tpcds/    : benchmark substrate (schema, datagen, query suite)
 #ifndef FUSIONDB_FUSIONDB_H_
 #define FUSIONDB_FUSIONDB_H_
@@ -16,6 +17,8 @@
 #include "expr/expr_builder.h"
 #include "expr/simplifier.h"
 #include "fusion/fuse.h"
+#include "obs/optimizer_trace.h"
+#include "obs/profile.h"
 #include "optimizer/optimizer.h"
 #include "plan/plan_builder.h"
 #include "plan/plan_printer.h"

@@ -1,0 +1,139 @@
+#include "obs/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace fusiondb {
+
+void JsonWriter::MaybeComma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value attaches to its key; the key already handled the comma
+  }
+  if (!has_element_.empty()) {
+    if (has_element_.back()) out_ += ',';
+    has_element_.back() = true;
+  }
+}
+
+void JsonWriter::AppendEscaped(std::string_view s) {
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out_ += buf;
+        } else {
+          out_ += ch;
+        }
+    }
+  }
+}
+
+void JsonWriter::BeginObject() {
+  MaybeComma();
+  out_ += '{';
+  has_element_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  out_ += '}';
+  has_element_.pop_back();
+}
+
+void JsonWriter::BeginArray() {
+  MaybeComma();
+  out_ += '[';
+  has_element_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  out_ += ']';
+  has_element_.pop_back();
+}
+
+void JsonWriter::Key(std::string_view key) {
+  MaybeComma();
+  out_ += '"';
+  AppendEscaped(key);
+  out_ += "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  MaybeComma();
+  out_ += '"';
+  AppendEscaped(value);
+  out_ += '"';
+}
+
+void JsonWriter::Int(int64_t value) {
+  MaybeComma();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  out_ += buf;
+}
+
+void JsonWriter::Double(double value) {
+  MaybeComma();
+  if (!std::isfinite(value)) {
+    out_ += "null";  // JSON has no NaN/Inf literals
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out_ += buf;
+}
+
+void JsonWriter::Bool(bool value) {
+  MaybeComma();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  MaybeComma();
+  out_ += "null";
+}
+
+void JsonWriter::Field(std::string_view key, std::string_view value) {
+  Key(key);
+  String(value);
+}
+
+void JsonWriter::Field(std::string_view key, const char* value) {
+  Field(key, std::string_view(value));
+}
+
+void JsonWriter::Field(std::string_view key, int64_t value) {
+  Key(key);
+  Int(value);
+}
+
+void JsonWriter::Field(std::string_view key, double value) {
+  Key(key);
+  Double(value);
+}
+
+void JsonWriter::Field(std::string_view key, bool value) {
+  Key(key);
+  Bool(value);
+}
+
+}  // namespace fusiondb

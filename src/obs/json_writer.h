@@ -1,0 +1,65 @@
+// Minimal streaming JSON writer for profile and benchmark export. The repo
+// takes no third-party JSON dependency; this hand-rolled writer covers the
+// subset we emit (objects, arrays, strings, ints, doubles, bools, null)
+// with correct escaping and comma placement.
+#ifndef FUSIONDB_OBS_JSON_WRITER_H_
+#define FUSIONDB_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fusiondb {
+
+/// Usage:
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("query"); w.String("q65");
+///   w.Key("ops");   w.BeginArray(); w.Int(3); w.EndArray();
+///   w.EndObject();
+///   std::string json = w.TakeString();
+///
+/// The writer trusts its caller to produce a well-formed nesting (every
+/// value inside an object preceded by Key, Begin/End balanced); it only
+/// automates separators and escaping.
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  void Key(std::string_view key);
+  void String(std::string_view value);
+  void Int(int64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  /// Key/value shorthands. The const char* overload exists because a bare
+  /// string literal would otherwise prefer the standard pointer-to-bool
+  /// conversion over string_view's converting constructor.
+  void Field(std::string_view key, std::string_view value);
+  void Field(std::string_view key, const char* value);
+  void Field(std::string_view key, int64_t value);
+  void Field(std::string_view key, double value);
+  void Field(std::string_view key, bool value);
+
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+ private:
+  void MaybeComma();
+  void AppendEscaped(std::string_view s);
+
+  std::string out_;
+  // One entry per open scope: true once the scope has a first element (so
+  // the next element needs a leading comma).
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;  // a Key was just written; next value follows it
+};
+
+}  // namespace fusiondb
+
+#endif  // FUSIONDB_OBS_JSON_WRITER_H_

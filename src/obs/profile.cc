@@ -1,0 +1,187 @@
+#include "obs/profile.h"
+
+#include <cstdio>
+
+#include "obs/json_writer.h"
+#include "plan/plan_printer.h"
+
+namespace fusiondb {
+
+namespace {
+
+void WriteMetrics(const ExecMetrics& m, JsonWriter* w) {
+  w->BeginObject();
+  w->Field("bytes_scanned", m.bytes_scanned);
+  w->Field("rows_scanned", m.rows_scanned);
+  w->Field("partitions_scanned", m.partitions_scanned);
+  w->Field("partitions_pruned", m.partitions_pruned);
+  w->Field("rows_produced", m.rows_produced);
+  w->Field("peak_hash_bytes", m.peak_hash_bytes);
+  w->Field("spool_bytes_written", m.spool_bytes_written);
+  w->Field("spool_bytes_read", m.spool_bytes_read);
+  w->EndObject();
+}
+
+void WriteStats(const OperatorStats& s, JsonWriter* w) {
+  w->BeginObject();
+  w->Field("next_calls", s.next_calls);
+  w->Field("chunks_in", s.chunks_in);
+  w->Field("chunks_out", s.chunks_out);
+  w->Field("rows_in", s.rows_in);
+  w->Field("rows_out", s.rows_out);
+  w->Field("open_ns", s.open_ns);
+  w->Field("next_ns", s.next_ns);
+  w->Field("self_ns", s.self_ns);
+  w->Field("close_ns", s.close_ns);
+  w->Field("peak_memory_bytes", s.peak_memory_bytes);
+  w->Field("spool_hits", s.spool_hits);
+  w->EndObject();
+}
+
+/// Writes `plan` as a nested JSON tree, consuming preorder ids from
+/// `counter` so each node lines up with its stats slot.
+void WritePlanNode(const PlanPtr& plan,
+                   const std::vector<OperatorStats>& stats, int* counter,
+                   JsonWriter* w) {
+  int id = (*counter)++;
+  w->BeginObject();
+  w->Field("id", static_cast<int64_t>(id));
+  w->Field("kind", OpKindName(plan->kind()));
+  w->Field("node", OptimizerTrace::DescribeNode(*plan));
+  if (id >= 0 && static_cast<size_t>(id) < stats.size()) {
+    w->Key("stats");
+    WriteStats(stats[static_cast<size_t>(id)], w);
+  }
+  w->Key("children");
+  w->BeginArray();
+  for (const PlanPtr& c : plan->children()) {
+    WritePlanNode(c, stats, counter, w);
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+void WriteTrace(const OptimizerTrace& t, JsonWriter* w) {
+  w->BeginObject();
+  w->Key("rules");
+  w->BeginArray();
+  for (const RulePhaseStats& s : t.rule_stats()) {
+    w->BeginObject();
+    w->Field("phase", s.phase);
+    w->Field("rule", s.rule);
+    w->Field("attempts", s.attempts);
+    w->Field("fired", s.fired);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->Key("firings");
+  w->BeginArray();
+  for (const RuleFiring& f : t.firings()) {
+    w->BeginObject();
+    w->Field("phase", f.phase);
+    w->Field("rule", f.rule);
+    w->Field("anchor", f.anchor);
+    w->Field("ops_before", static_cast<int64_t>(f.ops_before));
+    w->Field("ops_after", static_cast<int64_t>(f.ops_after));
+    w->EndObject();
+  }
+  w->EndArray();
+  w->Key("fusion");
+  w->BeginArray();
+  for (const FusionStep& s : t.fusion_steps()) {
+    w->BeginObject();
+    w->Field("depth", static_cast<int64_t>(s.depth));
+    w->Field("left", s.left);
+    w->Field("right", s.right);
+    w->Field("fused", s.fused);
+    w->Field("outcome", s.outcome);
+    w->EndObject();
+  }
+  w->EndArray();
+  if (t.dropped_fusion_steps() > 0) {
+    w->Field("dropped_fusion_steps", t.dropped_fusion_steps());
+  }
+  w->EndObject();
+}
+
+std::string FormatMs(int64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) * 1e-6);
+  return buf;
+}
+
+}  // namespace
+
+QueryProfile MakeQueryProfile(std::string query, std::string config,
+                              const PlanPtr& plan, const QueryResult& result,
+                              const OptimizerTrace* trace) {
+  QueryProfile p;
+  p.query = std::move(query);
+  p.config = std::move(config);
+  p.plan = plan;
+  p.operator_stats = result.operator_stats();
+  p.metrics = result.metrics();
+  p.wall_ms = result.wall_ms();
+  p.trace = trace;
+  return p;
+}
+
+std::string ProfileToJson(const QueryProfile& profile) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("query", profile.query);
+  w.Field("config", profile.config);
+  w.Field("wall_ms", profile.wall_ms);
+  w.Key("metrics");
+  WriteMetrics(profile.metrics, &w);
+  if (profile.plan != nullptr) {
+    w.Key("plan");
+    int counter = 0;
+    WritePlanNode(profile.plan, profile.operator_stats, &counter, &w);
+  }
+  if (profile.trace != nullptr) {
+    w.Key("trace");
+    WriteTrace(*profile.trace, &w);
+  }
+  w.EndObject();
+  return w.TakeString();
+}
+
+Status WriteProfileJson(const QueryProfile& profile, const std::string& path) {
+  std::string json = ProfileToJson(profile);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::ExecutionError("cannot open profile output file: " + path);
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  bool ok = written == json.size();
+  ok = (std::fputc('\n', f) != EOF) && ok;
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) return Status::ExecutionError("failed writing profile to " + path);
+  return Status::OK();
+}
+
+std::string ExplainAnalyze(const PlanPtr& plan, const QueryResult& result) {
+  const std::vector<OperatorStats>& stats = result.operator_stats();
+  if (stats.empty()) return PlanToString(plan);
+  return PlanToString(plan, [&stats](const LogicalOp& op, int id) {
+    (void)op;
+    if (id < 0 || static_cast<size_t>(id) >= stats.size()) return std::string();
+    const OperatorStats& s = stats[static_cast<size_t>(id)];
+    std::string out = "  [#" + std::to_string(id) +
+                      " rows=" + std::to_string(s.rows_out) +
+                      " chunks=" + std::to_string(s.chunks_out) +
+                      " next=" + FormatMs(s.next_ns) + "ms" +
+                      " self=" + FormatMs(s.self_ns) + "ms";
+    if (s.peak_memory_bytes > 0) {
+      out += " mem=" + std::to_string(s.peak_memory_bytes) + "B";
+    }
+    if (s.spool_hits > 0) {
+      out += " spool_hits=" + std::to_string(s.spool_hits);
+    }
+    out += "]";
+    return out;
+  });
+}
+
+}  // namespace fusiondb

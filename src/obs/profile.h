@@ -1,0 +1,48 @@
+// QueryProfile: the export layer of the profiling subsystem. Bundles the
+// executed plan, per-operator runtime stats, global ExecMetrics, wall time
+// and (optionally) the optimizer trace, and renders them as EXPLAIN
+// ANALYZE text or a JSON document (hand-rolled writer, no dependencies).
+#ifndef FUSIONDB_OBS_PROFILE_H_
+#define FUSIONDB_OBS_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/query_result.h"
+#include "obs/operator_stats.h"
+#include "obs/optimizer_trace.h"
+#include "plan/logical_plan.h"
+
+namespace fusiondb {
+
+struct QueryProfile {
+  std::string query;   // label, e.g. the TPC-DS query name
+  std::string config;  // optimizer configuration, e.g. "fused"
+  PlanPtr plan;        // the executed plan
+  std::vector<OperatorStats> operator_stats;  // preorder, aligned with plan
+  ExecMetrics metrics;
+  double wall_ms = 0.0;
+  const OptimizerTrace* trace = nullptr;  // optional; not owned
+};
+
+/// Assembles a profile from an executed result. `trace` may be null.
+QueryProfile MakeQueryProfile(std::string query, std::string config,
+                              const PlanPtr& plan, const QueryResult& result,
+                              const OptimizerTrace* trace = nullptr);
+
+/// JSON document (schema documented in DESIGN.md §9): query/config/wall_ms,
+/// the global metrics object, the plan as a nested operator tree with each
+/// node's stats inlined, and the optimizer trace when present.
+std::string ProfileToJson(const QueryProfile& profile);
+
+/// ProfileToJson written to `path`; ExecutionError on failure.
+Status WriteProfileJson(const QueryProfile& profile, const std::string& path);
+
+/// The plan tree annotated with per-operator runtime stats — the EXPLAIN
+/// ANALYZE rendering. Falls back to the plain plan when the result carries
+/// no stats (profiling disabled).
+std::string ExplainAnalyze(const PlanPtr& plan, const QueryResult& result);
+
+}  // namespace fusiondb
+
+#endif  // FUSIONDB_OBS_PROFILE_H_

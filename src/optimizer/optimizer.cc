@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "analysis/plan_verifier.h"
+#include "obs/optimizer_trace.h"
 #include "optimizer/prune_columns.h"
 #include "optimizer/rules.h"
 #include "optimizer/spool_rule.h"
@@ -57,11 +58,19 @@ Result<PlanPtr> SweepOnce(const PlanPtr& plan,
       child_changed ? plan->CloneWithChildren(std::move(children)) : plan;
   if (child_changed) *changed = true;
 
+  OptimizerTrace* trace = ctx->trace();
   constexpr int kLocalFixpointCap = 64;
   for (int round = 0; round < kLocalFixpointCap; ++round) {
     bool round_changed = false;
     for (const Rule* rule : rules) {
       FUSIONDB_ASSIGN_OR_RETURN(PlanPtr next, rule->Apply(current, ctx));
+      if (trace != nullptr) {
+        trace->RecordRuleAttempt(rule->name(), next != current);
+        if (next != current) {
+          trace->RecordRuleFiring(rule->name(), *current, CountAllOps(current),
+                                  CountAllOps(next));
+        }
+      }
       if (next != current) {
         // An invalid rewrite is a bug in the rule: pinpoint it here, at the
         // first bad application, rather than as a downstream symptom.
@@ -128,9 +137,11 @@ Result<PlanPtr> Optimizer::Optimize(const PlanPtr& plan,
   FUSIONDB_RETURN_IF_ERROR(VerifyPlanIfEnabled(plan, "initial plan"));
 
   PlanPtr current = plan;
+  OptimizerTrace* obs_trace = ctx->trace();
 
   // 1. Normalize.
   {
+    if (obs_trace != nullptr) obs_trace->BeginPhase("normalize");
     PhaseTimer timer("normalize");
     std::vector<const Rule*> rules{&simplify, &merge_filters, &merge_projects};
     FUSIONDB_ASSIGN_OR_RETURN(current, RunPhase(current, rules, ctx));
@@ -138,6 +149,7 @@ Result<PlanPtr> Optimizer::Optimize(const PlanPtr& plan,
 
   // 2. Decorrelate (always-on substrate; Apply cannot execute).
   if (options_.enable_decorrelation) {
+    if (obs_trace != nullptr) obs_trace->BeginPhase("decorrelate");
     PhaseTimer timer("decorrelate");
     std::vector<const Rule*> rules{&decorrelate, &merge_filters};
     FUSIONDB_ASSIGN_OR_RETURN(current, RunPhase(current, rules, ctx));
@@ -145,6 +157,7 @@ Result<PlanPtr> Optimizer::Optimize(const PlanPtr& plan,
 
   // 3. Lower DISTINCT aggregates onto MarkDistinct.
   if (options_.enable_distinct_lowering) {
+    if (obs_trace != nullptr) obs_trace->BeginPhase("lower");
     PhaseTimer timer("lower");
     std::vector<const Rule*> rules{&lower_distinct};
     FUSIONDB_ASSIGN_OR_RETURN(current, RunPhase(current, rules, ctx));
@@ -158,6 +171,7 @@ Result<PlanPtr> Optimizer::Optimize(const PlanPtr& plan,
     if (options_.enable_union_all_on_join) rules.push_back(&union_on_join);
     if (options_.enable_union_all_fuse) rules.push_back(&union_fuse);
     if (!rules.empty()) {
+      if (obs_trace != nullptr) obs_trace->BeginPhase("fuse");
       PhaseTimer timer("fuse");
       rules.push_back(&simplify);
       FUSIONDB_ASSIGN_OR_RETURN(current, RunPhase(current, rules, ctx));
@@ -166,6 +180,7 @@ Result<PlanPtr> Optimizer::Optimize(const PlanPtr& plan,
 
   // 5. Distinct/semi-join interplay (the Q95 pipeline, Section V.D).
   if (options_.enable_semijoin_rewrites) {
+    if (obs_trace != nullptr) obs_trace->BeginPhase("distinct");
     PhaseTimer timer("distinct");
     std::vector<const Rule*> rules{&semi_to_distinct, &push_distinct,
                                    &merge_projects};
@@ -174,6 +189,7 @@ Result<PlanPtr> Optimizer::Optimize(const PlanPtr& plan,
 
   // 6. Fusion again: phase 5 exposes new JoinOnKeys opportunities.
   if (options_.enable_join_on_keys) {
+    if (obs_trace != nullptr) obs_trace->BeginPhase("fuse2");
     PhaseTimer timer("fuse2");
     std::vector<const Rule*> rules{&join_on_keys, &simplify};
     FUSIONDB_ASSIGN_OR_RETURN(current, RunPhase(current, rules, ctx));
@@ -181,14 +197,26 @@ Result<PlanPtr> Optimizer::Optimize(const PlanPtr& plan,
 
   // 7. Cleanup: simplify, push filters toward (and into) scans, prune.
   {
+    if (obs_trace != nullptr) obs_trace->BeginPhase("cleanup");
     PhaseTimer timer("cleanup");
     std::vector<const Rule*> rules{&simplify, &merge_filters, &merge_projects,
                                    &filter_pushdown, &push_into_scan};
     FUSIONDB_ASSIGN_OR_RETURN(current, RunPhase(current, rules, ctx));
   }
   if (options_.enable_column_pruning) {
+    if (obs_trace != nullptr) obs_trace->BeginPhase("prune");
     PhaseTimer timer("prune");
+    int ops_before = obs_trace != nullptr ? CountAllOps(current) : 0;
+    PlanPtr pre_prune = current;
     FUSIONDB_ASSIGN_OR_RETURN(current, PruneColumns(current));
+    if (obs_trace != nullptr) {
+      bool fired = current != pre_prune;
+      obs_trace->RecordRuleAttempt("PruneColumns", fired);
+      if (fired) {
+        obs_trace->RecordRuleFiring("PruneColumns", *pre_prune, ops_before,
+                                    CountAllOps(current));
+      }
+    }
     FUSIONDB_RETURN_IF_ERROR(VerifyPlanIfEnabled(current, "column pruning"));
   }
 
@@ -196,8 +224,19 @@ Result<PlanPtr> Optimizer::Optimize(const PlanPtr& plan,
   // materialization. Runs last so later rewrites cannot diverge the two
   // consumers of a shared spool child.
   if (options_.enable_spooling) {
+    if (obs_trace != nullptr) obs_trace->BeginPhase("spool");
     PhaseTimer timer("spool");
+    int ops_before = obs_trace != nullptr ? CountAllOps(current) : 0;
+    PlanPtr pre_spool = current;
     FUSIONDB_ASSIGN_OR_RETURN(current, SpoolCommonSubexpressions(current, ctx));
+    if (obs_trace != nullptr) {
+      bool fired = current != pre_spool;
+      obs_trace->RecordRuleAttempt("SpoolCommonSubexpressions", fired);
+      if (fired) {
+        obs_trace->RecordRuleFiring("SpoolCommonSubexpressions", *pre_spool,
+                                    ops_before, CountAllOps(current));
+      }
+    }
     FUSIONDB_RETURN_IF_ERROR(VerifyPlanIfEnabled(current, "spooling"));
   }
 

@@ -11,6 +11,9 @@
 
 namespace fusiondb {
 
+class OptimizerTrace;  // obs/optimizer_trace.h; forward-declared so the
+                       // plan layer takes no dependency on the obs library
+
 class PlanContext {
  public:
   ColumnId NextId() { return next_id_++; }
@@ -25,8 +28,16 @@ class PlanContext {
   /// The next id that would be allocated (diagnostics only).
   ColumnId Peek() const { return next_id_; }
 
+  /// Optional optimizer/fusion trace collector (not owned; may be null, the
+  /// default). Riding on PlanContext keeps every Rule::Apply and Fuser
+  /// signature unchanged while making the trace reachable wherever plans
+  /// are rewritten.
+  OptimizerTrace* trace() const { return trace_; }
+  void set_trace(OptimizerTrace* trace) { trace_ = trace; }
+
  private:
   ColumnId next_id_ = 1;
+  OptimizerTrace* trace_ = nullptr;
 };
 
 }  // namespace fusiondb

@@ -14,7 +14,9 @@ std::string ExprStr(const ExprPtr& e) {
   return e == nullptr ? "<null>" : e->ToString();
 }
 
-void PrintNode(const PlanPtr& plan, int indent, std::ostream& os) {
+void PrintNode(const PlanPtr& plan, int indent, std::ostream& os,
+               const PlanAnnotator& annotate, int* counter) {
+  int preorder_index = (*counter)++;
   std::string pad(static_cast<size_t>(indent) * 2, ' ');
   os << pad << OpKindName(plan->kind());
   switch (plan->kind()) {
@@ -119,17 +121,24 @@ void PrintNode(const PlanPtr& plan, int indent, std::ostream& os) {
     case OpKind::kEnforceSingleRow:
       break;  // nothing beyond the kind name and schema
   }
-  os << "  -> " << plan->schema().ToString() << "\n";
+  os << "  -> " << plan->schema().ToString();
+  if (annotate != nullptr) os << annotate(*plan, preorder_index);
+  os << "\n";
   for (const PlanPtr& c : plan->children()) {
-    PrintNode(c, indent + 1, os);
+    PrintNode(c, indent + 1, os, annotate, counter);
   }
 }
 
 }  // namespace
 
 std::string PlanToString(const PlanPtr& plan) {
+  return PlanToString(plan, PlanAnnotator());
+}
+
+std::string PlanToString(const PlanPtr& plan, const PlanAnnotator& annotate) {
   std::ostringstream os;
-  PrintNode(plan, 0, os);
+  int counter = 0;
+  PrintNode(plan, 0, os, annotate, &counter);
   return os.str();
 }
 

@@ -4,6 +4,7 @@
 #ifndef FUSIONDB_PLAN_PLAN_PRINTER_H_
 #define FUSIONDB_PLAN_PLAN_PRINTER_H_
 
+#include <functional>
 #include <string>
 
 #include "plan/logical_plan.h"
@@ -12,6 +13,17 @@ namespace fusiondb {
 
 /// Indented multi-line rendering of a plan tree.
 std::string PlanToString(const PlanPtr& plan);
+
+/// Per-node annotation hook for the annotated rendering below: receives the
+/// node and its preorder index (the stable operator id used by the
+/// profiling layer) and returns text appended to the node's line. May be
+/// null (plain rendering).
+using PlanAnnotator = std::function<std::string(const LogicalOp&, int)>;
+
+/// PlanToString with a per-node annotation — the substrate of EXPLAIN
+/// ANALYZE (obs/profile.h). The preorder indices handed to the annotator
+/// match BuildExecutor's operator-id assignment exactly.
+std::string PlanToString(const PlanPtr& plan, const PlanAnnotator& annotate);
 
 /// Number of operators of the given kind anywhere in the tree.
 int CountOps(const PlanPtr& plan, OpKind kind);

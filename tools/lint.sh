@@ -37,6 +37,14 @@ if grep -rn --include='*.cc' --include='*.h' '^[[:space:]]*assert(' \
   note_failure 'use Status / FUSIONDB_CHECK instead of raw assert() outside tests'
 fi
 
+# The executor has a single timing authority (obs/operator_stats.h's
+# NowNanos); scattering std::chrono through operators makes profiling
+# overhead unauditable and invites per-row timing.
+if grep -rn --include='*.cc' --include='*.h' 'std::chrono' src/exec \
+    2>/dev/null; then
+  note_failure 'src/exec must use obs/operator_stats.h NowNanos(), not std::chrono'
+fi
+
 # --- Layer 2: clang-tidy (optional) ----------------------------------------
 
 if command -v clang-tidy >/dev/null 2>&1; then
