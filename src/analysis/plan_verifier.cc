@@ -118,7 +118,7 @@ class VerifierImpl {
               "limit-negative",
               internal::StrCat("Limit of ", limit, " rows"));
         }
-        return Status::OK();
+        return WalkLimitOrdering(op.child(0), /*destroyed=*/false);
       }
       case OpKind::kEnforceSingleRow:
         return VerifyPassThroughSchema(op);
@@ -519,6 +519,45 @@ class VerifierImpl {
                                DataTypeName(out.column(c).type)));
         }
       }
+    }
+    return Status::OK();
+  }
+
+  /// Ordering guarantee below a Limit: when a Sort is meant to feed a Limit
+  /// (top-K), every operator between them must preserve row order. Finding a
+  /// Sort on the far side of an order-destroying operator (Aggregate, Join,
+  /// UnionAll, Apply) means a rewrite moved one across the other and the
+  /// plan silently returns the wrong K rows. The walk stops at a nested
+  /// Limit — anything below it belongs to that Limit's own ordering
+  /// contract (e.g. a top-K subquery feeding a join) — and at the first
+  /// Sort, which is the one whose ordering the outer Limit consumes.
+  Status WalkLimitOrdering(const PlanPtr& op, bool destroyed) {
+    switch (op->kind()) {
+      case OpKind::kSort:
+        if (destroyed) {
+          return StructuralViolation(
+              "limit-sort-order-destroyed",
+              "Limit draws from a Sort through an operator that does not "
+              "preserve its ordering");
+        }
+        return Status::OK();
+      case OpKind::kLimit:
+      case OpKind::kScan:
+      case OpKind::kValues:
+        return Status::OK();
+      case OpKind::kAggregate:
+      case OpKind::kJoin:
+      case OpKind::kUnionAll:
+      case OpKind::kApply:
+        destroyed = true;
+        break;
+      default:
+        // Filter, Project, Spool, EnforceSingleRow, MarkDistinct and Window
+        // pass rows through in input order.
+        break;
+    }
+    for (const PlanPtr& c : op->children()) {
+      FUSIONDB_RETURN_IF_ERROR(WalkLimitOrdering(c, destroyed));
     }
     return Status::OK();
   }

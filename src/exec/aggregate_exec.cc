@@ -22,46 +22,43 @@ struct BoundAgg {
   const AggregateItem* item;
   std::optional<BoundExpr> arg;
   int arg_column = -1;  // >= 0 when the argument is a bare column reference
-  int mask_slot = -1;   // index into the per-chunk mask bitmaps; -1 == TRUE
-
-  Value ArgAt(const Chunk& chunk, size_t row) const {
-    if (arg_column >= 0) return chunk.columns[arg_column].GetValue(row);
-    if (!arg.has_value()) return Value::Bool(true);  // COUNT(*): placeholder
-    return arg->EvalRow(chunk, row);
-  }
+  int mask_slot = -1;   // index into the per-chunk mask selections; -1 == TRUE
 };
 
 /// Deduplicated masks shared by a set of aggregates. Masks are stored as
 /// lists of *conjunct* slots, and conjuncts are deduplicated across masks
 /// (after fusion, `lp_avg_i`, `lp_cnt_i` and `lp_cntd_i` all carry the same
 /// bucket condition), so each distinct conjunct is evaluated once per chunk
-/// and masks combine bitmaps. Sound for filtering because a conjunction is
-/// TRUE iff every conjunct is TRUE.
+/// and masks intersect selections. Sound for filtering because a conjunction
+/// is TRUE iff every conjunct is TRUE.
 struct MaskSet {
   std::vector<BoundExpr> conjuncts;            // unique conjunct evaluators
   std::vector<std::vector<int>> mask_slots;    // per mask: conjunct indexes
 
   size_t num_masks() const { return mask_slots.size(); }
 
-  /// Evaluates all masks over a chunk (one bitmap per mask).
-  std::vector<std::vector<uint8_t>> Evaluate(const Chunk& chunk) const {
-    std::vector<std::vector<uint8_t>> conjunct_bits;
-    conjunct_bits.reserve(conjuncts.size());
+  /// Evaluates all masks over a chunk: one selection vector per mask, each
+  /// the intersection of its conjuncts' surviving rows.
+  std::vector<SelVector> Evaluate(const Chunk& chunk) const {
+    std::vector<SelVector> conjunct_sels;
+    conjunct_sels.reserve(conjuncts.size());
     for (const BoundExpr& c : conjuncts) {
-      conjunct_bits.push_back(c.EvalFilter(chunk));
+      conjunct_sels.push_back(c.EvalFilter(chunk));
     }
-    std::vector<std::vector<uint8_t>> bitmaps;
-    bitmaps.reserve(mask_slots.size());
-    size_t n = chunk.num_rows();
+    std::vector<SelVector> sels;
+    sels.reserve(mask_slots.size());
     for (const std::vector<int>& slots : mask_slots) {
-      std::vector<uint8_t> bits(n, 1);
+      SelVector sel;
+      bool first = true;
       for (int s : slots) {
-        const std::vector<uint8_t>& cb = conjunct_bits[s];
-        for (size_t i = 0; i < n; ++i) bits[i] &= cb[i];
+        sel = first ? conjunct_sels[s]
+                    : SelVector::Intersect(sel, conjunct_sels[s]);
+        first = false;
       }
-      bitmaps.push_back(std::move(bits));
+      if (first) sel = SelVector::Dense(chunk.num_rows());
+      sels.push_back(std::move(sel));
     }
-    return bitmaps;
+    return sels;
   }
 };
 
@@ -168,9 +165,21 @@ class AggregateExec final : public ExecOperator {
   /// path). `key` is the reusable row-key buffer.
   void AccumulateChunk(const Chunk& in, GroupMap* groups, std::string* key) {
     size_t rows = in.num_rows();
-    // One pass per distinct mask over the whole chunk; aggregates then
-    // just test bits per row.
-    std::vector<std::vector<uint8_t>> bitmaps = mask_set_.Evaluate(in);
+    if (rows == 0) return;
+    // One pass per distinct mask conjunct over the whole chunk; each mask is
+    // the intersection of its conjuncts' selections.
+    std::vector<SelVector> masks = mask_set_.Evaluate(in);
+    // Expression-valued arguments evaluate once per chunk, column-at-a-time.
+    std::vector<Column> expr_args(aggs_.size());
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      const BoundAgg& agg = aggs_[a];
+      if (agg.arg_column < 0 && agg.arg.has_value()) {
+        expr_args[a] = agg.arg->EvalAll(in);
+      }
+    }
+    // Pass 1: resolve each row's group once. The map is node-based, so entry
+    // pointers stay stable across later inserts.
+    std::vector<GroupEntry*> row_groups(rows);
     for (size_t r = 0; r < rows; ++r) {
       RowKeyEncoder::Encode(in, group_indexes_, r, key);
       auto [it, inserted] = groups->try_emplace(*key);
@@ -182,14 +191,33 @@ class AggregateExec final : public ExecOperator {
           entry.representative.push_back(in.columns[g].GetValue(r));
         }
       }
-      for (size_t a = 0; a < aggs_.size(); ++a) {
-        const BoundAgg& agg = aggs_[a];
-        if (agg.mask_slot >= 0 && !bitmaps[agg.mask_slot][r]) continue;
-        if (agg.arg_column >= 0) {
-          entry.states[a].AccumulateColumnRow(*agg.item,
-                                              in.columns[agg.arg_column], r);
-        } else {
-          entry.states[a].AccumulateRow(*agg.item, agg.ArgAt(in, r));
+      row_groups[r] = &entry;
+    }
+    // Pass 2: per aggregate, one walk over its mask's surviving rows. Each
+    // (group, aggregate) state still sees its rows in ascending order, so
+    // floating-point sums accumulate in exactly the row-at-a-time order.
+    SelVector dense;
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      const BoundAgg& agg = aggs_[a];
+      if (agg.mask_slot < 0 && dense.size() != rows) {
+        dense = SelVector::Dense(rows);
+      }
+      const SelVector& sel =
+          agg.mask_slot >= 0 ? masks[agg.mask_slot] : dense;
+      if (agg.arg_column >= 0) {
+        const Column& col = in.columns[agg.arg_column];
+        for (uint32_t r : sel) {
+          row_groups[r]->states[a].AccumulateColumnRow(*agg.item, col, r);
+        }
+      } else if (agg.arg.has_value()) {
+        const Column& col = expr_args[a];
+        for (uint32_t r : sel) {
+          row_groups[r]->states[a].AccumulateColumnRow(*agg.item, col, r);
+        }
+      } else {
+        // COUNT(*): no argument to read.
+        for (uint32_t r : sel) {
+          row_groups[r]->states[a].AccumulateRow(*agg.item, Value::Bool(true));
         }
       }
     }
@@ -322,11 +350,10 @@ class WindowExec final : public ExecOperator {
     Chunk out = Chunk::Empty(OutputTypes());
     size_t input_width = data_.num_columns();
     for (size_t c = 0; c < input_width; ++c) {
-      for (size_t r = offset_; r < offset_ + take; ++r) {
-        out.columns[c].AppendFrom(data_.columns[c], r);
-      }
+      out.columns[c].AppendRange(data_.columns[c], offset_, take);
     }
     for (size_t a = 0; a < items_.size(); ++a) {
+      out.columns[input_width + a].Reserve(take);
       for (size_t r = offset_; r < offset_ + take; ++r) {
         out.columns[input_width + a].AppendValue(results_[a][r]);
       }
@@ -357,8 +384,22 @@ class WindowExec final : public ExecOperator {
       partitions[key].push_back(r);
     }
 
-    // Compute each item per partition and broadcast to member rows.
-    std::vector<std::vector<uint8_t>> bitmaps = mask_set_.Evaluate(data_);
+    // Compute each item per partition and broadcast to member rows. Masks
+    // evaluate once as selections; partitions walk their member rows (not
+    // ascending globally), so the selections expand to byte masks for
+    // random-access membership tests.
+    std::vector<SelVector> mask_sels = mask_set_.Evaluate(data_);
+    std::vector<std::vector<uint8_t>> bitmaps;
+    bitmaps.reserve(mask_sels.size());
+    for (const SelVector& s : mask_sels) bitmaps.push_back(s.ToMask(rows));
+    // Expression-valued arguments evaluate once over the materialized data.
+    std::vector<Column> expr_args(items_.size());
+    for (size_t a = 0; a < items_.size(); ++a) {
+      const BoundAgg& item = items_[a];
+      if (item.arg_column < 0 && item.arg.has_value()) {
+        expr_args[a] = item.arg->EvalAll(data_);
+      }
+    }
     results_.assign(items_.size(), std::vector<Value>(rows));
     for (const auto& [key, members] : partitions) {
       for (size_t a = 0; a < items_.size(); ++a) {
@@ -369,8 +410,10 @@ class WindowExec final : public ExecOperator {
           if (item.arg_column >= 0) {
             state.AccumulateColumnRow(*item.item, data_.columns[item.arg_column],
                                       r);
+          } else if (item.arg.has_value()) {
+            state.AccumulateColumnRow(*item.item, expr_args[a], r);
           } else {
-            state.AccumulateRow(*item.item, item.ArgAt(data_, r));
+            state.AccumulateRow(*item.item, Value::Bool(true));
           }
         }
         Value v = state.Finalize(*item.item);

@@ -140,31 +140,20 @@ class HashJoinExec final : public ExecOperator {
     return !v.is_null() && v.bool_value();
   }
 
-  void EmitPair(const Chunk& left_chunk, size_t lrow, size_t rrow, Chunk* out) {
-    size_t lw = left_chunk.num_columns();
-    for (size_t c = 0; c < lw; ++c) {
-      out->columns[c].AppendFrom(left_chunk.columns[c], lrow);
-    }
-    if (join_type_ != JoinType::kSemi) {
-      for (size_t c = 0; c < right_data_.num_columns(); ++c) {
-        out->columns[lw + c].AppendFrom(right_data_.columns[c], rrow);
-      }
-    }
-  }
+  // Sentinel right-row index meaning "no match": the output row carries the
+  // left columns plus NULL right columns (left outer join).
+  static constexpr uint32_t kNullRight = UINT32_MAX;
 
-  void EmitUnmatchedLeft(const Chunk& left_chunk, size_t lrow, Chunk* out) {
-    size_t lw = left_chunk.num_columns();
-    for (size_t c = 0; c < lw; ++c) {
-      out->columns[c].AppendFrom(left_chunk.columns[c], lrow);
-    }
-    for (size_t c = 0; c < right_data_.num_columns(); ++c) {
-      out->columns[lw + c].AppendNull();
-    }
-  }
-
+  /// Matching stays row-at-a-time (key encode + residual EvalRowPair over
+  /// candidate pairs), but row assembly is deferred: the probe loop only
+  /// records (left row, right row) index pairs in emission order, and the
+  /// output columns are built afterwards with bulk gathers.
   void ProbeChunk(const Chunk& in, Chunk* out) {
     size_t rows = in.num_rows();
     size_t right_rows = right_data_.num_rows();
+    std::vector<uint32_t> lrows;
+    std::vector<uint32_t> rrows;
+    bool any_null_right = false;
     std::string key;
     for (size_t r = 0; r < rows; ++r) {
       bool matched = false;
@@ -177,7 +166,8 @@ class HashJoinExec final : public ExecOperator {
             for (size_t m : it->second) {
               if (!PairPasses(in, r, m)) continue;
               matched = true;
-              EmitPair(in, r, m, out);
+              lrows.push_back(static_cast<uint32_t>(r));
+              rrows.push_back(static_cast<uint32_t>(m));
               if (join_type_ == JoinType::kSemi) break;
             }
           }
@@ -186,12 +176,37 @@ class HashJoinExec final : public ExecOperator {
         for (size_t m = 0; m < right_rows; ++m) {
           if (!PairPasses(in, r, m)) continue;
           matched = true;
-          EmitPair(in, r, m, out);
+          lrows.push_back(static_cast<uint32_t>(r));
+          rrows.push_back(static_cast<uint32_t>(m));
           if (join_type_ == JoinType::kSemi) break;
         }
       }
       if (!matched && join_type_ == JoinType::kLeft) {
-        EmitUnmatchedLeft(in, r, out);
+        lrows.push_back(static_cast<uint32_t>(r));
+        rrows.push_back(kNullRight);
+        any_null_right = true;
+      }
+    }
+    if (lrows.empty()) return;
+    size_t lw = in.num_columns();
+    for (size_t c = 0; c < lw; ++c) {
+      out->columns[c] = in.columns[c].Gather(lrows.data(), lrows.size());
+    }
+    if (join_type_ == JoinType::kSemi) return;
+    for (size_t c = 0; c < right_data_.num_columns(); ++c) {
+      const Column& src = right_data_.columns[c];
+      Column& dst = out->columns[lw + c];
+      if (!any_null_right) {
+        dst = src.Gather(rrows.data(), rrows.size());
+        continue;
+      }
+      dst.Reserve(rrows.size());
+      for (uint32_t m : rrows) {
+        if (m == kNullRight) {
+          dst.AppendNull();
+        } else {
+          dst.AppendFrom(src, m);
+        }
       }
     }
   }

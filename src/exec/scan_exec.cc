@@ -183,11 +183,7 @@ class ScanExec final : public ExecOperator {
         decoded_.clear();
       } else {
         for (size_t i = 0; i < table_columns_.size(); ++i) {
-          const Column& src = decoded_[i];
-          out.columns[i].Reserve(take);
-          for (size_t r = offset_; r < offset_ + take; ++r) {
-            out.columns[i].AppendFrom(src, r);
-          }
+          out.columns[i].AppendRange(decoded_[i], offset_, take);
         }
       }
       offset_ += take;
@@ -240,10 +236,7 @@ class ScanExec final : public ExecOperator {
             size_t take = std::min(ctx_->chunk_size(), rows - offset);
             Chunk chunk = Chunk::Empty(OutputTypes());
             for (size_t i = 0; i < decoded.size(); ++i) {
-              chunk.columns[i].Reserve(take);
-              for (size_t r = offset; r < offset + take; ++r) {
-                chunk.columns[i].AppendFrom(decoded[i], r);
-              }
+              chunk.columns[i].AppendRange(decoded[i], offset, take);
             }
             out.push_back(std::move(chunk));
           }

@@ -20,16 +20,12 @@ class FilterExec final : public ExecOperator {
     while (true) {
       FUSIONDB_ASSIGN_OR_RETURN(std::optional<Chunk> in, child_->Next());
       if (!in.has_value()) return std::optional<Chunk>();
-      std::vector<uint8_t> keep = predicate_.EvalFilter(*in);
-      size_t kept = 0;
-      for (uint8_t k : keep) kept += k;
-      if (kept == in->num_rows()) return in;  // everything passes: pass through
-      if (kept == 0) continue;
-      Chunk out = Chunk::Empty(OutputTypes());
-      for (size_t r = 0; r < in->num_rows(); ++r) {
-        if (keep[r]) out.AppendRowFrom(*in, r);
+      SelVector sel = predicate_.EvalFilter(*in);
+      if (sel.size() == in->num_rows()) {
+        return in;  // everything passes: pass through
       }
-      return std::optional<Chunk>(std::move(out));
+      if (sel.empty()) continue;
+      return std::optional<Chunk>(in->Gather(sel));
     }
   }
 
@@ -136,9 +132,7 @@ class LimitExec final : public ExecOperator {
       return in;
     }
     Chunk out = Chunk::Empty(OutputTypes());
-    for (int64_t r = 0; r < remaining_; ++r) {
-      out.AppendRowFrom(*in, static_cast<size_t>(r));
-    }
+    out.AppendRange(*in, 0, static_cast<size_t>(remaining_));
     remaining_ = 0;
     return std::optional<Chunk>(std::move(out));
   }

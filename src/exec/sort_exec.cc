@@ -29,9 +29,12 @@ class SortExec final : public ExecOperator {
     size_t total = order_.size();
     if (offset_ >= total) return std::optional<Chunk>();
     size_t take = std::min(ctx_->chunk_size(), total - offset_);
-    Chunk out = Chunk::Empty(OutputTypes());
-    for (size_t i = offset_; i < offset_ + take; ++i) {
-      out.AppendRowFrom(data_, order_[i]);
+    // Bulk-gather the next slice of the sorted permutation; Gather accepts
+    // an arbitrary (not necessarily ascending) index list.
+    Chunk out;
+    out.columns.reserve(data_.columns.size());
+    for (const Column& c : data_.columns) {
+      out.columns.push_back(c.Gather(order_.data() + offset_, take));
     }
     offset_ += take;
     return std::optional<Chunk>(std::move(out));
@@ -69,7 +72,7 @@ class SortExec final : public ExecOperator {
   std::vector<std::pair<int, bool>> keys_;  // (column index, ascending)
   ExecContext* ctx_;
   Chunk data_;
-  std::vector<size_t> order_;
+  std::vector<uint32_t> order_;
   bool sorted_ = false;
   size_t offset_ = 0;
   int64_t accounted_bytes_ = 0;

@@ -1,8 +1,425 @@
 #include "expr/evaluator.h"
 
+#include <atomic>
+#include <type_traits>
+#include <utility>
+
 #include "expr/scalar_ops.h"
 
 namespace fusiondb {
+
+namespace {
+
+// Routes the vectorized entry points through the row-at-a-time interpreter.
+// Atomic because parallel drains evaluate masks on worker threads; relaxed is
+// enough since tests only flip it between queries.
+std::atomic<bool> g_row_at_a_time{false};
+
+bool RowAtATimeEval() {
+  return g_row_at_a_time.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void SetRowAtATimeEvalForTesting(bool enabled) {
+  g_row_at_a_time.store(enabled, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Typed kernels, specialized at bind time.
+//
+// A compare/arith node whose operands are column references or literals of
+// int/double/string physical type gets a kernel instantiated for exactly that
+// (operand shape × physical type × operator) combination. The kernel reads
+// raw column buffers, so the per-chunk loop carries no Value boxing and no
+// per-row dispatch on expression kind or operand type. Nodes outside the
+// specialized shapes (nested operands, CASE, IN) fall back to the generic
+// column-at-a-time code below, which is semantically identical.
+// ---------------------------------------------------------------------------
+struct BoundExpr::Kernels {
+  // Operand accessors: a uniform IsNull(row) / Get(row) view over either a
+  // column's raw buffers or a bound literal.
+  struct IntCol {
+    const uint8_t* valid;
+    const int64_t* vals;
+    IntCol(const BoundExpr& e, const Chunk& in)
+        : valid(in.columns[e.column_index_].valid_data()),
+          vals(in.columns[e.column_index_].ints_data()) {}
+    bool IsNull(uint32_t row) const { return valid[row] == 0; }
+    int64_t Get(uint32_t row) const { return vals[row]; }
+  };
+  struct DblCol {
+    const uint8_t* valid;
+    const double* vals;
+    DblCol(const BoundExpr& e, const Chunk& in)
+        : valid(in.columns[e.column_index_].valid_data()),
+          vals(in.columns[e.column_index_].doubles_data()) {}
+    bool IsNull(uint32_t row) const { return valid[row] == 0; }
+    double Get(uint32_t row) const { return vals[row]; }
+  };
+  struct StrCol {
+    const uint8_t* valid;
+    const std::string* vals;
+    StrCol(const BoundExpr& e, const Chunk& in)
+        : valid(in.columns[e.column_index_].valid_data()),
+          vals(in.columns[e.column_index_].strings_data()) {}
+    bool IsNull(uint32_t row) const { return valid[row] == 0; }
+    const std::string& Get(uint32_t row) const { return vals[row]; }
+  };
+  struct IntLit {
+    int64_t v;
+    IntLit(const BoundExpr& e, const Chunk&) : v(e.literal_.int_value()) {}
+    bool IsNull(uint32_t) const { return false; }
+    int64_t Get(uint32_t) const { return v; }
+  };
+  struct DblLit {
+    double v;
+    DblLit(const BoundExpr& e, const Chunk&) : v(e.literal_.double_value()) {}
+    bool IsNull(uint32_t) const { return false; }
+    double Get(uint32_t) const { return v; }
+  };
+  struct StrLit {
+    const std::string* v;
+    StrLit(const BoundExpr& e, const Chunk&)
+        : v(&e.literal_.string_value()) {}
+    bool IsNull(uint32_t) const { return false; }
+    const std::string& Get(uint32_t) const { return *v; }
+  };
+
+  // Comparison functors. Same-type operands compare natively (int64 stays
+  // int64, matching the generic CompareColumns path); mixed int/double
+  // promotes to double, matching Value::Compare's numeric promotion.
+  template <typename A, typename B>
+  static bool Less(const A& a, const B& b) {
+    if constexpr (std::is_same_v<A, B>) {
+      return a < b;
+    } else {
+      return static_cast<double>(a) < static_cast<double>(b);
+    }
+  }
+  template <typename A, typename B>
+  static bool Equal(const A& a, const B& b) {
+    if constexpr (std::is_same_v<A, B>) {
+      return a == b;
+    } else {
+      return static_cast<double>(a) == static_cast<double>(b);
+    }
+  }
+  struct OpEq {
+    template <typename A, typename B>
+    static bool Apply(const A& a, const B& b) {
+      return Equal(a, b);
+    }
+  };
+  struct OpNe {
+    template <typename A, typename B>
+    static bool Apply(const A& a, const B& b) {
+      return !Equal(a, b);
+    }
+  };
+  struct OpLt {
+    template <typename A, typename B>
+    static bool Apply(const A& a, const B& b) {
+      return Less(a, b);
+    }
+  };
+  struct OpLe {
+    template <typename A, typename B>
+    static bool Apply(const A& a, const B& b) {
+      return !Less(b, a);
+    }
+  };
+  struct OpGt {
+    template <typename A, typename B>
+    static bool Apply(const A& a, const B& b) {
+      return Less(b, a);
+    }
+  };
+  struct OpGe {
+    template <typename A, typename B>
+    static bool Apply(const A& a, const B& b) {
+      return !Less(a, b);
+    }
+  };
+
+  // Arithmetic functors; operands arrive pre-promoted to a common type.
+  struct ArAdd {
+    static constexpr bool kIsDiv = false;
+    template <typename T>
+    static T Apply(T a, T b) {
+      return a + b;
+    }
+  };
+  struct ArSub {
+    static constexpr bool kIsDiv = false;
+    template <typename T>
+    static T Apply(T a, T b) {
+      return a - b;
+    }
+  };
+  struct ArMul {
+    static constexpr bool kIsDiv = false;
+    template <typename T>
+    static T Apply(T a, T b) {
+      return a * b;
+    }
+  };
+  struct ArDiv {
+    static constexpr bool kIsDiv = true;
+    template <typename T>
+    static T Apply(T a, T b) {
+      return a / b;
+    }
+  };
+
+  /// Filter kernel: compacts `sel` in place to the rows where the comparison
+  /// is TRUE (NULL operands fail). Reads trail writes, so the in-place
+  /// compaction is safe.
+  template <typename L, typename R, typename Op>
+  static void CmpFilter(const BoundExpr& e, const Chunk& in, SelVector* sel) {
+    L l(e.children_[0], in);
+    R r(e.children_[1], in);
+    std::vector<uint32_t>& rows = sel->indexes();
+    size_t kept = 0;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      uint32_t row = rows[i];
+      if (!l.IsNull(row) && !r.IsNull(row) &&
+          Op::Apply(l.Get(row), r.Get(row))) {
+        rows[kept++] = row;
+      }
+    }
+    rows.resize(kept);
+  }
+
+  /// Compute kernel: a dense bool column over `sel` (or over every row when
+  /// `sel` is null), NULL where either operand is NULL.
+  template <typename L, typename R, typename Op>
+  static Column CmpCompute(const BoundExpr& e, const Chunk& in,
+                           const SelVector* sel) {
+    L l(e.children_[0], in);
+    R r(e.children_[1], in);
+    size_t n = sel ? sel->size() : in.num_rows();
+    Column out(DataType::kBool);
+    out.Reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t row = sel ? (*sel)[i] : static_cast<uint32_t>(i);
+      if (l.IsNull(row) || r.IsNull(row)) {
+        out.AppendNull();
+      } else {
+        out.AppendBool(Op::Apply(l.Get(row), r.Get(row)));
+      }
+    }
+    return out;
+  }
+
+  /// Arithmetic compute kernel. INT_RESULT selects the int64 path (both
+  /// operands int-physical, op != div); otherwise operands promote to double
+  /// and division by zero yields NULL — both matching the generic
+  /// ArithColumns path and the row-at-a-time EvalArithOp oracle.
+  template <typename L, typename R, typename Op, bool INT_RESULT>
+  static Column ArithCompute(const BoundExpr& e, const Chunk& in,
+                             const SelVector* sel) {
+    L l(e.children_[0], in);
+    R r(e.children_[1], in);
+    size_t n = sel ? sel->size() : in.num_rows();
+    Column out(e.type_);
+    out.Reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t row = sel ? (*sel)[i] : static_cast<uint32_t>(i);
+      if (l.IsNull(row) || r.IsNull(row)) {
+        out.AppendNull();
+        continue;
+      }
+      if constexpr (INT_RESULT) {
+        int64_t a = l.Get(row);
+        int64_t b = r.Get(row);
+        out.AppendInt(Op::template Apply<int64_t>(a, b));
+      } else {
+        double a = static_cast<double>(l.Get(row));
+        double b = static_cast<double>(r.Get(row));
+        if constexpr (Op::kIsDiv) {
+          if (b == 0.0) {
+            out.AppendNull();
+            continue;
+          }
+        }
+        out.AppendDouble(Op::template Apply<double>(a, b));
+      }
+    }
+    return out;
+  }
+
+  /// Kernels for compare/arith with a NULL literal operand: the result is
+  /// NULL for every row, so the filter form keeps nothing.
+  static void NullFilter(const BoundExpr&, const Chunk&, SelVector* sel) {
+    sel->clear();
+  }
+  static Column NullCompute(const BoundExpr& e, const Chunk& in,
+                            const SelVector* sel) {
+    size_t n = sel ? sel->size() : in.num_rows();
+    Column out(e.type_);
+    out.Reserve(n);
+    for (size_t i = 0; i < n; ++i) out.AppendNull();
+    return out;
+  }
+
+  // --- bind-time dispatch: operator, then left accessor, then right --------
+
+  template <typename L, typename R>
+  static void InstallCmp(BoundExpr* e) {
+    switch (e->cmp_) {
+      case CompareOp::kEq:
+        e->filter_fn_ = &CmpFilter<L, R, OpEq>;
+        e->compute_fn_ = &CmpCompute<L, R, OpEq>;
+        break;
+      case CompareOp::kNe:
+        e->filter_fn_ = &CmpFilter<L, R, OpNe>;
+        e->compute_fn_ = &CmpCompute<L, R, OpNe>;
+        break;
+      case CompareOp::kLt:
+        e->filter_fn_ = &CmpFilter<L, R, OpLt>;
+        e->compute_fn_ = &CmpCompute<L, R, OpLt>;
+        break;
+      case CompareOp::kLe:
+        e->filter_fn_ = &CmpFilter<L, R, OpLe>;
+        e->compute_fn_ = &CmpCompute<L, R, OpLe>;
+        break;
+      case CompareOp::kGt:
+        e->filter_fn_ = &CmpFilter<L, R, OpGt>;
+        e->compute_fn_ = &CmpCompute<L, R, OpGt>;
+        break;
+      case CompareOp::kGe:
+        e->filter_fn_ = &CmpFilter<L, R, OpGe>;
+        e->compute_fn_ = &CmpCompute<L, R, OpGe>;
+        break;
+    }
+  }
+
+  static bool IsLit(const BoundExpr& e) {
+    return e.kind_ == ExprKind::kLiteral;
+  }
+  static bool IsDbl(const BoundExpr& e) {
+    return PhysicalTypeOf(e.type_) == PhysicalType::kDouble;
+  }
+
+  template <typename L>
+  static void InstallCmpNumR(BoundExpr* e) {
+    const BoundExpr& r = e->children_[1];
+    if (IsLit(r)) {
+      IsDbl(r) ? InstallCmp<L, DblLit>(e) : InstallCmp<L, IntLit>(e);
+    } else {
+      IsDbl(r) ? InstallCmp<L, DblCol>(e) : InstallCmp<L, IntCol>(e);
+    }
+  }
+  static void InstallCmpNum(BoundExpr* e) {
+    const BoundExpr& l = e->children_[0];
+    if (IsLit(l)) {
+      IsDbl(l) ? InstallCmpNumR<DblLit>(e) : InstallCmpNumR<IntLit>(e);
+    } else {
+      IsDbl(l) ? InstallCmpNumR<DblCol>(e) : InstallCmpNumR<IntCol>(e);
+    }
+  }
+  static void InstallCmpStr(BoundExpr* e) {
+    const BoundExpr& l = e->children_[0];
+    const BoundExpr& r = e->children_[1];
+    if (IsLit(l)) {
+      IsLit(r) ? InstallCmp<StrLit, StrLit>(e) : InstallCmp<StrLit, StrCol>(e);
+    } else {
+      IsLit(r) ? InstallCmp<StrCol, StrLit>(e) : InstallCmp<StrCol, StrCol>(e);
+    }
+  }
+
+  template <typename L, typename R, bool INT_RESULT>
+  static ComputeFn ArithFor(ArithOp op) {
+    switch (op) {
+      case ArithOp::kAdd:
+        return &ArithCompute<L, R, ArAdd, INT_RESULT>;
+      case ArithOp::kSub:
+        return &ArithCompute<L, R, ArSub, INT_RESULT>;
+      case ArithOp::kMul:
+        return &ArithCompute<L, R, ArMul, INT_RESULT>;
+      case ArithOp::kDiv:
+        // Division always runs on the double path (NULL on zero divisor).
+        if constexpr (INT_RESULT) {
+          return nullptr;
+        } else {
+          return &ArithCompute<L, R, ArDiv, false>;
+        }
+    }
+    return nullptr;
+  }
+
+  static ComputeFn PickArithInt(const BoundExpr& e) {
+    const BoundExpr& l = e.children_[0];
+    const BoundExpr& r = e.children_[1];
+    if (IsLit(l)) {
+      return IsLit(r) ? ArithFor<IntLit, IntLit, true>(e.arith_)
+                      : ArithFor<IntLit, IntCol, true>(e.arith_);
+    }
+    return IsLit(r) ? ArithFor<IntCol, IntLit, true>(e.arith_)
+                    : ArithFor<IntCol, IntCol, true>(e.arith_);
+  }
+  template <typename L>
+  static ComputeFn PickArithDblR(const BoundExpr& e) {
+    const BoundExpr& r = e.children_[1];
+    if (IsLit(r)) {
+      return IsDbl(r) ? ArithFor<L, DblLit, false>(e.arith_)
+                      : ArithFor<L, IntLit, false>(e.arith_);
+    }
+    return IsDbl(r) ? ArithFor<L, DblCol, false>(e.arith_)
+                    : ArithFor<L, IntCol, false>(e.arith_);
+  }
+  static ComputeFn PickArithDbl(const BoundExpr& e) {
+    const BoundExpr& l = e.children_[0];
+    if (IsLit(l)) {
+      return IsDbl(l) ? PickArithDblR<DblLit>(e) : PickArithDblR<IntLit>(e);
+    }
+    return IsDbl(l) ? PickArithDblR<DblCol>(e) : PickArithDblR<IntCol>(e);
+  }
+};
+
+void BoundExpr::SpecializeKernels() {
+  if (kind_ != ExprKind::kCompare && kind_ != ExprKind::kArith) return;
+  const BoundExpr& l = children_[0];
+  const BoundExpr& r = children_[1];
+  auto is_leaf = [](const BoundExpr& c) {
+    return c.kind_ == ExprKind::kColumnRef || c.kind_ == ExprKind::kLiteral;
+  };
+  if (!is_leaf(l) || !is_leaf(r)) return;
+  if ((l.kind_ == ExprKind::kLiteral && l.literal_.is_null()) ||
+      (r.kind_ == ExprKind::kLiteral && r.literal_.is_null())) {
+    compute_fn_ = &Kernels::NullCompute;
+    if (kind_ == ExprKind::kCompare) filter_fn_ = &Kernels::NullFilter;
+    return;
+  }
+  PhysicalType lp = PhysicalTypeOf(l.type_);
+  PhysicalType rp = PhysicalTypeOf(r.type_);
+  if (kind_ == ExprKind::kCompare) {
+    // Mirror the generic comparator's type classes exactly: both int-physical
+    // (bool/int64/date) compares as int64, mixed numeric promotes to double,
+    // strings compare lexicographically. Anything else (e.g. date vs double)
+    // stays on the generic Value::Compare fallback.
+    bool both_int = lp == PhysicalType::kInt && rp == PhysicalType::kInt;
+    bool both_numeric = IsNumeric(l.type_) && IsNumeric(r.type_);
+    if (both_int || both_numeric) {
+      Kernels::InstallCmpNum(this);
+    } else if (l.type_ == DataType::kString && r.type_ == DataType::kString) {
+      Kernels::InstallCmpStr(this);
+    }
+    return;
+  }
+  // Arith.
+  if (lp == PhysicalType::kString || rp == PhysicalType::kString) return;
+  bool int_result =
+      PhysicalTypeOf(type_) == PhysicalType::kInt && arith_ != ArithOp::kDiv;
+  if (int_result) {
+    if (lp == PhysicalType::kInt && rp == PhysicalType::kInt) {
+      compute_fn_ = Kernels::PickArithInt(*this);
+    }
+  } else {
+    compute_fn_ = Kernels::PickArithDbl(*this);
+  }
+}
 
 Result<BoundExpr> BindExpr(const ExprPtr& expr, const Schema& schema) {
   BoundExpr b;
@@ -30,6 +447,7 @@ Result<BoundExpr> BindExpr(const ExprPtr& expr, const Schema& schema) {
     FUSIONDB_ASSIGN_OR_RETURN(BoundExpr bc, BindExpr(c, schema));
     b.children_.push_back(std::move(bc));
   }
+  b.SpecializeKernels();
   return b;
 }
 
@@ -180,11 +598,10 @@ Value BoundExpr::EvalRowPair(const Chunk& left, size_t la, const Chunk& right,
 
 namespace {
 
-// --- Vectorized kernels -----------------------------------------------------
-// Expressions are evaluated column-at-a-time: each node runs one tight loop
-// over its children's result columns, so per-row interpretation overhead
-// (virtual recursion, Value boxing) is paid once per node per chunk rather
-// than once per node per row.
+// --- Generic column-at-a-time fallbacks -------------------------------------
+// Nodes without a bind-time kernel (nested operands, CASE, IN, logic over
+// non-predicate context) evaluate here: one loop per node per chunk over the
+// children's dense result columns.
 
 Column BroadcastLiteral(const Value& v, DataType type, size_t n) {
   Column out(type);
@@ -308,21 +725,23 @@ Column ArithColumns(ArithOp op, DataType result_type, const Column& l,
 
 }  // namespace
 
-Column BoundExpr::EvalAll(const Chunk& input) const {
-  size_t n = input.num_rows();
+Column BoundExpr::EvalInternal(const Chunk& input, const SelVector* sel) const {
+  if (compute_fn_ != nullptr) return compute_fn_(*this, input, sel);
+  size_t n = sel ? sel->size() : input.num_rows();
   switch (kind_) {
     case ExprKind::kColumnRef:
+      if (sel) return input.columns[column_index_].Gather(*sel);
       return input.columns[column_index_];
     case ExprKind::kLiteral:
       return BroadcastLiteral(literal_, type_, n);
     case ExprKind::kCompare: {
-      Column l = children_[0].EvalAll(input);
-      Column r = children_[1].EvalAll(input);
+      Column l = children_[0].EvalInternal(input, sel);
+      Column r = children_[1].EvalInternal(input, sel);
       return CompareColumns(cmp_, l, r);
     }
     case ExprKind::kArith: {
-      Column l = children_[0].EvalAll(input);
-      Column r = children_[1].EvalAll(input);
+      Column l = children_[0].EvalInternal(input, sel);
+      Column r = children_[1].EvalInternal(input, sel);
       return ArithColumns(arith_, type_, l, r);
     }
     case ExprKind::kAnd:
@@ -333,7 +752,7 @@ Column BoundExpr::EvalAll(const Chunk& input) const {
       std::vector<uint8_t> dominant(n, 0);
       std::vector<uint8_t> has_null(n, 0);
       for (const BoundExpr& c : children_) {
-        Column col = c.EvalAll(input);
+        Column col = c.EvalInternal(input, sel);
         for (size_t i = 0; i < n; ++i) {
           if (col.IsNull(i)) {
             has_null[i] = 1;
@@ -356,7 +775,7 @@ Column BoundExpr::EvalAll(const Chunk& input) const {
       return out;
     }
     case ExprKind::kNot: {
-      Column c = children_[0].EvalAll(input);
+      Column c = children_[0].EvalInternal(input, sel);
       Column out(DataType::kBool);
       out.Reserve(n);
       for (size_t i = 0; i < n; ++i) {
@@ -369,7 +788,7 @@ Column BoundExpr::EvalAll(const Chunk& input) const {
       return out;
     }
     case ExprKind::kIsNull: {
-      Column c = children_[0].EvalAll(input);
+      Column c = children_[0].EvalInternal(input, sel);
       Column out(DataType::kBool);
       out.Reserve(n);
       for (size_t i = 0; i < n; ++i) out.AppendBool(c.IsNull(i));
@@ -379,7 +798,9 @@ Column BoundExpr::EvalAll(const Chunk& input) const {
       size_t arms = children_.size();
       std::vector<Column> cols;
       cols.reserve(arms);
-      for (const BoundExpr& c : children_) cols.push_back(c.EvalAll(input));
+      for (const BoundExpr& c : children_) {
+        cols.push_back(c.EvalInternal(input, sel));
+      }
       Column out(type_);
       out.Reserve(n);
       for (size_t i = 0; i < n; ++i) {
@@ -397,7 +818,9 @@ Column BoundExpr::EvalAll(const Chunk& input) const {
     case ExprKind::kInList: {
       std::vector<Column> cols;
       cols.reserve(children_.size());
-      for (const BoundExpr& c : children_) cols.push_back(c.EvalAll(input));
+      for (const BoundExpr& c : children_) {
+        cols.push_back(c.EvalInternal(input, sel));
+      }
       Column out(DataType::kBool);
       out.Reserve(n);
       for (size_t i = 0; i < n; ++i) {
@@ -429,18 +852,115 @@ Column BoundExpr::EvalAll(const Chunk& input) const {
   // Unreachable; keep the row-wise path as a safety net.
   Column out(type_);
   out.Reserve(n);
-  for (size_t r = 0; r < n; ++r) out.AppendValue(EvalRow(input, r));
+  for (size_t i = 0; i < n; ++i) {
+    out.AppendValue(EvalRow(input, sel ? (*sel)[i] : i));
+  }
   return out;
 }
 
-std::vector<uint8_t> BoundExpr::EvalFilter(const Chunk& input) const {
-  Column c = EvalAll(input);
-  size_t n = c.size();
-  std::vector<uint8_t> keep(n, 0);
-  for (size_t r = 0; r < n; ++r) {
-    keep[r] = (c.IsValid(r) && c.BoolAt(r)) ? 1 : 0;
+void BoundExpr::NarrowInternal(const Chunk& input, SelVector* sel) const {
+  if (sel->empty()) return;
+  if (filter_fn_ != nullptr) {
+    filter_fn_(*this, input, sel);
+    return;
   }
-  return keep;
+  switch (kind_) {
+    case ExprKind::kAnd:
+      // Progressive narrowing: a row survives iff every conjunct is TRUE
+      // (Kleene AND is TRUE only when all inputs are TRUE, and the filter
+      // drops both FALSE and NULL), so each conjunct only has to visit the
+      // previous conjuncts' survivors.
+      for (const BoundExpr& c : children_) {
+        c.NarrowInternal(input, sel);
+        if (sel->empty()) return;
+      }
+      return;
+    case ExprKind::kOr: {
+      // A row survives iff some disjunct is TRUE; each disjunct only visits
+      // rows no earlier disjunct accepted.
+      SelVector remaining = *sel;
+      SelVector passed;
+      for (const BoundExpr& c : children_) {
+        if (remaining.empty()) break;
+        SelVector matched = remaining;
+        c.NarrowInternal(input, &matched);
+        if (matched.empty()) continue;
+        remaining.Subtract(matched);
+        passed = passed.empty() ? std::move(matched)
+                                : SelVector::Union(passed, matched);
+      }
+      *sel = std::move(passed);
+      return;
+    }
+    case ExprKind::kColumnRef: {
+      const Column& c = input.columns[column_index_];
+      const uint8_t* valid = c.valid_data();
+      const int64_t* vals = c.ints_data();
+      std::vector<uint32_t>& rows = sel->indexes();
+      size_t kept = 0;
+      for (size_t i = 0; i < rows.size(); ++i) {
+        uint32_t row = rows[i];
+        if (valid[row] != 0 && vals[row] != 0) rows[kept++] = row;
+      }
+      rows.resize(kept);
+      return;
+    }
+    case ExprKind::kLiteral:
+      if (literal_.is_null() || !literal_.bool_value()) sel->clear();
+      return;
+    default: {
+      // Generic predicate: evaluate densely over the selection, keep TRUE.
+      Column v = EvalInternal(input, sel);
+      std::vector<uint32_t>& rows = sel->indexes();
+      size_t kept = 0;
+      for (size_t i = 0; i < rows.size(); ++i) {
+        if (v.IsValid(i) && v.BoolAt(i)) rows[kept++] = rows[i];
+      }
+      rows.resize(kept);
+      return;
+    }
+  }
+}
+
+Column BoundExpr::EvalAll(const Chunk& input) const {
+  if (RowAtATimeEval()) {
+    size_t n = input.num_rows();
+    Column out(type_);
+    out.Reserve(n);
+    for (size_t r = 0; r < n; ++r) out.AppendValue(EvalRow(input, r));
+    return out;
+  }
+  return EvalInternal(input, nullptr);
+}
+
+Column BoundExpr::EvalSel(const Chunk& input, const SelVector& sel) const {
+  if (RowAtATimeEval()) {
+    Column out(type_);
+    out.Reserve(sel.size());
+    for (uint32_t r : sel) out.AppendValue(EvalRow(input, r));
+    return out;
+  }
+  return EvalInternal(input, &sel);
+}
+
+SelVector BoundExpr::EvalFilter(const Chunk& input) const {
+  SelVector sel = SelVector::Dense(input.num_rows());
+  NarrowFilter(input, &sel);
+  return sel;
+}
+
+void BoundExpr::NarrowFilter(const Chunk& input, SelVector* sel) const {
+  if (RowAtATimeEval()) {
+    std::vector<uint32_t>& rows = sel->indexes();
+    size_t kept = 0;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      Value v = EvalRow(input, rows[i]);
+      if (!v.is_null() && v.bool_value()) rows[kept++] = rows[i];
+    }
+    rows.resize(kept);
+    return;
+  }
+  NarrowInternal(input, sel);
 }
 
 }  // namespace fusiondb

@@ -1,6 +1,14 @@
-// Expression interpretation over chunks. Expressions are bound once against
-// an input Schema (resolving ColumnIds to positions), then evaluated
-// row-at-a-time across a chunk.
+// Expression evaluation over chunks. Expressions are bound once against an
+// input Schema (resolving ColumnIds to positions and specializing each
+// compare/arith node to a typed kernel), then evaluated column-at-a-time.
+// Predicates evaluate as selection vectors: a filter narrows the set of
+// surviving row indexes instead of materializing boolean columns, so AND
+// chains short-circuit across the whole chunk and downstream operators only
+// touch surviving rows.
+//
+// The row-at-a-time interpreter (EvalRow / EvalRowPair) remains as the
+// reference implementation: join residuals evaluate it over candidate pairs,
+// and the differential tests use it as the oracle for the vectorized path.
 #ifndef FUSIONDB_EXPR_EVALUATOR_H_
 #define FUSIONDB_EXPR_EVALUATOR_H_
 
@@ -10,16 +18,20 @@
 #include "common/status.h"
 #include "expr/expr.h"
 #include "types/chunk.h"
+#include "types/sel_vector.h"
 
 namespace fusiondb {
 
 /// An expression whose column references are resolved to positions within a
-/// specific input schema.
+/// specific input schema, and whose compare/arith nodes carry kernels
+/// specialized at bind time on operand physical types and shape
+/// (column⊕column, column⊕literal).
 class BoundExpr {
  public:
   DataType type() const { return type_; }
 
-  /// Evaluates against row `row` of `input`.
+  /// Evaluates against row `row` of `input`. Reference implementation; the
+  /// executor's hot paths use the vectorized entry points below.
   Value EvalRow(const Chunk& input, size_t row) const;
 
   /// Evaluates against a virtual row spanning two chunks: column positions
@@ -32,11 +44,38 @@ class BoundExpr {
   /// Evaluates for all rows, producing a column of this expression's type.
   Column EvalAll(const Chunk& input) const;
 
-  /// Predicate form: a row passes only when the result is TRUE (not NULL).
-  std::vector<uint8_t> EvalFilter(const Chunk& input) const;
+  /// Evaluates only the selected rows, producing a dense column of
+  /// sel.size() values (result row i corresponds to input row sel[i]).
+  Column EvalSel(const Chunk& input, const SelVector& sel) const;
+
+  /// Predicate form: the indexes of rows where this expression is TRUE
+  /// (not NULL, not FALSE), ascending.
+  SelVector EvalFilter(const Chunk& input) const;
+
+  /// In-place predicate form: narrows `sel` to the subset of its rows where
+  /// this expression is TRUE. Conjunct chains call this in sequence so each
+  /// successive predicate only visits survivors.
+  void NarrowFilter(const Chunk& input, SelVector* sel) const;
 
  private:
   friend Result<BoundExpr> BindExpr(const ExprPtr& expr, const Schema& schema);
+  struct Kernels;
+  friend struct Kernels;
+
+  /// Kernel signatures. A filter kernel narrows a selection in place; a
+  /// compute kernel produces a dense column over `sel` (or over every row
+  /// when `sel` is null). Chosen once at bind time, so the hot loop runs
+  /// without per-row dispatch on expression kind or operand type.
+  using FilterFn = void (*)(const BoundExpr&, const Chunk&, SelVector*);
+  using ComputeFn = Column (*)(const BoundExpr&, const Chunk&,
+                               const SelVector*);
+
+  /// Installs typed kernels for compare/arith nodes whose operands are
+  /// column references or literals of kernel-supported physical types.
+  void SpecializeKernels();
+
+  Column EvalInternal(const Chunk& input, const SelVector* sel) const;
+  void NarrowInternal(const Chunk& input, SelVector* sel) const;
 
   ExprKind kind_ = ExprKind::kLiteral;
   DataType type_ = DataType::kInt64;
@@ -45,12 +84,20 @@ class BoundExpr {
   CompareOp cmp_ = CompareOp::kEq;
   ArithOp arith_ = ArithOp::kAdd;
   std::vector<BoundExpr> children_;
+  FilterFn filter_fn_ = nullptr;
+  ComputeFn compute_fn_ = nullptr;
 };
 
 /// Resolves every column reference in `expr` against `schema`. Fails with
 /// kPlanError when a referenced column is not in scope — this is the
 /// executor's defense against malformed plans.
 Result<BoundExpr> BindExpr(const ExprPtr& expr, const Schema& schema);
+
+/// Testing hook: when enabled, EvalAll/EvalSel/EvalFilter/NarrowFilter
+/// route through the row-at-a-time interpreter so whole queries can run
+/// against the oracle and be compared byte-for-byte with the vectorized
+/// engine. Set only while no query is executing.
+void SetRowAtATimeEvalForTesting(bool enabled);
 
 }  // namespace fusiondb
 

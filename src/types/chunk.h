@@ -31,11 +31,29 @@ struct Chunk {
     }
   }
 
-  /// Bulk-appends all rows of `src` (same layout).
+  /// Bulk-appends all rows of `src` (same layout). Each column reserves its
+  /// destination before copying.
   void AppendChunk(const Chunk& src) {
     for (size_t i = 0; i < columns.size(); ++i) {
       columns[i].AppendColumn(src.columns[i]);
     }
+  }
+
+  /// Bulk-appends the contiguous rows [begin, begin + count) of `src`.
+  void AppendRange(const Chunk& src, size_t begin, size_t count) {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      columns[i].AppendRange(src.columns[i], begin, count);
+    }
+  }
+
+  /// A new chunk holding the selected rows of every column, capacity
+  /// reserved up front — the bulk replacement for per-row AppendRowFrom
+  /// copy loops.
+  Chunk Gather(const SelVector& sel) const {
+    Chunk out;
+    out.columns.reserve(columns.size());
+    for (const Column& c : columns) out.columns.push_back(c.Gather(sel));
+    return out;
   }
 };
 

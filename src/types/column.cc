@@ -1,5 +1,8 @@
 #include "types/column.h"
 
+#include <algorithm>
+#include <cstddef>
+
 namespace fusiondb {
 
 Value Column::GetValue(size_t row) const {
@@ -57,9 +60,28 @@ void Column::AppendFrom(const Column& other, size_t row) {
   }
 }
 
+void Column::GrowthReserve(size_t extra) {
+  size_t need = size() + extra;
+  if (need <= valid_.capacity()) return;
+  size_t target = std::max(need, size() * 2);
+  valid_.reserve(target);
+  switch (PhysicalTypeOf(type_)) {
+    case PhysicalType::kInt:
+      ints_.reserve(target);
+      break;
+    case PhysicalType::kDouble:
+      doubles_.reserve(target);
+      break;
+    case PhysicalType::kString:
+      strings_.reserve(target);
+      break;
+  }
+}
+
 void Column::AppendColumn(const Column& other) {
   FUSIONDB_CHECK(PhysicalTypeOf(type_) == PhysicalTypeOf(other.type_),
                  "column type mismatch in bulk append");
+  GrowthReserve(other.size());
   valid_.insert(valid_.end(), other.valid_.begin(), other.valid_.end());
   switch (PhysicalTypeOf(type_)) {
     case PhysicalType::kInt:
@@ -74,6 +96,59 @@ void Column::AppendColumn(const Column& other) {
                       other.strings_.end());
       break;
   }
+}
+
+void Column::AppendRange(const Column& src, size_t begin, size_t count) {
+  FUSIONDB_CHECK(PhysicalTypeOf(type_) == PhysicalTypeOf(src.type_),
+                 "column type mismatch in range append");
+  GrowthReserve(count);
+  auto vb = src.valid_.begin() + static_cast<ptrdiff_t>(begin);
+  valid_.insert(valid_.end(), vb, vb + static_cast<ptrdiff_t>(count));
+  switch (PhysicalTypeOf(type_)) {
+    case PhysicalType::kInt: {
+      auto b = src.ints_.begin() + static_cast<ptrdiff_t>(begin);
+      ints_.insert(ints_.end(), b, b + static_cast<ptrdiff_t>(count));
+      break;
+    }
+    case PhysicalType::kDouble: {
+      auto b = src.doubles_.begin() + static_cast<ptrdiff_t>(begin);
+      doubles_.insert(doubles_.end(), b, b + static_cast<ptrdiff_t>(count));
+      break;
+    }
+    case PhysicalType::kString: {
+      auto b = src.strings_.begin() + static_cast<ptrdiff_t>(begin);
+      strings_.insert(strings_.end(), b, b + static_cast<ptrdiff_t>(count));
+      break;
+    }
+  }
+}
+
+Column Column::Gather(const uint32_t* sel, size_t n) const {
+  Column out(type_);
+  out.Reserve(n);
+  out.valid_.resize(n);
+  const uint8_t* valid = valid_.data();
+  for (size_t i = 0; i < n; ++i) out.valid_[i] = valid[sel[i]];
+  switch (PhysicalTypeOf(type_)) {
+    case PhysicalType::kInt: {
+      out.ints_.resize(n);
+      const int64_t* src = ints_.data();
+      for (size_t i = 0; i < n; ++i) out.ints_[i] = src[sel[i]];
+      break;
+    }
+    case PhysicalType::kDouble: {
+      out.doubles_.resize(n);
+      const double* src = doubles_.data();
+      for (size_t i = 0; i < n; ++i) out.doubles_[i] = src[sel[i]];
+      break;
+    }
+    case PhysicalType::kString: {
+      out.strings_.resize(n);
+      for (size_t i = 0; i < n; ++i) out.strings_[i] = strings_[sel[i]];
+      break;
+    }
+  }
+  return out;
 }
 
 int64_t Column::ByteSize() const {

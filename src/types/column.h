@@ -9,6 +9,7 @@
 
 #include "common/check.h"
 #include "types/data_type.h"
+#include "types/sel_vector.h"
 #include "types/value.h"
 
 namespace fusiondb {
@@ -57,6 +58,13 @@ class Column {
 
   Value GetValue(size_t row) const;
 
+  /// Raw buffer access for the vectorized kernels. Only the buffer matching
+  /// the column's physical type is populated; the others are empty.
+  const uint8_t* valid_data() const { return valid_.data(); }
+  const int64_t* ints_data() const { return ints_.data(); }
+  const double* doubles_data() const { return doubles_.data(); }
+  const std::string* strings_data() const { return strings_.data(); }
+
   void AppendNull() {
     valid_.push_back(0);
     AppendDefaultSlot();
@@ -83,14 +91,34 @@ class Column {
   /// Appends row `row` of `other` (same physical type) to this column.
   void AppendFrom(const Column& other, size_t row);
 
-  /// Bulk-appends all rows of `other` (same physical type).
+  /// Bulk-appends all rows of `other` (same physical type). Reserves the
+  /// destination up front (geometric policy, so repeated appends stay
+  /// amortized O(1)) instead of growing inside the element loop.
   void AppendColumn(const Column& other);
+
+  /// Bulk-appends the contiguous rows [begin, begin + count) of `src`.
+  /// The reserved, memcpy-friendly replacement for per-row AppendFrom
+  /// slicing loops (scan chunking, sort/window output).
+  void AppendRange(const Column& src, size_t begin, size_t count);
+
+  /// A new column holding rows `sel[0..n)` of this column, in selection
+  /// order, with capacity reserved up front. The bulk row-assembly
+  /// primitive behind Filter, Limit, Sort and hash-join output.
+  Column Gather(const uint32_t* sel, size_t n) const;
+  Column Gather(const SelVector& sel) const {
+    return Gather(sel.data(), sel.size());
+  }
 
   /// Bytes this column would occupy on "disk": fixed width per row, or the
   /// sum of string lengths. Used for the scanned-bytes metric.
   int64_t ByteSize() const;
 
  private:
+  /// Ensures room for `extra` more rows without defeating geometric growth:
+  /// when the current capacity is short, grows to at least double the
+  /// current size so repeated bulk appends stay amortized O(1).
+  void GrowthReserve(size_t extra);
+
   void AppendDefaultSlot() {
     switch (PhysicalTypeOf(type_)) {
       case PhysicalType::kInt:

@@ -164,8 +164,9 @@ TEST(EvalTest, BetweenBuilder) {
 TEST(EvalTest, EvalFilterTreatsNullAsFail) {
   auto bound = BindExpr(Lt(A(), Int(3)), TestSchema());
   ASSERT_TRUE(bound.ok());
-  std::vector<uint8_t> keep = bound->EvalFilter(TestChunk());
-  EXPECT_EQ(keep, (std::vector<uint8_t>{1, 1, 0, 0}));
+  // Rows 0 and 1 are TRUE; row 2 is NULL (fails the filter); row 3 is FALSE.
+  SelVector keep = bound->EvalFilter(TestChunk());
+  EXPECT_EQ(keep.indexes(), (std::vector<uint32_t>{0, 1}));
 }
 
 TEST(EvalTest, RowAndColumnPathsAgree) {

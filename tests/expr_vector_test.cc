@@ -1,0 +1,382 @@
+// Differential testing of the vectorized expression kernels against the
+// row-at-a-time interpreter (EvalRow), which is kept as the reference
+// implementation for join residuals. Randomized expression trees over
+// randomized NULL-bearing columns must agree cell-for-cell on every public
+// entry point (EvalAll, EvalSel, EvalFilter, NarrowFilter); three-valued
+// AND/OR/NOT edge cases are pinned explicitly; and the full TPC-DS workload
+// must return byte-identical results with vectorization on and off under
+// every optimizer configuration.
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "expr/evaluator.h"
+#include "test_util.h"
+
+namespace fusiondb {
+namespace {
+
+using testutil::SharedTpcds;
+using testutil::Unwrap;
+
+// ---------------------------------------------------------------------------
+// Randomized differential fuzz: vectorized paths vs the EvalRow oracle.
+// ---------------------------------------------------------------------------
+
+// Columns: i0,i1 int64; d0,d1 float64; s0 string. Integer values stay small
+// so the kernels' native int64 comparisons and the interpreter's agree even
+// where one side promotes to double.
+Schema FuzzSchema() {
+  return Schema({{1, "i0", DataType::kInt64},
+                 {2, "i1", DataType::kInt64},
+                 {3, "d0", DataType::kFloat64},
+                 {4, "d1", DataType::kFloat64},
+                 {5, "s0", DataType::kString}});
+}
+
+class ExprFuzzer {
+ public:
+  explicit ExprFuzzer(uint32_t seed) : rng_(seed) {}
+
+  Chunk RandomChunk(size_t rows) {
+    // Physical column order must match FuzzSchema: i0, i1, d0, d1, s0.
+    Chunk c = Chunk::Empty({DataType::kInt64, DataType::kInt64,
+                            DataType::kFloat64, DataType::kFloat64,
+                            DataType::kString});
+    static const char* kStrings[] = {"a", "b", "c", "mm", "zz"};
+    for (size_t r = 0; r < rows; ++r) {
+      for (int col = 0; col < 2; ++col) {
+        if (Chance(5)) {
+          c.columns[col].AppendNull();
+        } else {
+          c.columns[col].AppendInt(Pick(201) - 100);
+        }
+      }
+      for (int col = 2; col < 4; ++col) {
+        if (Chance(5)) {
+          c.columns[col].AppendNull();
+        } else {
+          c.columns[col].AppendDouble((Pick(401) - 200) / 4.0);
+        }
+      }
+      if (Chance(5)) {
+        c.columns[4].AppendNull();
+      } else {
+        c.columns[4].AppendString(kStrings[Pick(5)]);
+      }
+    }
+    return c;
+  }
+
+  /// A random boolean-typed expression of bounded depth.
+  ExprPtr RandomPredicate(int depth) {
+    if (depth <= 0) return BoolLeaf();
+    switch (Pick(8)) {
+      case 0:
+        return Compare(NumericExpr(depth - 1), NumericExpr(depth - 1));
+      case 1:
+        return Compare(StringLeaf(), StringLeaf());
+      case 2:
+        return eb::Between(NumericExpr(depth - 1), NumericExpr(0),
+                           NumericExpr(0));
+      case 3: {
+        std::vector<ExprPtr> items;
+        for (int i = 0, n = 1 + Pick(3); i < n; ++i) {
+          items.push_back(eb::Int(Pick(201) - 100));
+        }
+        return eb::In(NumericExpr(depth - 1), std::move(items));
+      }
+      case 4:
+        return Chance(2) ? eb::IsNull(NumericExpr(depth - 1))
+                         : eb::IsNotNull(StringLeaf());
+      case 5:
+        return eb::Not(RandomPredicate(depth - 1));
+      case 6: {
+        std::vector<ExprPtr> kids;
+        for (int i = 0, n = 2 + Pick(2); i < n; ++i) {
+          kids.push_back(RandomPredicate(depth - 1));
+        }
+        return Chance(2) ? eb::And(std::move(kids)) : eb::Or(std::move(kids));
+      }
+      default:
+        return eb::CaseWhen(RandomPredicate(depth - 1),
+                            RandomPredicate(depth - 1), BoolLeaf());
+    }
+  }
+
+ private:
+  bool Chance(int one_in) { return Pick(one_in) == 0; }
+  int Pick(int n) {
+    return std::uniform_int_distribution<int>(0, n - 1)(rng_);
+  }
+
+  ExprPtr BoolLeaf() {
+    switch (Pick(4)) {
+      case 0:
+        return eb::True();
+      case 1:
+        return eb::False();
+      case 2:
+        return eb::NullOf(DataType::kBool);
+      default:
+        return Compare(NumericExpr(0), NumericExpr(0));
+    }
+  }
+
+  ExprPtr Compare(ExprPtr a, ExprPtr b) {
+    switch (Pick(6)) {
+      case 0:
+        return eb::Eq(std::move(a), std::move(b));
+      case 1:
+        return eb::Ne(std::move(a), std::move(b));
+      case 2:
+        return eb::Lt(std::move(a), std::move(b));
+      case 3:
+        return eb::Le(std::move(a), std::move(b));
+      case 4:
+        return eb::Gt(std::move(a), std::move(b));
+      default:
+        return eb::Ge(std::move(a), std::move(b));
+    }
+  }
+
+  ExprPtr NumericExpr(int depth) {
+    if (depth <= 0 || Chance(2)) return NumericLeaf();
+    ExprPtr a = NumericExpr(depth - 1);
+    ExprPtr b = NumericExpr(depth - 1);
+    switch (Pick(4)) {
+      case 0:
+        return eb::Add(std::move(a), std::move(b));
+      case 1:
+        return eb::Sub(std::move(a), std::move(b));
+      case 2:
+        return eb::Mul(std::move(a), std::move(b));
+      default:
+        // Division yields NULL on a zero divisor; the zero-heavy literal
+        // space makes sure that path fires.
+        return eb::Div(std::move(a), std::move(b));
+    }
+  }
+
+  ExprPtr NumericLeaf() {
+    switch (Pick(8)) {
+      case 0:
+        return eb::Col(1, DataType::kInt64);
+      case 1:
+        return eb::Col(2, DataType::kInt64);
+      case 2:
+        return eb::Col(3, DataType::kFloat64);
+      case 3:
+        return eb::Col(4, DataType::kFloat64);
+      case 4:
+        return eb::Int(Pick(7) - 3);  // small: zeros included for Div
+      case 5:
+        return eb::Int(Pick(201) - 100);
+      case 6:
+        return eb::Dbl((Pick(81) - 40) / 4.0);
+      default:
+        return Chance(3) ? eb::NullOf(DataType::kInt64)
+                         : eb::Dbl(static_cast<double>(Pick(41) - 20));
+    }
+  }
+
+  ExprPtr StringLeaf() {
+    static const char* kStrings[] = {"a", "b", "c", "mm", "zz"};
+    switch (Pick(3)) {
+      case 0:
+        return eb::Col(5, DataType::kString);
+      case 1:
+        return eb::NullOf(DataType::kString);
+      default:
+        return eb::Str(kStrings[Pick(5)]);
+    }
+  }
+
+  std::mt19937 rng_;
+};
+
+TEST(ExprVectorTest, RandomizedKernelsMatchRowOracle) {
+  ExprFuzzer fuzz(20260806);
+  std::mt19937 sel_rng(7);
+  for (int trial = 0; trial < 300; ++trial) {
+    // Odd row counts exercise tail handling; trial 0 covers the empty chunk.
+    size_t rows = trial == 0 ? 0 : 1 + trial % 97;
+    Chunk chunk = fuzz.RandomChunk(rows);
+    ExprPtr expr = fuzz.RandomPredicate(3);
+    auto bound = BindExpr(expr, FuzzSchema());
+    ASSERT_TRUE(bound.ok()) << bound.status().ToString() << "\n"
+                            << expr->ToString();
+
+    // Oracle: the row-at-a-time interpreter.
+    std::vector<Value> oracle;
+    oracle.reserve(rows);
+    for (size_t r = 0; r < rows; ++r) oracle.push_back(bound->EvalRow(chunk, r));
+
+    // EvalAll must agree on every cell.
+    Column all = bound->EvalAll(chunk);
+    ASSERT_EQ(all.size(), rows);
+    for (size_t r = 0; r < rows; ++r) {
+      ASSERT_EQ(all.GetValue(r), oracle[r])
+          << expr->ToString() << " row " << r << " trial " << trial;
+    }
+
+    // EvalFilter must keep exactly the rows whose oracle value is TRUE.
+    std::vector<uint32_t> expect_keep;
+    for (size_t r = 0; r < rows; ++r) {
+      if (!oracle[r].is_null() && oracle[r].bool_value()) {
+        expect_keep.push_back(static_cast<uint32_t>(r));
+      }
+    }
+    SelVector keep = bound->EvalFilter(chunk);
+    ASSERT_EQ(keep.indexes(), expect_keep)
+        << expr->ToString() << " trial " << trial;
+
+    // EvalSel / NarrowFilter over a random subset of rows.
+    SelVector sub;
+    for (size_t r = 0; r < rows; ++r) {
+      if (std::uniform_int_distribution<int>(0, 1)(sel_rng) == 0) {
+        sub.push_back(static_cast<uint32_t>(r));
+      }
+    }
+    Column sparse = bound->EvalSel(chunk, sub);
+    ASSERT_EQ(sparse.size(), sub.size());
+    for (size_t j = 0; j < sub.size(); ++j) {
+      ASSERT_EQ(sparse.GetValue(j), oracle[sub[j]])
+          << expr->ToString() << " sel slot " << j << " trial " << trial;
+    }
+    std::vector<uint32_t> expect_narrow;
+    for (uint32_t r : sub) {
+      if (!oracle[r].is_null() && oracle[r].bool_value()) {
+        expect_narrow.push_back(r);
+      }
+    }
+    SelVector narrowed = sub;
+    bound->NarrowFilter(chunk, &narrowed);
+    ASSERT_EQ(narrowed.indexes(), expect_narrow)
+        << expr->ToString() << " trial " << trial;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pinned three-valued-logic edge cases on the filter path.
+// ---------------------------------------------------------------------------
+
+/// One bool-typed column holding [TRUE, FALSE, NULL] x [TRUE, FALSE, NULL]:
+/// column p cycles slowly, q quickly, covering all nine Kleene pairs.
+Chunk KleeneChunk() {
+  Chunk c = Chunk::Empty({DataType::kBool, DataType::kBool});
+  const int kTrue = 0, kFalse = 1, kNull = 2;
+  for (int p : {kTrue, kFalse, kNull}) {
+    for (int q : {kTrue, kFalse, kNull}) {
+      if (p == kNull) {
+        c.columns[0].AppendNull();
+      } else {
+        c.columns[0].AppendBool(p == kTrue);
+      }
+      if (q == kNull) {
+        c.columns[1].AppendNull();
+      } else {
+        c.columns[1].AppendBool(q == kTrue);
+      }
+    }
+  }
+  return c;
+}
+
+Schema KleeneSchema() {
+  return Schema({{1, "p", DataType::kBool}, {2, "q", DataType::kBool}});
+}
+
+SelVector Filter(const ExprPtr& e) {
+  auto bound = BindExpr(e, KleeneSchema());
+  EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+  return bound->EvalFilter(KleeneChunk());
+}
+
+ExprPtr P() { return eb::Col(1, DataType::kBool); }
+ExprPtr Q() { return eb::Col(2, DataType::kBool); }
+
+TEST(ExprVectorTest, FilterKleeneAnd) {
+  // Rows 0..8 are (p,q) in {T,F,N}x{T,F,N}; AND is TRUE only for (T,T).
+  EXPECT_EQ(Filter(eb::And(P(), Q())).indexes(), (std::vector<uint32_t>{0}));
+}
+
+TEST(ExprVectorTest, FilterKleeneOr) {
+  // OR is TRUE when either side is TRUE: rows 0,1,2 (p=T) and 3,6 (q=T).
+  EXPECT_EQ(Filter(eb::Or(P(), Q())).indexes(),
+            (std::vector<uint32_t>{0, 1, 2, 3, 6}));
+}
+
+TEST(ExprVectorTest, FilterKleeneNot) {
+  // NOT p is TRUE only where p is FALSE; NULL stays NULL and is dropped.
+  EXPECT_EQ(Filter(eb::Not(P())).indexes(),
+            (std::vector<uint32_t>{3, 4, 5}));
+}
+
+TEST(ExprVectorTest, FilterNotOfAndDeMorgan) {
+  // NOT(p AND q) must match (NOT p) OR (NOT q) row-for-row.
+  EXPECT_EQ(Filter(eb::Not(eb::And(P(), Q()))).indexes(),
+            Filter(eb::Or(eb::Not(P()), eb::Not(Q()))).indexes());
+}
+
+TEST(ExprVectorTest, FilterOrMergeKeepsAscendingOrderWithoutDuplicates) {
+  // Both disjuncts match overlapping row sets; the merged selection must be
+  // ascending and duplicate-free.
+  SelVector sel = Filter(eb::Or(P(), eb::Or(Q(), P())));
+  EXPECT_EQ(sel.indexes(), (std::vector<uint32_t>{0, 1, 2, 3, 6}));
+}
+
+// ---------------------------------------------------------------------------
+// Workload oracle: TPC-DS byte-identical with vectorization on and off.
+// ---------------------------------------------------------------------------
+
+/// Chunk-for-chunk, cell-for-cell equality — stricter than the
+/// order-insensitive ResultsEquivalent used by the equivalence suites.
+void ExpectIdenticalResults(const QueryResult& vec, const QueryResult& row,
+                            const std::string& label) {
+  ASSERT_EQ(vec.num_rows(), row.num_rows()) << label;
+  ASSERT_EQ(vec.chunks().size(), row.chunks().size()) << label;
+  for (size_t c = 0; c < vec.chunks().size(); ++c) {
+    const Chunk& a = vec.chunks()[c];
+    const Chunk& b = row.chunks()[c];
+    ASSERT_EQ(a.num_rows(), b.num_rows()) << label << " chunk " << c;
+    ASSERT_EQ(a.num_columns(), b.num_columns()) << label << " chunk " << c;
+    for (size_t col = 0; col < a.num_columns(); ++col) {
+      for (size_t r = 0; r < a.num_rows(); ++r) {
+        ASSERT_EQ(a.columns[col].GetValue(r), b.columns[col].GetValue(r))
+            << label << " chunk " << c << " col " << col << " row " << r;
+      }
+    }
+  }
+}
+
+TEST(ExprVectorTest, TpcdsResultsIdenticalToRowAtATime) {
+  const Catalog& catalog = SharedTpcds();
+  const struct {
+    const char* name;
+    OptimizerOptions options;
+  } configs[] = {
+      {"baseline", OptimizerOptions::Baseline()},
+      {"fused", OptimizerOptions::Fused()},
+      {"spooling", OptimizerOptions::Spooling()},
+  };
+  for (const auto& cfg : configs) {
+    Optimizer optimizer(cfg.options);
+    for (const tpcds::TpcdsQuery& q : tpcds::Queries()) {
+      PlanContext ctx;
+      PlanPtr plan = Unwrap(q.build(catalog, &ctx));
+      PlanPtr optimized = Unwrap(optimizer.Optimize(plan, &ctx));
+      QueryResult vectorized = Unwrap(ExecutePlan(optimized));
+      SetRowAtATimeEvalForTesting(true);
+      Result<QueryResult> interpreted = ExecutePlan(optimized);
+      SetRowAtATimeEvalForTesting(false);
+      ASSERT_TRUE(interpreted.ok()) << interpreted.status().ToString();
+      ExpectIdenticalResults(vectorized, interpreted.ValueOrDie(),
+                             q.name + std::string("/") + cfg.name);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fusiondb

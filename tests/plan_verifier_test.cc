@@ -136,6 +136,46 @@ TEST(PlanVerifierTest, RejectsNegativeLimit) {
   ExpectViolation(bad, StatusCode::kPlanError, "limit-negative");
 }
 
+TEST(PlanVerifierTest, AcceptsLimitOverSortThroughOrderPreservingOps) {
+  PlanContext ctx;
+  PlanBuilder b = Items(&ctx);
+  PlanPtr sorted = std::make_shared<SortOp>(
+      b.Build(), std::vector<SortKey>{{b.Col("i_brand_id").id, true}});
+  PlanPtr filtered = std::make_shared<FilterOp>(
+      sorted, eb::Gt(b.Ref("i_brand_id"), eb::Int(0)));
+  PlanPtr plan = std::make_shared<LimitOp>(filtered, 10);
+  FUSIONDB_EXPECT_OK(PlanVerifier::Verify(plan, "test"));
+}
+
+TEST(PlanVerifierTest, RejectsLimitWhoseSortOrderingIsDestroyed) {
+  PlanContext ctx;
+  PlanBuilder b = Items(&ctx);
+  PlanPtr sorted = std::make_shared<SortOp>(
+      b.Build(), std::vector<SortKey>{{b.Col("i_brand_id").id, true}});
+  // An aggregate between the Sort and the Limit re-buckets rows, so the
+  // Limit no longer takes the top-K of the sorted stream.
+  PlanPtr agg = std::make_shared<AggregateOp>(
+      sorted, std::vector<ColumnId>{b.Col("i_brand_id").id},
+      std::vector<AggregateItem>{});
+  PlanPtr bad = std::make_shared<LimitOp>(agg, 10);
+  ExpectViolation(bad, StatusCode::kPlanError, "limit-sort-order-destroyed");
+}
+
+TEST(PlanVerifierTest, NestedLimitOwnsItsOwnSort) {
+  // The Sort below an inner Limit belongs to that Limit's top-K contract;
+  // the outer Limit over the aggregate makes no ordering claim.
+  PlanContext ctx;
+  PlanBuilder b = Items(&ctx);
+  PlanPtr sorted = std::make_shared<SortOp>(
+      b.Build(), std::vector<SortKey>{{b.Col("i_brand_id").id, true}});
+  PlanPtr inner = std::make_shared<LimitOp>(sorted, 5);
+  PlanPtr agg = std::make_shared<AggregateOp>(
+      inner, std::vector<ColumnId>{b.Col("i_brand_id").id},
+      std::vector<AggregateItem>{});
+  PlanPtr plan = std::make_shared<LimitOp>(agg, 10);
+  FUSIONDB_EXPECT_OK(PlanVerifier::Verify(plan, "test"));
+}
+
 TEST(PlanVerifierTest, RejectsValuesRowArityMismatch) {
   PlanContext ctx;
   PlanPtr bad = std::make_shared<ValuesOp>(

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_<name>.json reports and flag wall-clock regressions.
+
+Usage: tools/bench_diff.py BASELINE.json CANDIDATE.json [--threshold PCT]
+
+Records are keyed by (query, config, threads); every benchmark present in
+both reports gets a wall_ms delta line. Exits non-zero when any shared
+benchmark regresses by more than the threshold (default 10%), so CI can gate
+on it:
+
+    ./bench/expr_micro && mv BENCH_expr_micro.json before.json
+    # ... apply change, rebuild ...
+    ./bench/expr_micro && tools/bench_diff.py before.json BENCH_expr_micro.json
+
+Benchmarks present in only one report are listed but never fail the check
+(renames should not mask real regressions elsewhere).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_records(path):
+    """Returns {(query, config, threads): wall_ms} for one report."""
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_diff: cannot read {path}: {e}")
+    records = {}
+    for r in report.get("records", []):
+        key = (r["query"], r.get("config", ""), r.get("threads", 1))
+        if key in records:
+            sys.exit(f"bench_diff: duplicate record {key} in {path}")
+        records[key] = float(r["wall_ms"])
+    if not records:
+        sys.exit(f"bench_diff: {path} has no records")
+    return records
+
+
+def fmt_key(key):
+    query, config, threads = key
+    out = query
+    if config:
+        out += f" [{config}]"
+    if threads != 1:
+        out += f" x{threads}t"
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_<name>.json reports by wall_ms.")
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="regression threshold in percent (default 10)")
+    args = parser.parse_args()
+
+    base = load_records(args.baseline)
+    cand = load_records(args.candidate)
+    shared = sorted(set(base) & set(cand))
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+
+    width = max((len(fmt_key(k)) for k in shared), default=10)
+    regressions = []
+    print(f"{'benchmark':<{width}}  {'base ms':>10}  {'cand ms':>10}  delta")
+    for key in shared:
+        b, c = base[key], cand[key]
+        pct = (c - b) / b * 100.0 if b > 0 else 0.0
+        marker = ""
+        if pct > args.threshold:
+            marker = "  REGRESSION"
+            regressions.append((key, pct))
+        print(f"{fmt_key(key):<{width}}  {b:>10.4f}  {c:>10.4f}  "
+              f"{pct:>+7.1f}%{marker}")
+
+    for key in only_base:
+        print(f"{fmt_key(key)}: only in baseline")
+    for key in only_cand:
+        print(f"{fmt_key(key)}: only in candidate")
+
+    if regressions:
+        print(f"\nbench_diff: {len(regressions)} benchmark(s) regressed "
+              f"more than {args.threshold:g}%:", file=sys.stderr)
+        for key, pct in regressions:
+            print(f"  {fmt_key(key)}: +{pct:.1f}%", file=sys.stderr)
+        return 1
+    print(f"\nbench_diff: OK ({len(shared)} shared benchmark(s), "
+          f"none regressed more than {args.threshold:g}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

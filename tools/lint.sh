@@ -45,6 +45,15 @@ if grep -rn --include='*.cc' --include='*.h' 'std::chrono' src/exec \
   note_failure 'src/exec must use obs/operator_stats.h NowNanos(), not std::chrono'
 fi
 
+# The filter/project/aggregate hot path is vectorized; a per-row EvalRow
+# call creeping back into these files silently reverts it to boxed-Value
+# interpretation. EvalRow stays legal elsewhere (join residuals use
+# EvalRowPair; it is also the differential-test oracle).
+if grep -n 'EvalRow(' src/exec/simple_exec.cc src/exec/aggregate_exec.cc \
+    2>/dev/null; then
+  note_failure 'hot-path executors must use EvalAll/EvalFilter, not per-row EvalRow'
+fi
+
 # --- Layer 2: clang-tidy (optional) ----------------------------------------
 
 if command -v clang-tidy >/dev/null 2>&1; then
