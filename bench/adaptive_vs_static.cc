@@ -1,0 +1,151 @@
+// Adaptive (cost-model fuse-vs-spool with measured feedback) versus the
+// best static configuration per query (DESIGN.md §11).
+//
+// The static policies each have a failure mode: Fused() leaves duplicates
+// fusion cannot merge re-executing per consumer; Spooling() materializes
+// everything, paying setup + serialize/deserialize even for tiny subtrees.
+// Adaptive mode prices each candidate, so the prediction is that it tracks
+// whichever static policy wins on each query (within noise): never much
+// worse than best-static, sometimes better than either fixed choice.
+//
+// Adaptive latency is measured *with* feedback from a profiled first run —
+// the steady state of a repeated workload, which is the paper's setting
+// (recurring dashboards/ETL queries).
+//
+// Reports:
+//   BENCH_adaptive_vs_static.json          all configs, labeled
+//   BENCH_adaptive_vs_static.static.json   best-static, keys (query, "", 1)
+//   BENCH_adaptive_vs_static.adaptive.json adaptive,    keys (query, "", 1)
+// The latter two share keys so tools/bench_diff.py can gate adaptive
+// against best-static directly (see tools/check.sh).
+//
+// Because this bench *gates* (unlike the report-only benches), its
+// measurement must be robust on millisecond-scale queries in a shared
+// CI container. Two defenses: repeats are interleaved round-robin
+// across the three configurations, so slow drift within the process
+// (allocator growth, CPU frequency, cache state) hits every config
+// equally rather than whichever was measured last — without this,
+// byte-identical plans measured in consecutive blocks differ by >15%;
+// and the gate reports carry best-of-N latency (the least-interfered
+// run) while the labeled report and stdout keep the median, the
+// convention of the other benches.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace fusiondb;         // NOLINT
+using namespace fusiondb::bench;  // NOLINT
+
+namespace {
+
+/// Optimizes with adaptive mode in its steady state: a profiled run under
+/// priors feeds measured cardinalities into the measured optimization.
+PlanPtr AdaptiveSteadyState(const PlanPtr& plan, PlanContext* ctx,
+                            StatsFeedback* feedback) {
+  PlanPtr first = Unwrap(
+      Optimizer(OptimizerOptions::Adaptive(nullptr)).Optimize(plan, ctx));
+  QueryResult warm = Unwrap(ExecutePlan(first));
+  feedback->Harvest(first, warm.operator_stats());
+  return Unwrap(
+      Optimizer(OptimizerOptions::Adaptive(feedback)).Optimize(plan, ctx));
+}
+
+/// Accumulates interleaved timings; latency_ms = median (as elsewhere),
+/// min_ms = best-of-N (used by the regression gate).
+struct Measured {
+  RunStats stats;
+  double min_ms = 0.0;
+  std::vector<double> times;
+
+  void Run(const PlanPtr& optimized) {
+    QueryResult result =
+        Unwrap(ExecutePlan(optimized, {.profile = BenchProfileEnabled()}));
+    times.push_back(result.wall_ms());
+    stats.bytes_scanned = result.metrics().bytes_scanned;
+    stats.peak_hash_bytes = result.metrics().peak_hash_bytes;
+    stats.rows = result.num_rows();
+  }
+
+  void Finish() {
+    std::sort(times.begin(), times.end());
+    stats.latency_ms = times[times.size() / 2];
+    min_ms = times.front();
+  }
+};
+
+}  // namespace
+
+int main() {
+  const Catalog& catalog = BenchCatalog();
+  BenchReport report("adaptive_vs_static");
+  BenchReport static_best("adaptive_vs_static.static");
+  BenchReport adaptive_only("adaptive_vs_static.adaptive");
+  bool diverged = false;
+
+  std::printf("\nAdaptive vs static configurations (median latency)\n\n");
+  std::printf("%-6s %10s %10s %10s %10s %8s\n", "query", "fused(ms)",
+              "spool(ms)", "adapt(ms)", "best-stat", "match");
+  std::printf("%s\n", std::string(62, '-').c_str());
+
+  for (const tpcds::TpcdsQuery& q : tpcds::Queries()) {
+    if (!q.fusion_applicable) continue;
+    PlanContext ctx;
+    PlanPtr plan = Unwrap(q.build(catalog, &ctx));
+
+    PlanPtr fused_plan =
+        Unwrap(Optimizer(OptimizerOptions::Fused()).Optimize(plan, &ctx));
+    PlanPtr spool_plan =
+        Unwrap(Optimizer(OptimizerOptions::Spooling()).Optimize(plan, &ctx));
+    StatsFeedback feedback;
+    PlanPtr adaptive_plan = AdaptiveSteadyState(plan, &ctx, &feedback);
+
+    Measured fused, spool, adaptive;
+    for (int i = 0; i < BenchRepeats(); ++i) {
+      fused.Run(fused_plan);
+      spool.Run(spool_plan);
+      adaptive.Run(adaptive_plan);
+    }
+    fused.Finish();
+    spool.Finish();
+    adaptive.Finish();
+
+    QueryResult rb = Unwrap(ExecutePlan(
+        Unwrap(Optimizer(OptimizerOptions::Baseline()).Optimize(plan, &ctx))));
+    bool match = ResultsEquivalent(rb, Unwrap(ExecutePlan(adaptive_plan)));
+    diverged |= !match;
+
+    const Measured& best = fused.min_ms <= spool.min_ms ? fused : spool;
+    report.Add({q.name, "fused", fused.stats.latency_ms,
+                fused.stats.bytes_scanned, fused.stats.peak_hash_bytes, 1});
+    report.Add({q.name, "spooling", spool.stats.latency_ms,
+                spool.stats.bytes_scanned, spool.stats.peak_hash_bytes, 1});
+    report.Add({q.name, "adaptive", adaptive.stats.latency_ms,
+                adaptive.stats.bytes_scanned, adaptive.stats.peak_hash_bytes,
+                1});
+    static_best.Add({q.name, "", best.min_ms, best.stats.bytes_scanned,
+                     best.stats.peak_hash_bytes, 1});
+    adaptive_only.Add({q.name, "", adaptive.min_ms,
+                       adaptive.stats.bytes_scanned,
+                       adaptive.stats.peak_hash_bytes, 1});
+
+    std::printf("%-6s %10.2f %10.2f %10.2f %10.2f %8s\n", q.name.c_str(),
+                fused.stats.latency_ms, spool.stats.latency_ms,
+                adaptive.stats.latency_ms, best.stats.latency_ms,
+                match ? "yes" : "NO");
+  }
+
+  std::printf(
+      "\nReading: gate with tools/bench_diff.py "
+      "BENCH_adaptive_vs_static.static.json "
+      "BENCH_adaptive_vs_static.adaptive.json — adaptive more than the "
+      "threshold slower than the best static policy on any query fails.\n");
+  report.Write();
+  static_best.Write();
+  adaptive_only.Write();
+  if (diverged) {
+    std::fprintf(stderr, "adaptive_vs_static: results diverged\n");
+    return 1;
+  }
+  return 0;
+}

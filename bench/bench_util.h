@@ -46,6 +46,14 @@ inline const Catalog& BenchCatalog() {
   return *catalog;
 }
 
+/// Latency repeats per measurement (median taken); override with
+/// FUSIONDB_BENCH_REPEATS (CI smoke runs set 1).
+inline int BenchRepeats() {
+  const char* env = std::getenv("FUSIONDB_BENCH_REPEATS");
+  int n = env != nullptr ? std::atoi(env) : 3;
+  return n < 1 ? 1 : n;
+}
+
 /// Per-operator profiling during benches; disable with
 /// FUSIONDB_BENCH_PROFILE=0 (used to measure the profiling overhead
 /// itself, see EXPERIMENTS.md).
@@ -121,14 +129,15 @@ struct RunStats {
 
 /// Optimizes and executes `plan`; latency is the median of `repeats` runs.
 inline RunStats RunPlan(const PlanPtr& plan, const OptimizerOptions& options,
-                        PlanContext* ctx, int repeats = 3) {
+                        PlanContext* ctx, int repeats = 0) {
+  if (repeats <= 0) repeats = BenchRepeats();
   Optimizer optimizer(options);
   PlanPtr optimized = Unwrap(optimizer.Optimize(plan, ctx));
   RunStats stats;
   std::vector<double> times;
   for (int i = 0; i < repeats; ++i) {
     QueryResult result =
-        Unwrap(ExecutePlan(optimized, 4096, 1, BenchProfileEnabled()));
+        Unwrap(ExecutePlan(optimized, {.profile = BenchProfileEnabled()}));
     times.push_back(result.wall_ms());
     stats.bytes_scanned = result.metrics().bytes_scanned;
     stats.peak_hash_bytes = result.metrics().peak_hash_bytes;
@@ -147,7 +156,7 @@ struct Comparison {
 };
 
 inline Comparison CompareQuery(const tpcds::TpcdsQuery& query,
-                               const Catalog& catalog, int repeats = 3) {
+                               const Catalog& catalog, int repeats = 0) {
   PlanContext ctx;
   PlanPtr plan = Unwrap(query.build(catalog, &ctx));
   PlanPtr baseline =

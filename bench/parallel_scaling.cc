@@ -23,7 +23,7 @@ double MedianLatencyMs(const PlanPtr& plan, size_t threads, int repeats) {
   std::vector<double> times;
   times.reserve(repeats);
   for (int i = 0; i < repeats; ++i) {
-    QueryResult r = Unwrap(ExecutePlan(plan, 4096, threads));
+    QueryResult r = Unwrap(ExecutePlan(plan, {.parallelism = threads}));
     times.push_back(r.wall_ms());
   }
   std::sort(times.begin(), times.end());
@@ -63,11 +63,11 @@ int main(int argc, char** argv) {
 
       // Correctness gate: results and scan accounting must not depend on
       // the thread count.
-      QueryResult serial = Unwrap(ExecutePlan(optimized, 4096, 1));
+      QueryResult serial = Unwrap(ExecutePlan(optimized));
       bool ok = true;
       for (size_t t : sweep) {
         if (t == 1) continue;
-        QueryResult r = Unwrap(ExecutePlan(optimized, 4096, t));
+        QueryResult r = Unwrap(ExecutePlan(optimized, {.parallelism = t}));
         ok = ok && ResultsEquivalent(serial, r) &&
              r.metrics().bytes_scanned == serial.metrics().bytes_scanned &&
              r.metrics().rows_scanned == serial.metrics().rows_scanned;

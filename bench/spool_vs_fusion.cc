@@ -19,6 +19,7 @@ using namespace fusiondb::bench;  // NOLINT
 int main() {
   const Catalog& catalog = BenchCatalog();
   BenchReport report("spool_vs_fusion");
+  bool diverged = false;
   std::printf("\nFusion vs spooling (baseline-normalized latency)\n\n");
   std::printf("%-6s %10s %10s %10s %7s %13s %13s %13s\n", "query",
               "base (ms)", "spool(ms)", "fused(ms)", "spools",
@@ -48,9 +49,9 @@ int main() {
     QueryResult rs = Unwrap(ExecutePlan(spool_plan));
     QueryResult rf = Unwrap(ExecutePlan(
         Unwrap(Optimizer(OptimizerOptions::Fused()).Optimize(plan, &ctx))));
-    const char* ok = (ResultsEquivalent(rb, rs) && ResultsEquivalent(rb, rf))
-                         ? ""
-                         : "  RESULTS DIVERGE";
+    bool match = ResultsEquivalent(rb, rs) && ResultsEquivalent(rb, rf);
+    diverged |= !match;
+    const char* ok = match ? "" : "  RESULTS DIVERGE";
     std::printf("%-6s %10.2f %10.2f %10.2f %7d %13lld %13s %13lld%s\n",
                 q.name.c_str(), base.latency_ms, spool.latency_ms,
                 fused.latency_ms, spools,
@@ -64,5 +65,9 @@ int main() {
       "the differing time windows. Where both apply, fusion needs no spool "
       "buffers and skips the per-read deserialization.\n");
   report.Write();
+  if (diverged) {
+    std::fprintf(stderr, "spool_vs_fusion: results diverged\n");
+    return 1;
+  }
   return 0;
 }

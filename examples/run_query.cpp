@@ -1,17 +1,27 @@
-// run_query: execute one TPC-DS query by name under both optimizer
-// configurations, printing plans, results and metrics.
+// run_query: execute one TPC-DS query by name under a selected optimizer
+// configuration, with the un-fused baseline run alongside as the
+// correctness/metrics reference.
 //
 // Usage: run_query [query=q65] [scale=0.01] [flags]
-//   --plans             print baseline and fused plans before executing
+//   --mode=M            optimizer configuration for the measured run:
+//                         baseline — all Section IV fusion rules off
+//                         fused    — fusion rules on (default)
+//                         spooling — fusion off, every duplicate spooled
+//                         adaptive — fusion on, cost-model fuse-vs-spool;
+//                                    runs twice, feeding the first run's
+//                                    measured cardinalities back into the
+//                                    second optimization
+//   --plans             print baseline and optimized plans before executing
 //   --explain           print the plans and exit without executing
 //   --explain-analyze   print plans annotated with per-operator runtime
 //                       stats after executing (EXPLAIN ANALYZE)
-//   --trace-optimizer   print the optimizer/fusion trace for the fused
-//                       configuration (rules attempted/fired, fusion steps)
-//   --profile=PATH      write a JSON QueryProfile of the fused execution
+//   --trace-optimizer   print the optimizer/fusion trace for the selected
+//                       mode (rules attempted/fired, fusion steps, and in
+//                       adaptive mode the cost decisions of both passes)
+//   --profile=PATH      write a JSON QueryProfile of the measured execution
 //   --threads=N         morsel-driven intra-query parallelism (0 = all
 //                       cores; default 1 = single-threaded)
-// Unknown --flags are rejected with exit code 2.
+// Unknown --flags and unknown --mode values are rejected with exit code 2.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,11 +45,20 @@ T Unwrap(Result<T> result) {
   return std::move(result).ValueOrDie();
 }
 
+void Usage() {
+  std::fprintf(stderr,
+               "usage: run_query [query] [scale] "
+               "[--mode={baseline,fused,spooling,adaptive}] [--plans] "
+               "[--explain] [--explain-analyze] [--trace-optimizer] "
+               "[--profile=PATH] [--threads=N]\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string name = "q65";
   double scale = 0.01;
+  std::string mode = "fused";
   bool show_plans = false;
   bool explain_only = false;
   bool explain_analyze = false;
@@ -56,6 +75,8 @@ int main(int argc, char** argv) {
       explain_analyze = true;
     } else if (std::strcmp(argv[i], "--trace-optimizer") == 0) {
       trace_optimizer = true;
+    } else if (std::strncmp(argv[i], "--mode=", 7) == 0) {
+      mode = argv[i] + 7;
     } else if (std::strncmp(argv[i], "--profile=", 10) == 0) {
       profile_path = argv[i] + 10;
     } else if (std::strcmp(argv[i], "--profile") == 0 && i + 1 < argc) {
@@ -64,16 +85,19 @@ int main(int argc, char** argv) {
       threads = static_cast<size_t>(std::atoi(argv[i] + 10));
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       std::fprintf(stderr, "run_query: unknown flag '%s'\n", argv[i]);
-      std::fprintf(stderr,
-                   "usage: run_query [query] [scale] [--plans] [--explain] "
-                   "[--explain-analyze] [--trace-optimizer] [--profile=PATH] "
-                   "[--threads=N]\n");
+      Usage();
       return 2;
     } else if (++positional == 1) {
       name = argv[i];
     } else if (positional == 2) {
       scale = std::atof(argv[i]);
     }
+  }
+  if (mode != "baseline" && mode != "fused" && mode != "spooling" &&
+      mode != "adaptive") {
+    std::fprintf(stderr, "run_query: unknown mode '%s'\n", mode.c_str());
+    Usage();
+    return 2;
   }
 
   std::fprintf(stderr, "building TPC-DS catalog at scale %.3f...\n", scale);
@@ -89,40 +113,78 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "optimizing (baseline)...\n");
   PlanPtr baseline =
       Unwrap(Optimizer(OptimizerOptions::Baseline()).Optimize(plan, &ctx));
-  std::fprintf(stderr, "optimizing (fused)...\n");
-  // The trace rides on the PlanContext only around the fused optimization,
-  // so it records exactly the rewrite sequence that produced `fused`.
-  OptimizerTrace trace;
+
+  // The trace rides on the PlanContext only around the measured mode's
+  // optimization, so it records exactly the rewrites that produced the
+  // measured plan. Adaptive mode optimizes twice — once against catalog
+  // priors, once against measured feedback — with a trace per pass.
+  StatsFeedback feedback;
+  OptimizerTrace trace;        // the measured plan's trace (adaptive: pass 2)
+  OptimizerTrace first_trace;  // adaptive pass 1 (priors only)
   bool want_trace = trace_optimizer || !profile_path.empty();
-  if (want_trace) ctx.set_trace(&trace);
-  PlanPtr fused =
-      Unwrap(Optimizer(OptimizerOptions::Fused()).Optimize(plan, &ctx));
-  if (want_trace) ctx.set_trace(nullptr);
+  PlanPtr optimized;
+  if (mode == "adaptive") {
+    std::fprintf(stderr, "optimizing (adaptive, catalog priors)...\n");
+    if (want_trace) ctx.set_trace(&first_trace);
+    PlanPtr first = Unwrap(
+        Optimizer(OptimizerOptions::Adaptive(nullptr)).Optimize(plan, &ctx));
+    if (want_trace) ctx.set_trace(nullptr);
+    std::fprintf(stderr, "executing feedback run (threads=%zu)...\n", threads);
+    QueryResult first_result =
+        Unwrap(ExecutePlan(first, {.parallelism = threads}));
+    size_t harvested = feedback.Harvest(first, first_result.operator_stats());
+    std::fprintf(stderr, "harvested %zu measured cardinalities\n", harvested);
+    std::fprintf(stderr, "optimizing (adaptive, measured feedback)...\n");
+    if (want_trace) ctx.set_trace(&trace);
+    optimized = Unwrap(
+        Optimizer(OptimizerOptions::Adaptive(&feedback)).Optimize(plan, &ctx));
+    if (want_trace) ctx.set_trace(nullptr);
+  } else {
+    OptimizerOptions opt = mode == "baseline" ? OptimizerOptions::Baseline()
+                           : mode == "spooling"
+                               ? OptimizerOptions::Spooling()
+                               : OptimizerOptions::Fused();
+    std::fprintf(stderr, "optimizing (%s)...\n", mode.c_str());
+    if (want_trace) ctx.set_trace(&trace);
+    optimized = Unwrap(Optimizer(opt).Optimize(plan, &ctx));
+    if (want_trace) ctx.set_trace(nullptr);
+  }
 
   if (show_plans || explain_only) {
     std::printf("== baseline plan ==\n%s\n", PlanToString(baseline).c_str());
-    std::printf("== fused plan ==\n%s\n", PlanToString(fused).c_str());
+    std::printf("== %s plan ==\n%s\n", mode.c_str(),
+                PlanToString(optimized).c_str());
   }
   if (trace_optimizer) {
-    std::printf("== optimizer trace (fused) ==\n%s\n",
-                trace.ToString().c_str());
+    if (mode == "adaptive") {
+      std::printf("== optimizer trace (adaptive, catalog priors) ==\n%s\n",
+                  first_trace.ToString().c_str());
+      std::printf("== optimizer trace (adaptive, measured feedback) ==\n%s\n",
+                  trace.ToString().c_str());
+    } else {
+      std::printf("== optimizer trace (%s) ==\n%s\n", mode.c_str(),
+                  trace.ToString().c_str());
+    }
   }
   if (explain_only) return 0;
 
   std::fprintf(stderr, "executing (baseline, threads=%zu)...\n", threads);
-  QueryResult base_result = Unwrap(ExecutePlan(baseline, 4096, threads));
-  std::fprintf(stderr, "executing (fused, threads=%zu)...\n", threads);
-  QueryResult fused_result = Unwrap(ExecutePlan(fused, 4096, threads));
+  QueryResult base_result =
+      Unwrap(ExecutePlan(baseline, {.parallelism = threads}));
+  std::fprintf(stderr, "executing (%s, threads=%zu)...\n", mode.c_str(),
+               threads);
+  QueryResult mode_result =
+      Unwrap(ExecutePlan(optimized, {.parallelism = threads}));
 
   if (explain_analyze) {
     std::printf("== baseline (explain analyze) ==\n%s\n",
                 ExplainAnalyze(baseline, base_result).c_str());
-    std::printf("== fused (explain analyze) ==\n%s\n",
-                ExplainAnalyze(fused, fused_result).c_str());
+    std::printf("== %s (explain analyze) ==\n%s\n", mode.c_str(),
+                ExplainAnalyze(optimized, mode_result).c_str());
   }
   if (!profile_path.empty()) {
     QueryProfile profile =
-        MakeQueryProfile(name, "fused", fused, fused_result, &trace);
+        MakeQueryProfile(name, mode, optimized, mode_result, &trace);
     DieIf(WriteProfileJson(profile, profile_path));
     std::fprintf(stderr, "profile written to %s\n", profile_path.c_str());
   }
@@ -130,22 +192,25 @@ int main(int argc, char** argv) {
   std::printf("query %s (%s)\n", name.c_str(),
               query.fusion_applicable ? "fusion-applicable" : "filler");
   std::printf("results match: %s\n",
-              ResultsEquivalent(base_result, fused_result) ? "yes" : "NO");
-  std::printf("%-22s %14s %14s\n", "", "baseline", "fused");
+              ResultsEquivalent(base_result, mode_result) ? "yes" : "NO");
+  std::printf("%-22s %14s %14s\n", "", "baseline", mode.c_str());
   std::printf("%-22s %14.2f %14.2f\n", "latency (ms)", base_result.wall_ms(),
-              fused_result.wall_ms());
+              mode_result.wall_ms());
   std::printf("%-22s %14lld %14lld\n", "bytes scanned",
               static_cast<long long>(base_result.metrics().bytes_scanned),
-              static_cast<long long>(fused_result.metrics().bytes_scanned));
+              static_cast<long long>(mode_result.metrics().bytes_scanned));
   std::printf("%-22s %14lld %14lld\n", "rows scanned",
               static_cast<long long>(base_result.metrics().rows_scanned),
-              static_cast<long long>(fused_result.metrics().rows_scanned));
+              static_cast<long long>(mode_result.metrics().rows_scanned));
   std::printf("%-22s %14lld %14lld\n", "peak hash bytes",
               static_cast<long long>(base_result.metrics().peak_hash_bytes),
-              static_cast<long long>(fused_result.metrics().peak_hash_bytes));
+              static_cast<long long>(mode_result.metrics().peak_hash_bytes));
+  std::printf("%-22s %14lld %14lld\n", "spool bytes written",
+              static_cast<long long>(base_result.metrics().spool_bytes_written),
+              static_cast<long long>(mode_result.metrics().spool_bytes_written));
   std::printf("%-22s %14lld %14lld\n", "result rows",
               static_cast<long long>(base_result.num_rows()),
-              static_cast<long long>(fused_result.num_rows()));
-  std::printf("\nfirst rows:\n%s", fused_result.ToString(5).c_str());
+              static_cast<long long>(mode_result.num_rows()));
+  std::printf("\nfirst rows:\n%s", mode_result.ToString(5).c_str());
   return 0;
 }

@@ -1,0 +1,43 @@
+#include "cost/stats_feedback.h"
+
+#include <algorithm>
+
+#include "plan/plan_fingerprint.h"
+
+namespace fusiondb {
+
+namespace {
+
+/// Preorder walk mirroring BuildExecutor's id assignment: the node visited
+/// `counter`-th owns stats slot `counter`. Duplicate occurrences of the same
+/// subtree within one plan (shared spool children appear once per consumer,
+/// and only the materializing consumer's copy is ever pulled) merge by max,
+/// so an unpulled duplicate's zero rows cannot mask the real measurement.
+void HarvestNode(const PlanPtr& plan, const std::vector<OperatorStats>& stats,
+                 int* counter,
+                 std::unordered_map<uint64_t, int64_t>* harvested) {
+  int id = (*counter)++;
+  if (id >= 0 && static_cast<size_t>(id) < stats.size()) {
+    uint64_t fp = PlanFingerprint(plan);
+    int64_t rows = stats[static_cast<size_t>(id)].rows_out;
+    auto [it, inserted] = harvested->emplace(fp, rows);
+    if (!inserted) it->second = std::max(it->second, rows);
+  }
+  for (const PlanPtr& c : plan->children()) {
+    HarvestNode(c, stats, counter, harvested);
+  }
+}
+
+}  // namespace
+
+size_t StatsFeedback::Harvest(const PlanPtr& executed_plan,
+                              const std::vector<OperatorStats>& stats) {
+  if (executed_plan == nullptr || stats.empty()) return 0;
+  std::unordered_map<uint64_t, int64_t> harvested;
+  int counter = 0;
+  HarvestNode(executed_plan, stats, &counter, &harvested);
+  for (const auto& [fp, rows] : harvested) Record(fp, rows);
+  return harvested.size();
+}
+
+}  // namespace fusiondb

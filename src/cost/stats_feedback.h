@@ -1,0 +1,69 @@
+// StatsFeedback: measured per-subtree cardinalities harvested from executed
+// query profiles, keyed by plan fingerprint (plan/plan_fingerprint.h).
+//
+// This is the feedback half of the cost loop (DESIGN.md §11), in the
+// tradition of LEO: the profiling layer records what each operator actually
+// produced (OperatorStats.rows_out); Harvest() walks the executed plan in
+// the same preorder the stats slots were assigned in and files each
+// subtree's measured output cardinality under its fingerprint. A later
+// optimization pass overlays these measurements on top of the catalog-based
+// estimates (cost/cardinality.h), so the second run of a query — or of any
+// query sharing a subtree with one — plans against observed reality.
+//
+// Fingerprints are renumbering-stable, so a measurement taken from one
+// PlanContext matches the same logical subtree built in another.
+#ifndef FUSIONDB_COST_STATS_FEEDBACK_H_
+#define FUSIONDB_COST_STATS_FEEDBACK_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/operator_stats.h"
+#include "plan/logical_plan.h"
+
+namespace fusiondb {
+
+/// One fingerprint's accumulated measurement.
+struct MeasuredCardinality {
+  int64_t rows = 0;   // latest measured output rows of the subtree
+  int64_t runs = 0;   // how many executions contributed
+};
+
+class StatsFeedback {
+ public:
+  /// Records one measured execution of the subtree behind `fingerprint`.
+  /// The latest measurement wins (cardinalities drift with data, and the
+  /// most recent run is the best predictor of the next).
+  void Record(uint64_t fingerprint, int64_t rows) {
+    MeasuredCardinality& m = measurements_[fingerprint];
+    m.rows = rows;
+    ++m.runs;
+  }
+
+  /// The measured cardinality for `fingerprint`, if any run recorded one.
+  std::optional<int64_t> Lookup(uint64_t fingerprint) const {
+    auto it = measurements_.find(fingerprint);
+    if (it == measurements_.end()) return std::nullopt;
+    return it->second.rows;
+  }
+
+  /// Harvests every subtree's measured output cardinality from an executed
+  /// plan and its per-operator stats (preorder-aligned, as produced by
+  /// ExecutePlan with profiling on — QueryResult::operator_stats()). A
+  /// stats vector from a profiling-disabled run is empty and harvests
+  /// nothing. Returns the number of subtrees recorded.
+  size_t Harvest(const PlanPtr& executed_plan,
+                 const std::vector<OperatorStats>& stats);
+
+  size_t size() const { return measurements_.size(); }
+  bool empty() const { return measurements_.empty(); }
+
+ private:
+  std::unordered_map<uint64_t, MeasuredCardinality> measurements_;
+};
+
+}  // namespace fusiondb
+
+#endif  // FUSIONDB_COST_STATS_FEEDBACK_H_

@@ -204,9 +204,13 @@ class ExecContext {
   }
 
   /// The spool buffer for `spool_id`, created on first use. Spool
-  /// materialization runs on the driver thread only (operator build and
-  /// SpoolExec are serial), so the map needs no lock.
+  /// *materialization* runs on the driver thread only (SpoolExec fills the
+  /// buffer serially), but lookups can race: an operator inside a parallel
+  /// region may reach its spool while the driver concurrently creates
+  /// another spool's slot, and unordered_map mutation is not safe against
+  /// concurrent reads — so lookup-or-create holds a lock.
   std::shared_ptr<SpoolBuffer> GetSpool(int32_t spool_id) {
+    std::lock_guard<std::mutex> lock(spool_mu_);
     std::shared_ptr<SpoolBuffer>& slot = spools_[spool_id];
     if (slot == nullptr) slot = std::make_shared<SpoolBuffer>();
     return slot;
@@ -221,6 +225,7 @@ class ExecContext {
   std::atomic<int64_t> live_hash_bytes_{0};
   std::atomic<int64_t> peak_hash_bytes_{0};
   std::atomic<int32_t> open_regions_{0};
+  std::mutex spool_mu_;  // guards spools_ (see GetSpool)
   std::unordered_map<int32_t, std::shared_ptr<SpoolBuffer>> spools_;
   bool profile_enabled_ = true;
   int32_t building_op_ = -1;

@@ -171,16 +171,17 @@ Result<ExecOperatorPtr> BuildExecutor(const PlanPtr& plan, ExecContext* ctx) {
   return BuildNode(plan, ctx, /*parent=*/-1);
 }
 
-Result<QueryResult> ExecutePlan(const PlanPtr& plan, size_t chunk_size,
-                                size_t parallelism, bool profile) {
+Result<QueryResult> ExecutePlan(const PlanPtr& plan,
+                                const ExecOptions& options) {
   // Static checks first: a malformed plan is reported with the violated
   // invariant and the offending subplan instead of whichever binding error
   // the operator tree happens to hit first. (ApplyOp is structurally valid
   // pre-decorrelation, so it passes here and BuildExecutor rejects it.)
   FUSIONDB_RETURN_IF_ERROR(VerifyPlanIfEnabled(plan, "pre-execution"));
   ExecContext ctx;
-  ctx.set_chunk_size(chunk_size);
-  ctx.set_profile_enabled(profile);
+  ctx.set_chunk_size(options.chunk_size);
+  ctx.set_profile_enabled(options.profile);
+  size_t parallelism = options.parallelism;
   if (parallelism == 0) {
     unsigned hw = std::thread::hardware_concurrency();
     parallelism = hw == 0 ? 1 : hw;
@@ -203,6 +204,14 @@ Result<QueryResult> ExecutePlan(const PlanPtr& plan, size_t chunk_size,
   double wall_ms = static_cast<double>(NowNanos() - start) * 1e-6;
   return QueryResult(plan->schema(), std::move(chunks), ctx.FinalMetrics(),
                      wall_ms, ctx.FinalOperatorStats());
+}
+
+Result<QueryResult> ExecutePlan(const PlanPtr& plan, size_t chunk_size,
+                                size_t parallelism, bool profile) {
+  return ExecutePlan(
+      plan, ExecOptions{.chunk_size = chunk_size,
+                        .parallelism = parallelism,
+                        .profile = profile});
 }
 
 }  // namespace fusiondb

@@ -14,21 +14,40 @@ namespace fusiondb {
 /// ApplyOp (correlated subqueries must be decorrelated first).
 Result<ExecOperatorPtr> BuildExecutor(const PlanPtr& plan, ExecContext* ctx);
 
+/// Execution knobs for ExecutePlan. An aggregate, so call sites name what
+/// they change and inherit the rest:
+///
+///   ExecutePlan(plan);                            // all defaults
+///   ExecutePlan(plan, {.parallelism = 4});        // 4-way morsel-driven
+///   ExecutePlan(plan, {.profile = false});        // no instrumentation
+struct ExecOptions {
+  /// Rows per output chunk.
+  size_t chunk_size = 4096;
+
+  /// Morsel-driven intra-query parallelism degree:
+  ///   1 (default) — the historical single-threaded execution, byte-for-byte;
+  ///   0           — auto: std::thread::hardware_concurrency();
+  ///   n > 1       — a pool of n-1 workers plus the driver thread. Scans hand
+  ///                 out partition morsels, aggregation builds per-worker
+  ///                 partial hash tables merged at finalize, and join builds
+  ///                 partition the key encoding; results and all additive
+  ///                 metrics are thread-count-invariant.
+  size_t parallelism = 1;
+
+  /// Per-operator stats collection (OperatorStats slots + chunk-granularity
+  /// timers on the driver thread). On by default; the overhead knob exists
+  /// so benches can measure the instrumentation cost.
+  bool profile = true;
+};
+
 /// Runs `plan` to completion, collecting all output and metrics.
-///
-/// `parallelism` is the morsel-driven intra-query parallelism degree:
-///   1 (default) — the historical single-threaded execution, byte-for-byte;
-///   0           — auto: std::thread::hardware_concurrency();
-///   n > 1       — a pool of n-1 workers plus the driver thread. Scans hand
-///                 out partition morsels, aggregation builds per-worker
-///                 partial hash tables merged at finalize, and join builds
-///                 partition the key encoding; results and all additive
-///                 metrics are thread-count-invariant.
-///
-/// `profile` controls per-operator stats collection (OperatorStats slots +
-/// chunk-granularity timers on the driver thread). On by default; the
-/// overhead knob exists so benches can measure the instrumentation cost.
-Result<QueryResult> ExecutePlan(const PlanPtr& plan, size_t chunk_size = 4096,
+Result<QueryResult> ExecutePlan(const PlanPtr& plan,
+                                const ExecOptions& options = ExecOptions());
+
+/// Positional-form shim for pre-ExecOptions call sites. New code must pass
+/// ExecOptions (tools/lint.sh rejects new positional calls).
+[[deprecated("pass ExecOptions: ExecutePlan(plan, {.chunk_size = ...})")]]
+Result<QueryResult> ExecutePlan(const PlanPtr& plan, size_t chunk_size,
                                 size_t parallelism = 1, bool profile = true);
 
 }  // namespace fusiondb

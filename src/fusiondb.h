@@ -2,8 +2,9 @@
 //
 // Umbrella header exposing the public API:
 //   - catalog/  : in-memory partitioned tables
-//   - plan/     : logical algebra + PlanBuilder
+//   - plan/     : logical algebra + PlanBuilder + plan fingerprints
 //   - expr/     : scalar expressions
+//   - cost/     : cardinality estimates, stats feedback, fuse-vs-spool cost
 //   - optimizer/: rule-based optimizer with the Section-IV fusion rules
 //   - fusion/   : the Fuse(P1, P2) primitive itself
 //   - exec/     : streaming executor + metrics
@@ -13,6 +14,8 @@
 #define FUSIONDB_FUSIONDB_H_
 
 #include "catalog/catalog.h"
+#include "cost/cost_model.h"
+#include "cost/stats_feedback.h"
 #include "exec/executor.h"
 #include "expr/expr_builder.h"
 #include "expr/simplifier.h"
@@ -21,6 +24,7 @@
 #include "obs/profile.h"
 #include "optimizer/optimizer.h"
 #include "plan/plan_builder.h"
+#include "plan/plan_fingerprint.h"
 #include "plan/plan_printer.h"
 #include "tpcds/tpcds.h"
 

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "plan/plan_fingerprint.h"
 #include "plan/spool.h"
 
 namespace fusiondb {
@@ -59,6 +60,10 @@ int OptimizerTrace::FusionEnter(const LogicalOp& p1, const LogicalOp& p2) {
   return static_cast<int>(fusion_steps_.size()) - 1;
 }
 
+void OptimizerTrace::RecordCostDecision(CostDecision decision) {
+  cost_decisions_.push_back(std::move(decision));
+}
+
 void OptimizerTrace::FusionResolve(int step, bool fused, std::string outcome) {
   --depth_;
   if (step < 0) return;  // dropped at the cap
@@ -83,6 +88,21 @@ std::string OptimizerTrace::ToString() const {
   for (const RuleFiring& f : firings_) {
     os << "  [" << f.phase << "] " << f.rule << " @ " << f.anchor << " ("
        << f.ops_before << " -> " << f.ops_after << " ops)\n";
+  }
+  if (!cost_decisions_.empty()) {
+    os << "cost decisions (fuse vs spool):\n";
+    for (const CostDecision& d : cost_decisions_) {
+      char line[256];
+      std::snprintf(line, sizeof(line),
+                    "  %-5s %s %s consumers=%d reexec=%.0fns spool=%.0fns "
+                    "est_rows=%.0f est_bytes=%lld (%s)\n",
+                    d.spooled ? "spool" : "fuse", d.anchor.c_str(),
+                    FingerprintToString(d.fingerprint).c_str(), d.consumers,
+                    d.reexec_cost_ns, d.spool_cost_ns, d.est_rows,
+                    static_cast<long long>(d.est_bytes),
+                    d.measured ? "measured" : "estimated");
+      os << line;
+    }
   }
   if (!fusion_steps_.empty()) {
     os << "fusion recursion:\n";

@@ -51,6 +51,21 @@ struct FusionStep {
   std::string outcome;
 };
 
+/// One fuse-vs-spool pricing by the cost model (adaptive spool mode): the
+/// duplicated subtree, how many consumers read it, both priced
+/// alternatives, and which one the optimizer took.
+struct CostDecision {
+  std::string anchor;        // description of the shared subtree's root
+  uint64_t fingerprint = 0;  // plan fingerprint of the shared subtree
+  int consumers = 0;         // readers the duplicates collapse into
+  double reexec_cost_ns = 0; // consumers × subtree cost
+  double spool_cost_ns = 0;  // subtree + setup + write + per-consumer reads
+  double est_rows = 0;       // estimated subtree output rows
+  int64_t est_bytes = 0;     // estimated spooled bytes
+  bool measured = false;     // estimate backed by measured feedback
+  bool spooled = false;      // true: materialized; false: left duplicated
+};
+
 class OptimizerTrace {
  public:
   /// Phase bookkeeping (normalize, decorrelate, fuse, ...). Subsequent rule
@@ -71,9 +86,15 @@ class OptimizerTrace {
   int FusionEnter(const LogicalOp& p1, const LogicalOp& p2);
   void FusionResolve(int step, bool fused, std::string outcome);
 
+  /// Records one cost-model fuse-vs-spool pricing (adaptive spool mode).
+  void RecordCostDecision(CostDecision decision);
+
   const std::vector<RulePhaseStats>& rule_stats() const { return rule_stats_; }
   const std::vector<RuleFiring>& firings() const { return firings_; }
   const std::vector<FusionStep>& fusion_steps() const { return fusion_steps_; }
+  const std::vector<CostDecision>& cost_decisions() const {
+    return cost_decisions_;
+  }
   int64_t dropped_fusion_steps() const { return dropped_fusion_steps_; }
 
   /// Human-readable rendering (run_query --trace-optimizer).
@@ -88,6 +109,7 @@ class OptimizerTrace {
   std::vector<RulePhaseStats> rule_stats_;
   std::vector<RuleFiring> firings_;
   std::vector<FusionStep> fusion_steps_;
+  std::vector<CostDecision> cost_decisions_;
   int64_t dropped_fusion_steps_ = 0;
   int depth_ = 0;
 };

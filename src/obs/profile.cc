@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "obs/json_writer.h"
+#include "plan/plan_fingerprint.h"
 #include "plan/plan_printer.h"
 
 namespace fusiondb {
@@ -95,6 +96,24 @@ void WriteTrace(const OptimizerTrace& t, JsonWriter* w) {
     w->Field("right", s.right);
     w->Field("fused", s.fused);
     w->Field("outcome", s.outcome);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->Key("cost_decisions");
+  w->BeginArray();
+  for (const CostDecision& d : t.cost_decisions()) {
+    w->BeginObject();
+    w->Field("anchor", d.anchor);
+    // Hex-rendered: a raw uint64 does not fit JsonWriter's int64 (and JSON
+    // numbers past 2^53 lose precision anyway).
+    w->Field("fingerprint", FingerprintToString(d.fingerprint));
+    w->Field("consumers", static_cast<int64_t>(d.consumers));
+    w->Field("reexec_cost_ns", d.reexec_cost_ns);
+    w->Field("spool_cost_ns", d.spool_cost_ns);
+    w->Field("est_rows", d.est_rows);
+    w->Field("est_bytes", d.est_bytes);
+    w->Field("measured", d.measured);
+    w->Field("spooled", d.spooled);
     w->EndObject();
   }
   w->EndArray();

@@ -10,6 +10,7 @@
 #include <atomic>
 #include <numeric>
 
+#include "plan/spool.h"
 #include "test_util.h"
 
 namespace fusiondb {
@@ -89,11 +90,11 @@ void CheckThreadCountInvariance(const OptimizerOptions& options) {
     PlanContext ctx;
     PlanPtr plan = Unwrap(query.build(catalog, &ctx));
     PlanPtr optimized = Unwrap(Optimizer(options).Optimize(plan, &ctx));
-    QueryResult serial = Unwrap(ExecutePlan(optimized, 1024, 1));
+    QueryResult serial = Unwrap(ExecutePlan(optimized, {.chunk_size = 1024}));
     for (size_t parallelism : {2, 8}) {
       SCOPED_TRACE("parallelism=" + std::to_string(parallelism));
       QueryResult parallel =
-          Unwrap(ExecutePlan(optimized, 1024, parallelism));
+          Unwrap(ExecutePlan(optimized, {.chunk_size = 1024, .parallelism = parallelism}));
       EXPECT_TRUE(ResultsEquivalent(serial, parallel))
           << "results diverge at parallelism " << parallelism;
       EXPECT_EQ(AdditiveMetrics(serial.metrics()),
@@ -121,8 +122,8 @@ TEST(ParallelExec, ScanStreamsChunksInPartitionOrder) {
   PlanContext ctx;
   PlanBuilder scan = PlanBuilder::Scan(&ctx, table, names);
   PlanPtr plan = scan.Build();
-  QueryResult serial = Unwrap(ExecutePlan(plan, 512, 1));
-  QueryResult parallel = Unwrap(ExecutePlan(plan, 512, 4));
+  QueryResult serial = Unwrap(ExecutePlan(plan, {.chunk_size = 512}));
+  QueryResult parallel = Unwrap(ExecutePlan(plan, {.chunk_size = 512, .parallelism = 4}));
   EXPECT_TRUE(ResultsEqualOrdered(serial, parallel));
   EXPECT_EQ(serial.metrics().bytes_scanned, parallel.metrics().bytes_scanned);
 }
@@ -141,10 +142,36 @@ TEST(ParallelExec, PartitionPruningUnaffectedByParallelism) {
   scan.Filter(pred);
   PlanPtr plan = Unwrap(
       Optimizer(OptimizerOptions::Baseline()).Optimize(scan.Build(), &ctx));
-  QueryResult serial = Unwrap(ExecutePlan(plan, 1024, 1));
-  QueryResult parallel = Unwrap(ExecutePlan(plan, 1024, 8));
+  QueryResult serial = Unwrap(ExecutePlan(plan, {.chunk_size = 1024}));
+  QueryResult parallel = Unwrap(ExecutePlan(plan, {.chunk_size = 1024, .parallelism = 8}));
   ASSERT_GT(serial.metrics().partitions_pruned, 0)
       << "test premise: the predicate must prune something";
+  EXPECT_TRUE(ResultsEquivalent(serial, parallel));
+  EXPECT_EQ(AdditiveMetrics(serial.metrics()),
+            AdditiveMetrics(parallel.metrics()));
+}
+
+TEST(ParallelExec, SpooledPlanSafeUnderParallelism) {
+  // Regression test for ExecContext::GetSpool, which mutated the spool map
+  // without a lock: a spooled plan whose consumers sit inside parallel
+  // regions could race the lookup-or-create against the driver. Run under
+  // ThreadSanitizer via `ctest -L parallel` (this suite's label) to catch
+  // the race itself; result equivalence guards the functional path.
+  PlanContext ctx;
+  TablePtr ss = Unwrap(SharedTpcds(0.01).GetTable("store_sales"));
+  PlanBuilder agg =
+      PlanBuilder::Scan(&ctx, ss, {"ss_store_sk", "ss_list_price"});
+  agg.Aggregate({"ss_store_sk"}, {{"total", AggFunc::kSum,
+                                   agg.Ref("ss_list_price"), nullptr, false}});
+  PlanPtr shared_child = agg.Build();
+  PlanBuilder left =
+      PlanBuilder::From(&ctx, std::make_shared<SpoolOp>(1, shared_child));
+  PlanBuilder right =
+      PlanBuilder::From(&ctx, std::make_shared<SpoolOp>(1, shared_child));
+  left.CrossJoin(right);
+  PlanPtr plan = left.Build();
+  QueryResult serial = Unwrap(ExecutePlan(plan));
+  QueryResult parallel = Unwrap(ExecutePlan(plan, {.parallelism = 4}));
   EXPECT_TRUE(ResultsEquivalent(serial, parallel));
   EXPECT_EQ(AdditiveMetrics(serial.metrics()),
             AdditiveMetrics(parallel.metrics()));
@@ -159,8 +186,8 @@ TEST(ParallelExec, AutoParallelismExecutes) {
   PlanPtr plan = Unwrap(query.build(catalog, &ctx));
   PlanPtr fused =
       Unwrap(Optimizer(OptimizerOptions::Fused()).Optimize(plan, &ctx));
-  QueryResult serial = Unwrap(ExecutePlan(fused, 4096, 1));
-  QueryResult autop = Unwrap(ExecutePlan(fused, 4096, 0));
+  QueryResult serial = Unwrap(ExecutePlan(fused));
+  QueryResult autop = Unwrap(ExecutePlan(fused, {.parallelism = 0}));
   EXPECT_TRUE(ResultsEquivalent(serial, autop));
   EXPECT_EQ(serial.metrics().bytes_scanned, autop.metrics().bytes_scanned);
 }

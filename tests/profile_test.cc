@@ -84,7 +84,7 @@ TEST(OperatorStatsTest, ProfilingCanBeDisabled) {
   PlanPtr fused =
       OptimizedQuery("q65", OptimizerOptions::Fused(), &ctx, catalog);
   QueryResult result =
-      Unwrap(ExecutePlan(fused, 4096, 1, /*profile=*/false));
+      Unwrap(ExecutePlan(fused, {.profile = false}));
   EXPECT_TRUE(result.operator_stats().empty());
   EXPECT_GT(result.num_rows(), 0u);
 }
@@ -116,8 +116,8 @@ TEST(OperatorStatsTest, CountersInvariantUnderParallelism) {
     PlanPtr plan = Unwrap(q.build(catalog, &ctx));
     PlanPtr fused =
         Unwrap(Optimizer(OptimizerOptions::Fused()).Optimize(plan, &ctx));
-    QueryResult serial = Unwrap(ExecutePlan(fused, 4096, 1));
-    QueryResult parallel = Unwrap(ExecutePlan(fused, 4096, 4));
+    QueryResult serial = Unwrap(ExecutePlan(fused));
+    QueryResult parallel = Unwrap(ExecutePlan(fused, {.parallelism = 4}));
     const std::vector<OperatorStats>& a = serial.operator_stats();
     const std::vector<OperatorStats>& b = parallel.operator_stats();
     ASSERT_EQ(a.size(), b.size()) << q.name;
@@ -236,7 +236,7 @@ TEST(ProfileExportTest, ExplainAnalyzeAnnotatesEveryOperator) {
   EXPECT_EQ(annotations, result.operator_stats().size());
   EXPECT_NE(text.find("rows="), std::string::npos);
   // Without stats it degrades to the plain plan.
-  QueryResult unprofiled = Unwrap(ExecutePlan(fused, 4096, 1, false));
+  QueryResult unprofiled = Unwrap(ExecutePlan(fused, {.profile = false}));
   EXPECT_EQ(ExplainAnalyze(fused, unprofiled), PlanToString(fused));
 }
 

@@ -46,7 +46,7 @@ inline const Catalog& SharedTpcds(double scale = 0.01) {
 
 /// Executes a plan, failing the test on error.
 inline QueryResult MustExecute(const PlanPtr& plan, size_t chunk_size = 4096) {
-  return Unwrap(ExecutePlan(plan, chunk_size));
+  return Unwrap(ExecutePlan(plan, {.chunk_size = chunk_size}));
 }
 
 /// Builds the reconstruction of one fused side per the Fuse contract:

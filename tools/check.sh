@@ -4,6 +4,8 @@
 #   2. ThreadSanitizer over the `parallel`-labelled tests
 #   3. UndefinedBehaviorSanitizer over the full suite
 #   4. tools/lint.sh (banned patterns + clang-tidy when available)
+#   5. bench smoke: spool_vs_fusion + adaptive_vs_static at tiny scale,
+#      with tools/bench_diff.py gating adaptive against best-static
 #
 # Usage: tools/check.sh [-j N]
 set -eu
@@ -19,22 +21,38 @@ done
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
-echo "== [1/4] tier-1 build + tests =="
+echo "== [1/5] tier-1 build + tests =="
 cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure -j"$JOBS"
 
-echo "== [2/4] ThreadSanitizer (parallel tests) =="
+echo "== [2/5] ThreadSanitizer (parallel tests) =="
 cmake -B build-tsan -S . -DFUSIONDB_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$JOBS"
 ctest --test-dir build-tsan --output-on-failure -L parallel
 
-echo "== [3/4] UndefinedBehaviorSanitizer (full suite) =="
+echo "== [3/5] UndefinedBehaviorSanitizer (full suite) =="
 cmake -B build-ubsan -S . -DFUSIONDB_SANITIZE=undefined >/dev/null
 cmake --build build-ubsan -j"$JOBS"
 ctest --test-dir build-ubsan --output-on-failure -j"$JOBS"
 
-echo "== [4/4] lint =="
+echo "== [4/5] lint =="
 tools/lint.sh build
+
+echo "== [5/5] bench smoke + adaptive regression gate =="
+# Tiny scale, one repeat: this checks the benches run and that their
+# cross-config result-equivalence assertions hold, and gates adaptive
+# mode against the best static policy. Latency numbers at this scale are
+# noisy, hence the forgiving threshold.
+# spool_vs_fusion is smoke-only (one repeat; its assertions are about
+# result equivalence). adaptive_vs_static feeds the latency gate, so it
+# keeps 3 repeats — its gate reports carry best-of-N, which needs N > 1
+# to absorb scheduler noise.
+(cd build/bench &&
+  FUSIONDB_BENCH_SCALE=0.01 FUSIONDB_BENCH_REPEATS=1 ./spool_vs_fusion &&
+  FUSIONDB_BENCH_SCALE=0.01 FUSIONDB_BENCH_REPEATS=3 ./adaptive_vs_static)
+python3 tools/bench_diff.py \
+  build/bench/BENCH_adaptive_vs_static.static.json \
+  build/bench/BENCH_adaptive_vs_static.adaptive.json --threshold 10
 
 echo "check: all gates passed"

@@ -54,6 +54,21 @@ if grep -n 'EvalRow(' src/exec/simple_exec.cc src/exec/aggregate_exec.cc \
   note_failure 'hot-path executors must use EvalAll/EvalFilter, not per-row EvalRow'
 fi
 
+# ExecutePlan takes ExecOptions; the positional (chunk_size, parallelism,
+# profile) overload is a deprecated migration shim. New call sites must use
+# designated initializers — `ExecutePlan(plan, {.parallelism = 4})` — so a
+# reader never has to count argument positions. The heuristic: any second
+# argument that is not a braced ExecOptions initializer is positional.
+# The shim's own declaration/definition in src/exec/executor.{h,cc} is the
+# one allowed occurrence.
+if grep -rn --include='*.cc' --include='*.h' --include='*.cpp' \
+    'ExecutePlan([^(){}]*,[[:space:]]*[^{[:space:]]' \
+    src tests bench examples 2>/dev/null \
+    | grep -v 'ExecOptions' \
+    | grep -v '^src/exec/executor\.\(h\|cc\):'; then
+  note_failure 'positional ExecutePlan(plan, chunk, ...) is deprecated; pass ExecOptions: ExecutePlan(plan, {.chunk_size = ...})'
+fi
+
 # --- Layer 2: clang-tidy (optional) ----------------------------------------
 
 if command -v clang-tidy >/dev/null 2>&1; then
