@@ -21,10 +21,20 @@
 //   --profile=PATH      write a JSON QueryProfile of the measured execution
 //   --threads=N         morsel-driven intra-query parallelism (0 = all
 //                       cores; default 1 = single-threaded)
+//   --server            cross-query fusion server mode: N concurrent
+//                       clients submit the same query; the session layer
+//                       batches them over the admission window and shares
+//                       one scan across the group (DESIGN.md §12)
+//   --clients=N         number of concurrent client threads (default 4;
+//                       server mode only)
+//   --window-ms=M       admission window in milliseconds (default 50 so
+//                       all clients land in one batch; server mode only)
 // Unknown --flags and unknown --mode values are rejected with exit code 2.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
+#include <vector>
 
 #include "fusiondb.h"
 
@@ -50,7 +60,8 @@ void Usage() {
                "usage: run_query [query] [scale] "
                "[--mode={baseline,fused,spooling,adaptive}] [--plans] "
                "[--explain] [--explain-analyze] [--trace-optimizer] "
-               "[--profile=PATH] [--threads=N]\n");
+               "[--profile=PATH] [--threads=N] "
+               "[--server] [--clients=N] [--window-ms=M]\n");
 }
 
 }  // namespace
@@ -65,6 +76,9 @@ int main(int argc, char** argv) {
   bool trace_optimizer = false;
   std::string profile_path;
   size_t threads = 1;
+  bool server = false;
+  int clients = 4;
+  int64_t window_ms = 50;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--plans") == 0) {
@@ -83,6 +97,12 @@ int main(int argc, char** argv) {
       profile_path = argv[++i];
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       threads = static_cast<size_t>(std::atoi(argv[i] + 10));
+    } else if (std::strcmp(argv[i], "--server") == 0) {
+      server = true;
+    } else if (std::strncmp(argv[i], "--clients=", 10) == 0) {
+      clients = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--window-ms=", 12) == 0) {
+      window_ms = std::atoll(argv[i] + 12);
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       std::fprintf(stderr, "run_query: unknown flag '%s'\n", argv[i]);
       Usage();
@@ -107,6 +127,92 @@ int main(int argc, char** argv) {
   DieIf(tpcds::BuildTpcdsCatalog(options, &catalog));
 
   tpcds::TpcdsQuery query = Unwrap(tpcds::QueryByName(name));
+
+  if (server) {
+    if (clients < 1) {
+      std::fprintf(stderr, "run_query: --clients must be >= 1\n");
+      return 2;
+    }
+    OptimizerOptions opt = mode == "baseline" ? OptimizerOptions::Baseline()
+                           : mode == "spooling"
+                               ? OptimizerOptions::Spooling()
+                           : mode == "adaptive"
+                               ? OptimizerOptions::Adaptive(nullptr)
+                               : OptimizerOptions::Fused();
+
+    // Isolated reference: one client, optimized and executed on its own.
+    PlanContext ref_ctx;
+    PlanPtr ref_plan = Unwrap(query.build(catalog, &ref_ctx));
+    PlanPtr ref_optimized = Unwrap(Optimizer(opt).Optimize(ref_plan, &ref_ctx));
+    std::fprintf(stderr, "executing isolated reference (%s)...\n",
+                 mode.c_str());
+    QueryResult isolated =
+        Unwrap(ExecutePlan(ref_optimized, {.parallelism = threads}));
+
+    ServerOptions server_options;
+    server_options.window.window_ms = window_ms;
+    server_options.optimizer = opt;
+    server_options.exec.parallelism = threads;
+    OptimizerTrace server_trace;
+    bool want_trace = trace_optimizer || !profile_path.empty();
+    if (want_trace) server_options.trace = &server_trace;
+    SessionManager manager(server_options);
+
+    // Each client is its own thread with its own PlanContext — the server
+    // renumbers the colliding column ids into one shared space.
+    std::fprintf(stderr,
+                 "server: %d clients, admission window %lld ms, mode %s\n",
+                 clients, static_cast<long long>(window_ms), mode.c_str());
+    std::vector<SessionPtr> sessions(static_cast<size_t>(clients));
+    std::vector<std::thread> client_threads;
+    client_threads.reserve(static_cast<size_t>(clients));
+    for (int i = 0; i < clients; ++i) {
+      client_threads.emplace_back([&, i] {
+        PlanContext client_ctx;
+        PlanPtr client_plan = Unwrap(query.build(catalog, &client_ctx));
+        sessions[static_cast<size_t>(i)] = manager.Submit(client_plan);
+        sessions[static_cast<size_t>(i)]->Wait();
+      });
+    }
+    for (std::thread& t : client_threads) t.join();
+    manager.Stop();
+
+    int matched = 0;
+    int shared = 0;
+    for (const SessionPtr& session : sessions) {
+      DieIf(session->Wait().status());
+      if (ResultsEquivalent(*session->Wait(), isolated)) ++matched;
+      if (session->shared()) ++shared;
+    }
+
+    if (trace_optimizer) {
+      std::printf("== server optimizer trace (%s) ==\n%s\n", mode.c_str(),
+                  server_trace.ToString().c_str());
+    }
+    if (!profile_path.empty()) {
+      QueryProfile profile =
+          MakeSessionProfile(*sessions.front(), name, "server-" + mode);
+      profile.trace = want_trace ? &server_trace : nullptr;
+      DieIf(WriteProfileJson(profile, profile_path));
+      std::fprintf(stderr, "profile written to %s\n", profile_path.c_str());
+    }
+
+    std::printf("query %s, server mode (%s), %d clients\n", name.c_str(),
+                mode.c_str(), clients);
+    std::printf("results match isolated: %d/%d%s\n", matched, clients,
+                matched == clients ? "" : "  <-- MISMATCH");
+    std::printf("sessions served shared: %d/%d\n", shared, clients);
+    std::printf("%-28s %14lld\n", "bytes scanned (server)",
+                static_cast<long long>(manager.total_bytes_scanned()));
+    std::printf("%-28s %14lld\n", "bytes scanned (isolated est)",
+                static_cast<long long>(manager.total_isolated_bytes_scanned()));
+    std::printf("%-28s %14lld\n", "bytes scanned (1 client)",
+                static_cast<long long>(isolated.metrics().bytes_scanned));
+    std::printf("\nfirst rows:\n%s",
+                (*sessions.front()->result()).ToString(5).c_str());
+    return matched == clients ? 0 : 1;
+  }
+
   PlanContext ctx;
   PlanPtr plan = Unwrap(query.build(catalog, &ctx));
 

@@ -74,4 +74,22 @@ SpoolDecision CostModel::DecideSpool(const PlanPtr& subtree,
   return d;
 }
 
+ShareDecision CostModel::DecideShare(const PlanPtr& fused,
+                                     const std::vector<PlanPtr>& members) const {
+  ShareDecision d;
+  CardEstimate out = estimator_->Estimate(fused);
+  d.est_rows = out.rows;
+  d.measured = out.measured;
+  double bytes =
+      std::max(0.0, out.rows) * CardinalityEstimator::RowBytes(fused);
+  d.est_bytes = static_cast<int64_t>(std::llround(bytes));
+
+  for (const PlanPtr& m : members) d.solo_cost += SubtreeCost(m);
+  double n = static_cast<double>(std::max<size_t>(members.size(), 1));
+  d.shared_cost = SubtreeCost(fused) +
+                  n * std::max(0.0, out.rows) * constants_.row_ns;
+  d.share = d.shared_cost < d.solo_cost;
+  return d;
+}
+
 }  // namespace fusiondb

@@ -36,6 +36,27 @@ struct CostConstants {
   double spool_setup_ns = 50000.0;       // fixed spool bookkeeping overhead
 };
 
+/// One cross-query share-vs-solo pricing (the server's per-candidate-group
+/// decision, DESIGN.md §12):
+///
+///   solo_cost   = Σ_i SubtreeCost(member_i)          — N isolated runs
+///   shared_cost = SubtreeCost(fused)                  — one shared run
+///               + consumers × est_rows × row_ns       — per-consumer
+///                 compensating filter/projection over the fused output
+///
+/// Shared wins whenever the fused plan is cheaper than the members added
+/// up, minus the (streaming, scan-free) restoration work — for identical
+/// members the fused plan *is* one member, so sharing wins as soon as one
+/// member's cost exceeds the restoration overhead.
+struct ShareDecision {
+  bool share = false;        // true: execute fused once; false: solo runs
+  double solo_cost = 0.0;    // ns, members executed in isolation
+  double shared_cost = 0.0;  // ns, fused once + consumer restoration
+  double est_rows = 0.0;     // estimated fused output rows
+  int64_t est_bytes = 0;     // estimated fused output bytes
+  bool measured = false;     // estimate backed by StatsFeedback
+};
+
 /// One fuse-vs-spool pricing, as recorded in the optimizer trace.
 struct SpoolDecision {
   bool spool = false;          // true: materialize; false: re-execute
@@ -58,6 +79,11 @@ class CostModel {
 
   /// Prices re-execution by `consumers` readers against spooling.
   SpoolDecision DecideSpool(const PlanPtr& subtree, int consumers) const;
+
+  /// Prices executing `fused` once for all of `members` against executing
+  /// each member in isolation (cross-query sharing, src/server).
+  ShareDecision DecideShare(const PlanPtr& fused,
+                            const std::vector<PlanPtr>& members) const;
 
   const CardinalityEstimator& estimator() const { return *estimator_; }
   const CostConstants& constants() const { return constants_; }

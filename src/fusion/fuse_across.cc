@@ -1,0 +1,84 @@
+#include "fusion/fuse_across.h"
+
+#include <utility>
+
+#include "expr/simplifier.h"
+#include "plan/plan_fingerprint.h"
+
+namespace fusiondb {
+
+namespace {
+
+/// Conjunction with nullptr-as-TRUE normalization on both sides.
+ExprPtr AndFilters(const ExprPtr& a, const ExprPtr& b) {
+  bool a_true = a == nullptr || IsTrueLiteral(a);
+  bool b_true = b == nullptr || IsTrueLiteral(b);
+  if (a_true) return b_true ? nullptr : b;
+  if (b_true) return a;
+  return Expr::MakeAnd({a, b});
+}
+
+}  // namespace
+
+std::optional<size_t> CrossPlanFuser::TryAdd(const PlanPtr& plan) {
+  uint64_t fingerprint = PlanFingerprint(plan);
+  if (plan_ == nullptr) {
+    plan_ = plan;
+    consumers_.push_back({nullptr, {}});
+    members_.push_back(plan);
+    member_fingerprints_.push_back(fingerprint);
+    return 0;
+  }
+  // Identical-member overlay: the fingerprint is renumbering-stable, so a
+  // matching member computes the same relation and the new plan's output
+  // column i is the member's output column i. The new consumer reuses the
+  // member's compensating filter and routes positionally through the
+  // member's mapping — no Fuse call, and no operator-kind restriction.
+  for (size_t j = 0; j < members_.size(); ++j) {
+    if (member_fingerprints_[j] != fingerprint) continue;
+    const Schema& member_schema = members_[j]->schema();
+    const Schema& plan_schema = plan->schema();
+    ColumnMap overlay;
+    for (size_t i = 0; i < plan_schema.num_columns(); ++i) {
+      overlay[plan_schema.column(i).id] =
+          ApplyMap(consumers_[j].mapping, member_schema.column(i).id);
+    }
+    consumers_.push_back({consumers_[j].filter, std::move(overlay)});
+    members_.push_back(plan);
+    member_fingerprints_.push_back(fingerprint);
+    return consumers_.size() - 1;
+  }
+  std::optional<FuseResult> fused = fuser_.Fuse(plan_, plan);
+  if (!fused.has_value()) return std::nullopt;
+  plan_ = fused->plan;
+  // Existing consumers keep their mappings (the fused plan retains all of
+  // the previous shared plan's output columns) and tighten their filters
+  // with this step's left compensation.
+  for (CrossConsumer& c : consumers_) {
+    c.filter = AndFilters(c.filter, fused->left_filter);
+  }
+  consumers_.push_back(
+      {AndFilters(nullptr, fused->right_filter), std::move(fused->mapping)});
+  members_.push_back(plan);
+  member_fingerprints_.push_back(fingerprint);
+  return consumers_.size() - 1;
+}
+
+bool CrossPlanFuser::Exact() const {
+  for (const CrossConsumer& c : consumers_) {
+    if (c.filter != nullptr) return false;
+  }
+  return true;
+}
+
+std::optional<CrossFuseResult> FuseAcrossPlans(
+    const std::vector<PlanPtr>& plans, PlanContext* ctx) {
+  if (plans.empty()) return std::nullopt;
+  CrossPlanFuser folder(ctx);
+  for (const PlanPtr& plan : plans) {
+    if (!folder.TryAdd(plan).has_value()) return std::nullopt;
+  }
+  return CrossFuseResult{folder.plan(), folder.consumers()};
+}
+
+}  // namespace fusiondb

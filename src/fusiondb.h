@@ -7,8 +7,9 @@
 //   - cost/     : cardinality estimates, stats feedback, fuse-vs-spool cost
 //   - optimizer/: rule-based optimizer with the Section-IV fusion rules
 //   - fusion/   : the Fuse(P1, P2) primitive itself
-//   - exec/     : streaming executor + metrics
+//   - exec/     : streaming executor + metrics + fan-out execution
 //   - obs/      : per-operator profiling, optimizer trace, JSON export
+//   - server/   : concurrent query sessions with cross-query fusion
 //   - tpcds/    : benchmark substrate (schema, datagen, query suite)
 #ifndef FUSIONDB_FUSIONDB_H_
 #define FUSIONDB_FUSIONDB_H_
@@ -17,15 +18,19 @@
 #include "cost/cost_model.h"
 #include "cost/stats_feedback.h"
 #include "exec/executor.h"
+#include "exec/fanout.h"
 #include "expr/expr_builder.h"
 #include "expr/simplifier.h"
 #include "fusion/fuse.h"
+#include "fusion/fuse_across.h"
 #include "obs/optimizer_trace.h"
 #include "obs/profile.h"
 #include "optimizer/optimizer.h"
+#include "plan/multi_plan.h"
 #include "plan/plan_builder.h"
 #include "plan/plan_fingerprint.h"
 #include "plan/plan_printer.h"
+#include "server/session_manager.h"
 #include "tpcds/tpcds.h"
 
 #endif  // FUSIONDB_FUSIONDB_H_

@@ -51,19 +51,27 @@ struct FusionStep {
   std::string outcome;
 };
 
-/// One fuse-vs-spool pricing by the cost model (adaptive spool mode): the
-/// duplicated subtree, how many consumers read it, both priced
-/// alternatives, and which one the optimizer took.
+/// One cost-model pricing of a shared computation: the subtree (or, for
+/// cross-query decisions, the fused plan), how many consumers read it, both
+/// priced alternatives, and which one was taken.
+///
+/// Two kinds share this record. Within-plan fuse-vs-spool (adaptive spool
+/// mode, `cross_query == false`): the costs are re-execution vs spooling
+/// and `spooled` means materialized. Cross-query share-vs-solo (the
+/// session layer, `cross_query == true`): `reexec_cost_ns` is the cost of
+/// the members run in isolation, `spool_cost_ns` the cost of the fused
+/// plan plus per-session restoration, and `spooled` means shared.
 struct CostDecision {
   std::string anchor;        // description of the shared subtree's root
   uint64_t fingerprint = 0;  // plan fingerprint of the shared subtree
   int consumers = 0;         // readers the duplicates collapse into
-  double reexec_cost_ns = 0; // consumers × subtree cost
-  double spool_cost_ns = 0;  // subtree + setup + write + per-consumer reads
+  double reexec_cost_ns = 0; // consumers × subtree cost (or Σ solo costs)
+  double spool_cost_ns = 0;  // spool alternative (or shared-execution cost)
   double est_rows = 0;       // estimated subtree output rows
   int64_t est_bytes = 0;     // estimated spooled bytes
   bool measured = false;     // estimate backed by measured feedback
-  bool spooled = false;      // true: materialized; false: left duplicated
+  bool spooled = false;      // true: materialized (or shared); false: solo
+  bool cross_query = false;  // share-vs-solo across sessions (src/server)
 };
 
 class OptimizerTrace {

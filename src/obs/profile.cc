@@ -114,6 +114,7 @@ void WriteTrace(const OptimizerTrace& t, JsonWriter* w) {
     w->Field("est_bytes", d.est_bytes);
     w->Field("measured", d.measured);
     w->Field("spooled", d.spooled);
+    w->Field("cross_query", d.cross_query);
     w->EndObject();
   }
   w->EndArray();
@@ -157,6 +158,19 @@ std::string ProfileToJson(const QueryProfile& profile) {
     w.Key("plan");
     int counter = 0;
     WritePlanNode(profile.plan, profile.operator_stats, &counter, &w);
+  }
+  if (profile.sharing.consumers > 0) {
+    w.Key("sharing");
+    w.BeginObject();
+    w.Field("session_id", static_cast<int64_t>(profile.sharing.session_id));
+    w.Field("group_fingerprint",
+            FingerprintToString(profile.sharing.group_fingerprint));
+    w.Field("consumers", static_cast<int64_t>(profile.sharing.consumers));
+    w.Field("shared_bytes_scanned", profile.sharing.shared_bytes_scanned);
+    w.Field("attributed_bytes_scanned",
+            profile.sharing.attributed_bytes_scanned);
+    w.Field("isolated_bytes_scanned", profile.sharing.isolated_bytes_scanned);
+    w.EndObject();
   }
   if (profile.trace != nullptr) {
     w.Key("trace");

@@ -15,6 +15,22 @@
 
 namespace fusiondb {
 
+/// Cross-query sharing attribution for one session's profile (src/server).
+/// When a session's query executed as part of a fused group, its metrics
+/// and operator stats describe the *shared* execution; this block records
+/// how that shared work divides across the group: the bytes the group paid
+/// once, this session's per-capita share, and what the same queries would
+/// have scanned run in isolation (exact for identical-member groups; an
+/// upper bound when the fused plan reads a column union).
+struct SessionSharing {
+  uint64_t session_id = 0;
+  uint64_t group_fingerprint = 0;       // fused plan fingerprint
+  int consumers = 0;                    // sessions sharing the execution
+  int64_t shared_bytes_scanned = 0;     // paid once by the whole group
+  int64_t attributed_bytes_scanned = 0; // this session's share
+  int64_t isolated_bytes_scanned = 0;   // estimate: consumers × shared
+};
+
 struct QueryProfile {
   std::string query;   // label, e.g. the TPC-DS query name
   std::string config;  // optimizer configuration, e.g. "fused"
@@ -23,6 +39,10 @@ struct QueryProfile {
   ExecMetrics metrics;
   double wall_ms = 0.0;
   const OptimizerTrace* trace = nullptr;  // optional; not owned
+
+  /// Set by the server for session executions; `consumers == 0` (default)
+  /// means no sharing block is emitted.
+  SessionSharing sharing;
 };
 
 /// Assembles a profile from an executed result. `trace` may be null.

@@ -1,0 +1,15 @@
+#include "server/query_session.h"
+
+namespace fusiondb {
+
+QueryProfile MakeSessionProfile(const QuerySession& session, std::string query,
+                                std::string config) {
+  const Result<QueryResult>& result = session.result();
+  FUSIONDB_CHECK(result.ok(), "MakeSessionProfile on a failed session");
+  QueryProfile p = MakeQueryProfile(std::move(query), std::move(config),
+                                    session.executed_plan(), *result);
+  p.sharing = session.sharing();
+  return p;
+}
+
+}  // namespace fusiondb

@@ -1,0 +1,392 @@
+#include "server/session_manager.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "cost/cost_model.h"
+#include "fusion/fuse_across.h"
+#include "plan/plan_fingerprint.h"
+
+namespace fusiondb {
+
+namespace {
+
+/// Cheap structural pre-filter for candidate grouping, in the spirit of the
+/// spool rule's Signature(): operator census plus the multiset of scanned
+/// tables. Plans with different signatures cannot fuse, so the quadratic
+/// TryAdd probing only runs within a signature bucket.
+void CollectSignature(const PlanPtr& plan, std::map<OpKind, int>* census,
+                      std::multiset<std::string>* tables) {
+  (*census)[plan->kind()]++;
+  if (plan->kind() == OpKind::kScan) {
+    tables->insert(Cast<ScanOp>(*plan).table()->name());
+  }
+  for (const PlanPtr& c : plan->children()) {
+    CollectSignature(c, census, tables);
+  }
+}
+
+std::string PlanSignature(const PlanPtr& plan) {
+  std::map<OpKind, int> census;
+  std::multiset<std::string> tables;
+  CollectSignature(plan, &census, &tables);
+  std::string sig;
+  for (const auto& [kind, count] : census) {
+    sig += OpKindName(kind);
+    sig += ':';
+    sig += std::to_string(count);
+    sig += ';';
+  }
+  for (const std::string& t : tables) {
+    sig += t;
+    sig += ',';
+  }
+  return sig;
+}
+
+}  // namespace
+
+/// One candidate group: the incremental cross-plan fuser plus which
+/// sessions it serves. `consumer` indexes into the fuser's consumer list.
+struct SessionManager::Group {
+  explicit Group(PlanContext* ctx) : fuser(ctx) {}
+
+  CrossPlanFuser fuser;
+  struct Member {
+    SessionPtr session;
+    ColumnMap renumber;  // session's original ids -> master-context ids
+    size_t consumer;     // index into fuser consumers/members
+  };
+  std::vector<Member> members;
+};
+
+SessionManager::SessionManager(ServerOptions options)
+    : options_(std::move(options)) {
+  if (options_.window.max_batch < 1) options_.window.max_batch = 1;
+  ctx_.set_trace(options_.trace);
+}
+
+SessionManager::~SessionManager() { Stop(); }
+
+SessionPtr SessionManager::Submit(PlanPtr plan) {
+  SessionPtr session;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    session = SessionPtr(
+        new QuerySession(next_session_id_++, std::move(plan)));
+    if (stop_) {
+      session->Fulfill(
+          Status::ExecutionError("session manager is stopped"), nullptr, {});
+      return session;
+    }
+    EnsureCoordinatorLocked();
+    pending_.push_back(session);
+  }
+  queue_cv_.notify_all();
+  return session;
+}
+
+Result<QueryResult> SessionManager::ExecuteSync(PlanPtr plan) {
+  SessionPtr session = Submit(std::move(plan));
+  return session->Wait();
+}
+
+std::vector<SessionPtr> SessionManager::SubmitBatch(
+    const std::vector<PlanPtr>& plans) {
+  std::vector<SessionPtr> sessions;
+  sessions.reserve(plans.size());
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    for (const PlanPtr& plan : plans) {
+      sessions.push_back(SessionPtr(new QuerySession(next_session_id_++, plan)));
+    }
+  }
+  for (size_t begin = 0; begin < sessions.size();
+       begin += options_.window.max_batch) {
+    size_t end = std::min(begin + options_.window.max_batch, sessions.size());
+    ProcessBatch({sessions.begin() + static_cast<ptrdiff_t>(begin),
+                  sessions.begin() + static_cast<ptrdiff_t>(end)});
+  }
+  return sessions;
+}
+
+void SessionManager::Stop() {
+  std::thread coordinator;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stop_ = true;
+    coordinator = std::move(coordinator_);
+  }
+  queue_cv_.notify_all();
+  if (coordinator.joinable()) coordinator.join();
+}
+
+void SessionManager::EnsureCoordinatorLocked() {
+  if (coordinator_started_) return;
+  coordinator_started_ = true;
+  coordinator_ = std::thread([this] { CoordinatorLoop(); });
+}
+
+void SessionManager::CoordinatorLoop() {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  while (true) {
+    queue_cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+    if (pending_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    // The admission window: the first arrival holds the batch open for
+    // window_ms so concurrent queries can join; a full batch closes early,
+    // and Stop() flushes immediately.
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(options_.window.window_ms);
+    queue_cv_.wait_until(lock, deadline, [this] {
+      return stop_ || pending_.size() >= options_.window.max_batch;
+    });
+    size_t take = std::min(pending_.size(), options_.window.max_batch);
+    std::vector<SessionPtr> batch(
+        pending_.begin(), pending_.begin() + static_cast<ptrdiff_t>(take));
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<ptrdiff_t>(take));
+    lock.unlock();
+    ProcessBatch(batch);
+    lock.lock();
+  }
+}
+
+void SessionManager::ProcessBatch(const std::vector<SessionPtr>& sessions) {
+  std::lock_guard<std::mutex> lock(batch_mu_);
+  BatchReport report;
+  report.sessions = sessions.size();
+
+  // 1. Renumber every submitted plan into the master id space (so plans
+  //    from different sessions can be fused) and optimize it under the
+  //    configured mode. The optimizer preserves root output columns, so
+  //    the renumber mapping keeps naming the optimized root.
+  struct Prepared {
+    SessionPtr session;
+    PlanPtr plan;
+    ColumnMap renumber;
+  };
+  std::vector<Prepared> prepared;
+  prepared.reserve(sessions.size());
+  Optimizer optimizer(options_.optimizer);
+  PlanBundle bundle(&ctx_);
+  for (const SessionPtr& session : sessions) {
+    size_t idx = bundle.AddRoot(session->plan());
+    Result<PlanPtr> optimized = optimizer.Optimize(bundle.root(idx).plan, &ctx_);
+    if (!optimized.ok()) {
+      session->Fulfill(optimized.status(), nullptr, {});
+      continue;
+    }
+    prepared.push_back(
+        {session, *optimized, bundle.root(idx).mapping});
+  }
+
+  // 2. Group: fold each plan into the first compatible group (same
+  //    structural signature and Fuse succeeds), in arrival order. With
+  //    sharing off — or a batch of one — every session forms its own group.
+  std::vector<std::unique_ptr<Group>> groups;
+  std::unordered_map<std::string, std::vector<Group*>> by_signature;
+  bool sharing = options_.enable_sharing && prepared.size() > 1;
+  for (Prepared& p : prepared) {
+    Group* target = nullptr;
+    size_t consumer = 0;
+    if (sharing) {
+      std::vector<Group*>& bucket = by_signature[PlanSignature(p.plan)];
+      for (Group* g : bucket) {
+        std::optional<size_t> idx = g->fuser.TryAdd(p.plan);
+        if (idx.has_value()) {
+          target = g;
+          consumer = *idx;
+          break;
+        }
+      }
+      if (target == nullptr) {
+        groups.push_back(std::make_unique<Group>(&ctx_));
+        target = groups.back().get();
+        consumer = *target->fuser.TryAdd(p.plan);
+        bucket.push_back(target);
+      }
+    } else {
+      groups.push_back(std::make_unique<Group>(&ctx_));
+      target = groups.back().get();
+      consumer = *target->fuser.TryAdd(p.plan);
+    }
+    target->members.push_back(
+        {std::move(p.session), std::move(p.renumber), consumer});
+  }
+
+  // 3. Price and execute each group, routing results to their sessions.
+  for (std::unique_ptr<Group>& group : groups) {
+    ExecuteGroup(group.get(), &report);
+  }
+
+  {
+    std::lock_guard<std::mutex> report_lock(report_mu_);
+    total_queries_ += static_cast<int64_t>(report.sessions);
+    total_bytes_scanned_ += report.bytes_scanned;
+    total_isolated_bytes_ += report.isolated_bytes_scanned;
+    total_shared_sessions_ += static_cast<int64_t>(report.shared_sessions);
+    last_report_ = std::move(report);
+  }
+}
+
+void SessionManager::ExecuteGroup(Group* group, BatchReport* report) {
+  size_t n = group->members.size();
+  bool share = n >= 2;
+
+  // Share-vs-solo pricing (cross-query CostDecision). The decision is
+  // recorded even when use_cost_model forces sharing, so traces always
+  // show what the economics were.
+  if (share) {
+    CardinalityEstimator estimator(options_.optimizer.feedback);
+    CostModel model(&estimator);
+    ShareDecision decision =
+        model.DecideShare(group->fuser.plan(), group->fuser.members());
+    if (!options_.use_cost_model) decision.share = true;
+    share = decision.share;
+
+    CostDecision record;
+    record.anchor = OptimizerTrace::DescribeNode(*group->fuser.plan());
+    record.fingerprint = PlanFingerprint(group->fuser.plan());
+    record.consumers = static_cast<int>(n);
+    record.reexec_cost_ns = decision.solo_cost;
+    record.spool_cost_ns = decision.shared_cost;
+    record.est_rows = decision.est_rows;
+    record.est_bytes = decision.est_bytes;
+    record.measured = decision.measured;
+    record.spooled = share;
+    record.cross_query = true;
+    if (ctx_.trace() != nullptr) ctx_.trace()->RecordCostDecision(record);
+    report->decisions.push_back(std::move(record));
+  }
+
+  if (share) {
+    // One shared execution: each session's consumer applies its
+    // compensating filter over the fused output and reads its original
+    // output columns through renumber-then-fusion mappings. Output ids and
+    // names are the session's own, so the result schema is byte-identical
+    // to an isolated run of the submitted plan.
+    std::vector<FanOutConsumer> consumers;
+    consumers.reserve(n);
+    for (const Group::Member& m : group->members) {
+      const CrossConsumer& cc = group->fuser.consumer(m.consumer);
+      FanOutConsumer fc;
+      fc.filter = cc.filter;
+      const Schema& original = m.session->plan()->schema();
+      fc.columns.reserve(original.num_columns());
+      for (const ColumnInfo& c : original.columns()) {
+        ColumnId fused = ApplyMap(cc.mapping, ApplyMap(m.renumber, c.id));
+        fc.columns.push_back(
+            {c.id, c.name, Expr::MakeColumnRef(fused, c.type)});
+      }
+      consumers.push_back(std::move(fc));
+    }
+    Result<FanOutResult> result =
+        ExecuteFanOut(group->fuser.plan(), consumers, options_.exec);
+    if (!result.ok()) {
+      for (const Group::Member& m : group->members) {
+        m.session->Fulfill(result.status(), nullptr, {});
+      }
+      return;
+    }
+    uint64_t fingerprint = PlanFingerprint(group->fuser.plan());
+    int64_t bytes = result->metrics.bytes_scanned;
+    report->shared_groups++;
+    report->shared_sessions += n;
+    report->bytes_scanned += bytes;
+    report->isolated_bytes_scanned += static_cast<int64_t>(n) * bytes;
+    int64_t share_each = bytes / static_cast<int64_t>(n);
+    for (size_t i = 0; i < n; ++i) {
+      const Group::Member& m = group->members[i];
+      SessionSharing sharing;
+      sharing.session_id = m.session->id();
+      sharing.group_fingerprint = fingerprint;
+      sharing.consumers = static_cast<int>(n);
+      sharing.shared_bytes_scanned = bytes;
+      sharing.attributed_bytes_scanned =
+          share_each + (i == 0 ? bytes % static_cast<int64_t>(n) : 0);
+      sharing.isolated_bytes_scanned = static_cast<int64_t>(n) * bytes;
+      report->attributions.push_back({sharing.session_id, fingerprint,
+                                      sharing.consumers,
+                                      sharing.attributed_bytes_scanned,
+                                      result->results[i].num_rows()});
+      m.session->Fulfill(std::move(result->results[i]), group->fuser.plan(),
+                         sharing);
+    }
+    return;
+  }
+
+  // Solo: each member executes its own optimized plan — still through the
+  // fan-out path (single passthrough consumer relabelled with the
+  // session's original output ids), so shared and isolated execution
+  // cannot diverge.
+  for (const Group::Member& m : group->members) {
+    const PlanPtr& plan = group->fuser.members()[m.consumer];
+    FanOutConsumer fc;
+    const Schema& original = m.session->plan()->schema();
+    fc.columns.reserve(original.num_columns());
+    for (const ColumnInfo& c : original.columns()) {
+      ColumnId renumbered = ApplyMap(m.renumber, c.id);
+      Result<DataType> type = plan->schema().TypeOf(renumbered);
+      fc.columns.push_back(
+          {c.id, c.name,
+           Expr::MakeColumnRef(renumbered,
+                               type.ok() ? *type : c.type)});
+    }
+    Result<FanOutResult> result =
+        ExecuteFanOut(plan, {std::move(fc)}, options_.exec);
+    if (!result.ok()) {
+      m.session->Fulfill(result.status(), nullptr, {});
+      continue;
+    }
+    int64_t bytes = result->metrics.bytes_scanned;
+    report->solo_sessions++;
+    report->bytes_scanned += bytes;
+    report->isolated_bytes_scanned += bytes;
+    SessionSharing sharing;
+    sharing.session_id = m.session->id();
+    sharing.group_fingerprint = PlanFingerprint(plan);
+    sharing.consumers = 1;
+    sharing.shared_bytes_scanned = bytes;
+    sharing.attributed_bytes_scanned = bytes;
+    sharing.isolated_bytes_scanned = bytes;
+    report->attributions.push_back({sharing.session_id,
+                                    sharing.group_fingerprint, 1, bytes,
+                                    result->results[0].num_rows()});
+    m.session->Fulfill(std::move(result->results[0]), plan, sharing);
+  }
+}
+
+BatchReport SessionManager::last_batch_report() const {
+  std::lock_guard<std::mutex> lock(report_mu_);
+  return last_report_;
+}
+
+int64_t SessionManager::total_queries() const {
+  std::lock_guard<std::mutex> lock(report_mu_);
+  return total_queries_;
+}
+
+int64_t SessionManager::total_bytes_scanned() const {
+  std::lock_guard<std::mutex> lock(report_mu_);
+  return total_bytes_scanned_;
+}
+
+int64_t SessionManager::total_isolated_bytes_scanned() const {
+  std::lock_guard<std::mutex> lock(report_mu_);
+  return total_isolated_bytes_;
+}
+
+int64_t SessionManager::total_shared_sessions() const {
+  std::lock_guard<std::mutex> lock(report_mu_);
+  return total_shared_sessions_;
+}
+
+}  // namespace fusiondb

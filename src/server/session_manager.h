@@ -1,0 +1,170 @@
+// SessionManager: the concurrent query-session layer (DESIGN.md §12).
+//
+// Many clients submit plans; the manager collects concurrent arrivals over
+// a small admission window, renumbers each plan into one shared id space,
+// optimizes it, and groups structurally compatible plans by fingerprint
+// signature. Each candidate group is folded through Fuse() across plans
+// (fusion/fuse_across.h); the cost model prices share-vs-solo per group
+// (cost_model.h ShareDecision, recorded as a cross-query CostDecision);
+// groups that share execute exactly once through the fan-out executor
+// (exec/fanout.h) with each session's rows restored by its compensating
+// filter/projection and routed back to the owning session.
+//
+// All execution inside the server goes through ExecuteFanOut — including
+// solo queries, which run as a single passthrough consumer — so shared and
+// isolated paths cannot drift (tools/lint.sh bans ExecutePlan here).
+//
+// Two submission paths share the batch pipeline:
+//   - Submit(): thread-safe, non-blocking; a background coordinator thread
+//     closes the admission window and processes the batch.
+//   - SubmitBatch(): synchronous and deterministic (no timing); used by
+//     tests and benches to exercise exact batch compositions.
+#ifndef FUSIONDB_SERVER_SESSION_MANAGER_H_
+#define FUSIONDB_SERVER_SESSION_MANAGER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/fanout.h"
+#include "obs/optimizer_trace.h"
+#include "optimizer/optimizer.h"
+#include "plan/multi_plan.h"
+#include "server/query_session.h"
+
+namespace fusiondb {
+
+/// How long the server holds an arriving query open for companions. A
+/// larger window finds more sharing; a window (or batch cap) of 1 disables
+/// sharing entirely — every query runs solo.
+struct AdmissionWindow {
+  int64_t window_ms = 2;  // wait this long after the first arrival
+  size_t max_batch = 64;  // close early once this many queries arrived
+};
+
+struct ServerOptions {
+  AdmissionWindow window;
+
+  /// Per-session optimization configuration (mode baseline/fused/spooling/
+  /// adaptive). Cross-query sharing is orthogonal to the within-plan mode:
+  /// plans are optimized first, then fused across sessions.
+  OptimizerOptions optimizer;
+
+  /// Execution knobs for every batch execution (shared or solo).
+  ExecOptions exec;
+
+  /// Master switch for cross-query sharing. Off: every session runs solo
+  /// (the isolated baseline the benches compare against).
+  bool enable_sharing = true;
+
+  /// Price share-vs-solo per candidate group. Off: every fusable group of
+  /// two or more sessions shares unconditionally.
+  bool use_cost_model = true;
+
+  /// Optional trace (not owned; must outlive the manager). Receives the
+  /// per-session optimizer phases and the cross-query CostDecisions.
+  OptimizerTrace* trace = nullptr;
+};
+
+/// One session's slice of a batch, for reports and JSON export.
+struct SessionAttribution {
+  uint64_t session_id = 0;
+  uint64_t group_fingerprint = 0;  // executed plan's fingerprint
+  int consumers = 1;               // group size (1 == solo)
+  int64_t attributed_bytes_scanned = 0;
+  int64_t rows = 0;
+};
+
+/// What one admission batch did: how many sessions shared, the physical
+/// bytes the batch scanned, and the estimate of what the same queries
+/// would have scanned in isolation (exact for identical-member groups;
+/// for heterogeneous fused groups an upper bound, since an isolated member
+/// may read a subset of the fused plan's column union).
+struct BatchReport {
+  size_t sessions = 0;
+  size_t shared_groups = 0;    // fused groups of >= 2 that executed once
+  size_t shared_sessions = 0;  // sessions served from those groups
+  size_t solo_sessions = 0;
+  int64_t bytes_scanned = 0;           // physical, whole batch
+  int64_t isolated_bytes_scanned = 0;  // estimated isolated equivalent
+  std::vector<CostDecision> decisions;  // cross_query == true
+  std::vector<SessionAttribution> attributions;
+};
+
+class SessionManager {
+ public:
+  explicit SessionManager(ServerOptions options = ServerOptions());
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Enqueues `plan` (from any PlanContext) and returns its session. The
+  /// coordinator thread starts lazily on first use. Thread-safe.
+  SessionPtr Submit(PlanPtr plan);
+
+  /// Submit + Wait: the one-call form for callers without concurrency.
+  /// (Returns a copy; hold the SessionPtr from Submit to avoid it.)
+  Result<QueryResult> ExecuteSync(PlanPtr plan);
+
+  /// Processes `plans` synchronously on the calling thread as admission
+  /// batches of at most `window.max_batch` (arrival order preserved), with
+  /// no timing dependence. Returns the (already fulfilled) sessions.
+  std::vector<SessionPtr> SubmitBatch(const std::vector<PlanPtr>& plans);
+
+  /// Stops the coordinator after draining already-submitted queries.
+  /// Idempotent; the destructor calls it.
+  void Stop();
+
+  /// Report of the most recently completed batch.
+  BatchReport last_batch_report() const;
+
+  /// Cumulative across all batches since construction.
+  int64_t total_queries() const;
+  int64_t total_bytes_scanned() const;
+  int64_t total_isolated_bytes_scanned() const;
+  int64_t total_shared_sessions() const;
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  struct Group;  // one cross-plan candidate group (session_manager.cc)
+
+  /// Runs one admission batch end to end: renumber -> optimize -> group ->
+  /// price -> execute (fan-out or solo) -> fulfill sessions. Serialized by
+  /// batch_mu_; the master PlanContext is only touched here.
+  void ProcessBatch(const std::vector<SessionPtr>& sessions);
+
+  /// Executes one group (shared when it has >= 2 members and won pricing,
+  /// otherwise each member solo) and fulfills its sessions.
+  void ExecuteGroup(Group* group, BatchReport* report);
+
+  void CoordinatorLoop();
+  void EnsureCoordinatorLocked();
+
+  ServerOptions options_;
+
+  std::mutex batch_mu_;  // serializes ProcessBatch (and thus ctx_)
+  PlanContext ctx_;      // master id space; guarded by batch_mu_
+  uint64_t next_session_id_ = 1;  // guarded by queue_mu_
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::vector<SessionPtr> pending_;
+  bool stop_ = false;
+  bool coordinator_started_ = false;
+  std::thread coordinator_;
+
+  mutable std::mutex report_mu_;
+  BatchReport last_report_;
+  int64_t total_queries_ = 0;
+  int64_t total_bytes_scanned_ = 0;
+  int64_t total_isolated_bytes_ = 0;
+  int64_t total_shared_sessions_ = 0;
+};
+
+}  // namespace fusiondb
+
+#endif  // FUSIONDB_SERVER_SESSION_MANAGER_H_

@@ -1,0 +1,316 @@
+// Cross-query fusion server (src/server): N concurrent sessions over one
+// SessionManager must return exactly what N isolated runs would — same
+// schema ids/names/types, same rows in the same order — while fused groups
+// scan strictly fewer bytes than their members would in isolation.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "test_util.h"
+
+namespace fusiondb {
+namespace {
+
+using testutil::SharedTpcds;
+using testutil::Unwrap;
+
+/// The isolated reference: the same plan optimized and executed on its
+/// own, exactly as a standalone client would.
+QueryResult IsolatedRun(const PlanPtr& plan, PlanContext* ctx,
+                        const OptimizerOptions& options) {
+  PlanPtr optimized = Unwrap(Optimizer(options).Optimize(plan, ctx));
+  return Unwrap(ExecutePlan(optimized));
+}
+
+/// Byte-identical: schema (ids, names, types) and rows, order-sensitive.
+void ExpectIdentical(const QueryResult& got, const QueryResult& want) {
+  ASSERT_EQ(got.schema().num_columns(), want.schema().num_columns());
+  for (size_t i = 0; i < want.schema().num_columns(); ++i) {
+    EXPECT_EQ(got.schema().column(i).id, want.schema().column(i).id);
+    EXPECT_EQ(got.schema().column(i).name, want.schema().column(i).name);
+    EXPECT_EQ(got.schema().column(i).type, want.schema().column(i).type);
+  }
+  EXPECT_EQ(got.num_rows(), want.num_rows());
+  EXPECT_TRUE(ResultsEqualOrdered(got, want));
+}
+
+const std::vector<const tpcds::TpcdsQuery*>& FusionQueries() {
+  static auto& queries = *new std::vector<const tpcds::TpcdsQuery*>([] {
+    std::vector<const tpcds::TpcdsQuery*> out;
+    for (const tpcds::TpcdsQuery& q : tpcds::Queries()) {
+      if (q.fusion_applicable) out.push_back(&q);
+    }
+    return out;
+  }());
+  return queries;
+}
+
+OptimizerOptions ModeOptions(const std::string& mode) {
+  if (mode == "baseline") return OptimizerOptions::Baseline();
+  if (mode == "spooling") return OptimizerOptions::Spooling();
+  if (mode == "adaptive") return OptimizerOptions::Adaptive(nullptr);
+  return OptimizerOptions::Fused();
+}
+
+// N identical queries through the server == N isolated runs, under every
+// optimizer mode. Cross-query sharing composes with — never alters — the
+// within-plan optimization the mode selects.
+TEST(ServerTest, ByteIdenticalToIsolatedAcrossModes) {
+  const Catalog& catalog = SharedTpcds();
+  const tpcds::TpcdsQuery& query = *FusionQueries().front();
+  constexpr int kClients = 4;
+  for (const std::string mode :
+       {"baseline", "fused", "spooling", "adaptive"}) {
+    SCOPED_TRACE(mode);
+    ServerOptions options;
+    options.optimizer = ModeOptions(mode);
+    SessionManager manager(options);
+
+    std::vector<PlanContext> contexts(kClients);
+    std::vector<PlanPtr> plans;
+    for (int i = 0; i < kClients; ++i) {
+      plans.push_back(Unwrap(query.build(catalog, &contexts[i])));
+    }
+    std::vector<SessionPtr> sessions = manager.SubmitBatch(plans);
+    for (int i = 0; i < kClients; ++i) {
+      SCOPED_TRACE(i);
+      ASSERT_TRUE(sessions[static_cast<size_t>(i)]->Wait().ok())
+          << sessions[static_cast<size_t>(i)]->Wait().status().ToString();
+      // Fresh context per reference run: the isolated client never saw the
+      // server's renumbered id space.
+      PlanContext ref_ctx;
+      PlanPtr ref_plan = Unwrap(query.build(catalog, &ref_ctx));
+      QueryResult isolated = IsolatedRun(ref_plan, &ref_ctx, options.optimizer);
+      ExpectIdentical(*sessions[static_cast<size_t>(i)]->Wait(), isolated);
+    }
+  }
+}
+
+// Results do not depend on how many sessions share the batch.
+TEST(ServerTest, SessionCountInvariance) {
+  const Catalog& catalog = SharedTpcds();
+  const tpcds::TpcdsQuery& query = *FusionQueries().front();
+  PlanContext ref_ctx;
+  QueryResult isolated = IsolatedRun(Unwrap(query.build(catalog, &ref_ctx)),
+                                     &ref_ctx, OptimizerOptions::Fused());
+  for (int n : {1, 2, 5, 8}) {
+    SCOPED_TRACE(n);
+    SessionManager manager;
+    std::vector<PlanContext> contexts(static_cast<size_t>(n));
+    std::vector<PlanPtr> plans;
+    for (int i = 0; i < n; ++i) {
+      plans.push_back(Unwrap(query.build(catalog, &contexts[static_cast<size_t>(i)])));
+    }
+    std::vector<SessionPtr> sessions = manager.SubmitBatch(plans);
+    for (const SessionPtr& s : sessions) {
+      ASSERT_TRUE(s->Wait().ok()) << s->Wait().status().ToString();
+      ExpectIdentical(*s->Wait(), isolated);
+      EXPECT_EQ(s->shared(), n >= 2);
+    }
+  }
+}
+
+// The headline property: >= 2 identical concurrent queries pay one scan.
+TEST(ServerTest, SharedGroupScansFewerBytesThanIsolated) {
+  const Catalog& catalog = SharedTpcds();
+  const tpcds::TpcdsQuery& query = *FusionQueries().front();
+  constexpr int kClients = 4;
+  SessionManager manager;
+  std::vector<PlanContext> contexts(kClients);
+  std::vector<PlanPtr> plans;
+  for (int i = 0; i < kClients; ++i) {
+    plans.push_back(Unwrap(query.build(catalog, &contexts[i])));
+  }
+  std::vector<SessionPtr> sessions = manager.SubmitBatch(plans);
+  for (const SessionPtr& s : sessions) ASSERT_TRUE(s->Wait().ok());
+
+  BatchReport report = manager.last_batch_report();
+  EXPECT_EQ(report.sessions, static_cast<size_t>(kClients));
+  EXPECT_EQ(report.shared_groups, 1u);
+  EXPECT_EQ(report.shared_sessions, static_cast<size_t>(kClients));
+  EXPECT_EQ(report.solo_sessions, 0u);
+  // One shared scan vs kClients isolated scans.
+  EXPECT_GT(report.bytes_scanned, 0);
+  EXPECT_LT(report.bytes_scanned, report.isolated_bytes_scanned);
+  EXPECT_EQ(report.isolated_bytes_scanned, kClients * report.bytes_scanned);
+
+  // Per-session attribution splits the shared scan.
+  ASSERT_EQ(report.attributions.size(), static_cast<size_t>(kClients));
+  int64_t attributed = 0;
+  for (const SessionAttribution& a : report.attributions) {
+    EXPECT_EQ(a.consumers, kClients);
+    attributed += a.attributed_bytes_scanned;
+  }
+  EXPECT_EQ(attributed, report.bytes_scanned);
+
+  // The share-vs-solo pricing was recorded as a cross-query decision.
+  ASSERT_EQ(report.decisions.size(), 1u);
+  EXPECT_TRUE(report.decisions[0].cross_query);
+  EXPECT_TRUE(report.decisions[0].spooled);  // spooled == shared
+  EXPECT_EQ(report.decisions[0].consumers, kClients);
+
+  // Session-level sharing attribution matches, and the profile carries it.
+  for (const SessionPtr& s : sessions) {
+    EXPECT_TRUE(s->shared());
+    EXPECT_EQ(s->sharing().consumers, kClients);
+    EXPECT_EQ(s->sharing().shared_bytes_scanned, report.bytes_scanned);
+  }
+  QueryProfile profile =
+      MakeSessionProfile(*sessions[0], query.name, "server-fused");
+  std::string json = ProfileToJson(profile);
+  EXPECT_NE(json.find("\"sharing\""), std::string::npos);
+  EXPECT_NE(json.find("\"consumers\":4"), std::string::npos);
+}
+
+// An admission batch of one cannot share: window/batch boundaries isolate.
+TEST(ServerTest, BatchOfOneNeverShares) {
+  const Catalog& catalog = SharedTpcds();
+  const tpcds::TpcdsQuery& query = *FusionQueries().front();
+  ServerOptions options;
+  options.window.max_batch = 1;  // window of 1: every query its own batch
+  SessionManager manager(options);
+  constexpr int kClients = 3;
+  std::vector<PlanContext> contexts(kClients);
+  std::vector<PlanPtr> plans;
+  for (int i = 0; i < kClients; ++i) {
+    plans.push_back(Unwrap(query.build(catalog, &contexts[i])));
+  }
+  std::vector<SessionPtr> sessions = manager.SubmitBatch(plans);
+  int64_t solo_bytes = 0;
+  for (const SessionPtr& s : sessions) {
+    ASSERT_TRUE(s->Wait().ok());
+    EXPECT_FALSE(s->shared());
+    EXPECT_EQ(s->sharing().consumers, 1);
+    solo_bytes += s->sharing().shared_bytes_scanned;
+  }
+  // No sharing: total bytes == sum of per-session bytes == isolated.
+  EXPECT_EQ(manager.total_bytes_scanned(), solo_bytes);
+  EXPECT_EQ(manager.total_isolated_bytes_scanned(), solo_bytes);
+  EXPECT_EQ(manager.total_shared_sessions(), 0);
+}
+
+// Overlapping-but-different queries: same scan, different filters. Fuse
+// widens to the disjunction and each session's compensating filter
+// restores exactly its own rows.
+TEST(ServerTest, DifferentFiltersShareOneScan) {
+  const Catalog& catalog = SharedTpcds();
+  TablePtr store_sales = Unwrap(catalog.GetTable("store_sales"));
+
+  auto build = [&](PlanContext* ctx, int64_t lo, int64_t hi) {
+    PlanBuilder b = PlanBuilder::Scan(
+        ctx, store_sales, {"ss_item_sk", "ss_quantity", "ss_sales_price"});
+    b.Filter(eb::And({eb::Ge(b.Ref("ss_quantity"), eb::Int(lo)),
+                      eb::Lt(b.Ref("ss_quantity"), eb::Int(hi))}));
+    return b.Build();
+  };
+
+  PlanContext ctx1, ctx2, ref1, ref2;
+  std::vector<PlanPtr> plans = {build(&ctx1, 0, 50), build(&ctx2, 25, 80)};
+  SessionManager manager;
+  std::vector<SessionPtr> sessions = manager.SubmitBatch(plans);
+  for (const SessionPtr& s : sessions) ASSERT_TRUE(s->Wait().ok());
+
+  ExpectIdentical(*sessions[0]->Wait(),
+                  IsolatedRun(build(&ref1, 0, 50), &ref1,
+                              OptimizerOptions::Fused()));
+  ExpectIdentical(*sessions[1]->Wait(),
+                  IsolatedRun(build(&ref2, 25, 80), &ref2,
+                              OptimizerOptions::Fused()));
+  // Both were served from one fused scan.
+  EXPECT_TRUE(sessions[0]->shared());
+  EXPECT_TRUE(sessions[1]->shared());
+  EXPECT_LT(manager.total_bytes_scanned(),
+            manager.total_isolated_bytes_scanned());
+}
+
+// Submitting after Stop() fails the session instead of hanging it.
+TEST(ServerTest, SubmitAfterStopFails) {
+  const Catalog& catalog = SharedTpcds();
+  const tpcds::TpcdsQuery& query = *FusionQueries().front();
+  PlanContext ctx;
+  PlanPtr plan = Unwrap(query.build(catalog, &ctx));
+  SessionManager manager;
+  manager.Stop();
+  SessionPtr session = manager.Submit(plan);
+  EXPECT_FALSE(session->Wait().ok());
+}
+
+// ExecuteSync is Submit + Wait through the same admission pipeline.
+TEST(ServerTest, ExecuteSyncMatchesIsolated) {
+  const Catalog& catalog = SharedTpcds();
+  const tpcds::TpcdsQuery& query = *FusionQueries().front();
+  PlanContext ctx, ref_ctx;
+  SessionManager manager;
+  Result<QueryResult> result =
+      manager.ExecuteSync(Unwrap(query.build(catalog, &ctx)));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  QueryResult isolated = IsolatedRun(Unwrap(query.build(catalog, &ref_ctx)),
+                                     &ref_ctx, OptimizerOptions::Fused());
+  ExpectIdentical(*result, isolated);
+}
+
+// Concurrent submission from many client threads through the coordinator
+// (admission window path). Runs under ThreadSanitizer via the `parallel`
+// ctest label; a generous window keeps the batch composition stable
+// enough that at least some sessions share, but correctness must hold for
+// every composition the scheduler produces.
+TEST(ServerTest, ConcurrentSubmissionIsCorrect) {
+  const Catalog& catalog = SharedTpcds();
+  const tpcds::TpcdsQuery& query = *FusionQueries().front();
+  PlanContext ref_ctx;
+  QueryResult isolated = IsolatedRun(Unwrap(query.build(catalog, &ref_ctx)),
+                                     &ref_ctx, OptimizerOptions::Fused());
+
+  ServerOptions options;
+  options.window.window_ms = 100;  // hold the batch open for all clients
+  SessionManager manager(options);
+  constexpr int kThreads = 8;
+  std::vector<SessionPtr> sessions(kThreads);
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+      clients.emplace_back([&, i] {
+        PlanContext ctx;
+        PlanPtr plan = Unwrap(query.build(catalog, &ctx));
+        sessions[static_cast<size_t>(i)] = manager.Submit(plan);
+        sessions[static_cast<size_t>(i)]->Wait();
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  manager.Stop();
+  EXPECT_EQ(manager.total_queries(), kThreads);
+  for (const SessionPtr& s : sessions) {
+    ASSERT_TRUE(s->Wait().ok()) << s->Wait().status().ToString();
+    ExpectIdentical(*s->Wait(), isolated);
+  }
+}
+
+// Cross-query decisions land in the caller-provided optimizer trace.
+TEST(ServerTest, TraceRecordsCrossQueryDecisions) {
+  const Catalog& catalog = SharedTpcds();
+  const tpcds::TpcdsQuery& query = *FusionQueries().front();
+  OptimizerTrace trace;
+  ServerOptions options;
+  options.trace = &trace;
+  SessionManager manager(options);
+  std::vector<PlanContext> contexts(2);
+  std::vector<PlanPtr> plans = {Unwrap(query.build(catalog, &contexts[0])),
+                                Unwrap(query.build(catalog, &contexts[1]))};
+  for (const SessionPtr& s : manager.SubmitBatch(plans)) {
+    ASSERT_TRUE(s->Wait().ok());
+  }
+  bool found = false;
+  for (const CostDecision& d : trace.cost_decisions()) {
+    if (d.cross_query) {
+      found = true;
+      EXPECT_EQ(d.consumers, 2);
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_NE(trace.ToString().find("[cross-query]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fusiondb

@@ -5,7 +5,9 @@
 #   3. UndefinedBehaviorSanitizer over the full suite
 #   4. tools/lint.sh (banned patterns + clang-tidy when available)
 #   5. bench smoke: spool_vs_fusion + adaptive_vs_static at tiny scale,
-#      with tools/bench_diff.py gating adaptive against best-static
+#      with tools/bench_diff.py gating adaptive against best-static;
+#      multi_client_throughput with bench_diff.py gating the sharing
+#      path's single-client latency against the solo path
 #
 # Usage: tools/check.sh [-j N]
 set -eu
@@ -54,5 +56,15 @@ echo "== [5/5] bench smoke + adaptive regression gate =="
 python3 tools/bench_diff.py \
   build/bench/BENCH_adaptive_vs_static.static.json \
   build/bench/BENCH_adaptive_vs_static.adaptive.json --threshold 10
+# Cross-query fusion server: the sweep's sharing assertions (shared bytes <
+# isolated bytes, byte-identical results) run inside the bench; the diff
+# gates the session layer's single-client overhead. 5 repeats, best-of-N
+# in the gate reports; clients capped so the smoke stays fast.
+(cd build/bench &&
+  FUSIONDB_BENCH_SCALE=0.01 FUSIONDB_BENCH_REPEATS=5 \
+    FUSIONDB_BENCH_MAX_CLIENTS=16 ./multi_client_throughput)
+python3 tools/bench_diff.py \
+  build/bench/BENCH_multi_client_throughput.solo.json \
+  build/bench/BENCH_multi_client_throughput.shared.json --threshold 10
 
 echo "check: all gates passed"

@@ -69,6 +69,15 @@ if grep -rn --include='*.cc' --include='*.h' --include='*.cpp' \
   note_failure 'positional ExecutePlan(plan, chunk, ...) is deprecated; pass ExecOptions: ExecutePlan(plan, {.chunk_size = ...})'
 fi
 
+# The session layer routes every execution — shared or solo — through the
+# fan-out executor so the two paths cannot diverge; a direct ExecutePlan
+# call in src/server would bypass consumer restoration and the
+# shared-vs-isolated accounting.
+if grep -rn --include='*.cc' --include='*.h' 'ExecutePlan(' src/server \
+    2>/dev/null; then
+  note_failure 'src/server must execute through ExecuteFanOut (exec/fanout.h), not ExecutePlan'
+fi
+
 # --- Layer 2: clang-tidy (optional) ----------------------------------------
 
 if command -v clang-tidy >/dev/null 2>&1; then
