@@ -257,9 +257,19 @@ int main(int argc, char** argv) {
   }
 
   if (show_plans || explain_only) {
-    std::printf("== baseline plan ==\n%s\n", PlanToString(baseline).c_str());
+    // Each node is annotated with its derived semantic properties (row
+    // bounds, candidate keys, column domains — src/analysis/plan_props.h).
+    PropertyDerivation props;
+    props.Derive(baseline);
+    props.Derive(optimized);
+    PlanAnnotator annotate = [&props](const LogicalOp& op, int) {
+      const PlanProps* p = props.Lookup(&op);
+      return p == nullptr ? std::string() : "  {" + PropsToString(*p) + "}";
+    };
+    std::printf("== baseline plan ==\n%s\n",
+                PlanToString(baseline, annotate).c_str());
     std::printf("== %s plan ==\n%s\n", mode.c_str(),
-                PlanToString(optimized).c_str());
+                PlanToString(optimized, annotate).c_str());
   }
   if (trace_optimizer) {
     if (mode == "adaptive") {

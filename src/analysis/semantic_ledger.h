@@ -1,0 +1,78 @@
+// SemanticLedger: rewrite-time obligations for translation validation
+// (DESIGN.md §8). A rule that relies on a semantic fact — "these columns
+// key that subtree", "this kept filter implies the one I dropped" — records
+// the claim here instead of trusting it. The optimizer drains the ledger
+// after every rule firing and has SemanticVerifier re-prove each claim from
+// independently derived properties (analysis/plan_props.h), so a rule bug
+// surfaces at the firing that introduced it, tagged [semantic-*], rather
+// than as a wrong answer far downstream.
+//
+// Header-only on purpose: the fusion library records obligations without
+// linking against the analysis library. The ledger rides PlanContext
+// (ctx->semantics(), null when the semantic tier is off), mirroring how the
+// optimizer trace reaches rewrite sites.
+#ifndef FUSIONDB_ANALYSIS_SEMANTIC_LEDGER_H_
+#define FUSIONDB_ANALYSIS_SEMANTIC_LEDGER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "expr/expr.h"
+#include "plan/logical_plan.h"
+
+namespace fusiondb {
+
+/// "`columns` is a key of `plan`" — e.g. JoinOnKeys' precondition that the
+/// mapped key image still keys the fused input.
+struct KeyObligation {
+  PlanPtr plan;
+  std::vector<ColumnId> columns;
+  std::string rule;  // the rewrite that made the claim (for the message)
+};
+
+/// "Every row of `scope` satisfying `premise` satisfies `conclusion`" —
+/// e.g. a compensating filter kept after dropping conjuncts the shared
+/// subtree's domain already implies. A null premise means TRUE (only the
+/// scope's derived domains may prove the conclusion).
+struct ImplicationObligation {
+  PlanPtr scope;
+  ExprPtr premise;
+  ExprPtr conclusion;
+  std::string rule;
+};
+
+class SemanticLedger {
+ public:
+  void AddKey(PlanPtr plan, std::vector<ColumnId> columns, std::string rule) {
+    keys_.push_back({std::move(plan), std::move(columns), std::move(rule)});
+  }
+
+  void AddImplication(PlanPtr scope, ExprPtr premise, ExprPtr conclusion,
+                      std::string rule) {
+    implications_.push_back(
+        {std::move(scope), std::move(premise), std::move(conclusion),
+         std::move(rule)});
+  }
+
+  bool empty() const { return keys_.empty() && implications_.empty(); }
+
+  std::vector<KeyObligation> TakeKeys() {
+    std::vector<KeyObligation> out;
+    out.swap(keys_);
+    return out;
+  }
+  std::vector<ImplicationObligation> TakeImplications() {
+    std::vector<ImplicationObligation> out;
+    out.swap(implications_);
+    return out;
+  }
+
+ private:
+  std::vector<KeyObligation> keys_;
+  std::vector<ImplicationObligation> implications_;
+};
+
+}  // namespace fusiondb
+
+#endif  // FUSIONDB_ANALYSIS_SEMANTIC_LEDGER_H_

@@ -232,6 +232,12 @@ CardEstimate CardinalityEstimator::Estimate(const PlanPtr& plan) const {
       const auto* agg = CastPtr<AggregateOp>(plan);
       CardEstimate in = Estimate(plan->child(0));
       if (agg->IsScalar()) return {1.0, in.measured};
+      // When the grouping columns cover a derived candidate key of the
+      // input, every input row is its own group: the distinct count is the
+      // input cardinality, no heuristic needed.
+      if (props_.Derive(plan->child(0)).HasKey(agg->group_by())) {
+        return {std::max(1.0, in.rows), in.measured};
+      }
       // Grouped output: sqrt heuristic, at least 1 and at most the input.
       double rows = std::clamp(std::sqrt(std::max(0.0, in.rows)), 1.0,
                                std::max(1.0, in.rows));

@@ -12,6 +12,7 @@
 #ifndef FUSIONDB_COST_CARDINALITY_H_
 #define FUSIONDB_COST_CARDINALITY_H_
 
+#include "analysis/plan_props.h"
 #include "cost/stats_feedback.h"
 #include "plan/logical_plan.h"
 
@@ -46,6 +47,11 @@ class CardinalityEstimator {
 
  private:
   const StatsFeedback* feedback_;  // not owned; may be null
+  // Derived plan properties (src/analysis): grouped-aggregate estimates use
+  // candidate keys — grouping columns covering a key of the input mean the
+  // distinct count IS the input cardinality, replacing the sqrt heuristic.
+  // Mutable because derivation memoizes inside const Estimate calls.
+  mutable PropertyDerivation props_;
 };
 
 }  // namespace fusiondb

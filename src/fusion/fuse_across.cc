@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "analysis/semantic_ledger.h"
 #include "expr/simplifier.h"
 #include "plan/plan_fingerprint.h"
 
@@ -51,14 +52,26 @@ std::optional<size_t> CrossPlanFuser::TryAdd(const PlanPtr& plan) {
   std::optional<FuseResult> fused = fuser_.Fuse(plan_, plan);
   if (!fused.has_value()) return std::nullopt;
   plan_ = fused->plan;
+  SemanticLedger* ledger = ctx_->semantics();
   // Existing consumers keep their mappings (the fused plan retains all of
   // the previous shared plan's output columns) and tighten their filters
-  // with this step's left compensation.
+  // with this step's left compensation. Each tightened filter must imply
+  // the one it replaces — conjoining can only narrow; an accumulation bug
+  // (replacing instead of conjoining) would break this, so record the
+  // obligation for the semantic verifier when a ledger is attached.
   for (CrossConsumer& c : consumers_) {
+    ExprPtr before = c.filter;
     c.filter = AndFilters(c.filter, fused->left_filter);
+    if (ledger != nullptr) {
+      ledger->AddImplication(plan_, c.filter, before, "CrossPlanFuser");
+    }
   }
   consumers_.push_back(
       {AndFilters(nullptr, fused->right_filter), std::move(fused->mapping)});
+  if (ledger != nullptr) {
+    ledger->AddImplication(plan_, consumers_.back().filter,
+                           fused->right_filter, "CrossPlanFuser");
+  }
   members_.push_back(plan);
   member_fingerprints_.push_back(fingerprint);
   return consumers_.size() - 1;

@@ -39,7 +39,11 @@ struct CrossConsumer {
 class CrossPlanFuser {
  public:
   /// `ctx` must be the context all added plans were built/renumbered in.
-  explicit CrossPlanFuser(PlanContext* ctx) : fuser_(ctx) {}
+  /// When the context carries a semantic ledger (ctx->semantics()), each
+  /// fold records implication obligations — every consumer's accumulated
+  /// filter must imply the filter it replaced — for the semantic verifier
+  /// to re-prove (DESIGN.md §8).
+  explicit CrossPlanFuser(PlanContext* ctx) : fuser_(ctx), ctx_(ctx) {}
 
   /// Attempts to fold `plan` into the shared plan. The first add always
   /// succeeds (the shared plan is just `plan`). A plan whose fingerprint
@@ -66,6 +70,7 @@ class CrossPlanFuser {
 
  private:
   Fuser fuser_;
+  PlanContext* ctx_;  // not owned; carries the optional semantic ledger
   PlanPtr plan_;
   std::vector<CrossConsumer> consumers_;
   std::vector<PlanPtr> members_;

@@ -1,6 +1,7 @@
 // FusionDB — computation reuse via query fusion.
 //
 // Umbrella header exposing the public API:
+//   - analysis/ : plan verification + derived semantic properties
 //   - catalog/  : in-memory partitioned tables
 //   - plan/     : logical algebra + PlanBuilder + plan fingerprints
 //   - expr/     : scalar expressions
@@ -14,6 +15,9 @@
 #ifndef FUSIONDB_FUSIONDB_H_
 #define FUSIONDB_FUSIONDB_H_
 
+#include "analysis/plan_props.h"
+#include "analysis/semantic_ledger.h"
+#include "analysis/semantic_verifier.h"
 #include "catalog/catalog.h"
 #include "cost/cost_model.h"
 #include "cost/stats_feedback.h"

@@ -60,8 +60,20 @@ int OptimizerTrace::FusionEnter(const LogicalOp& p1, const LogicalOp& p2) {
   return static_cast<int>(fusion_steps_.size()) - 1;
 }
 
+void OptimizerTrace::AnnotateLastFiring(std::string props) {
+  if (firings_.empty()) return;
+  firings_.back().props = std::move(props);
+}
+
 void OptimizerTrace::RecordCostDecision(CostDecision decision) {
   cost_decisions_.push_back(std::move(decision));
+}
+
+void OptimizerTrace::RecordSemanticChecks(int64_t plans, int64_t nodes,
+                                          int64_t obligations) {
+  semantic_plans_verified_ += plans;
+  semantic_nodes_derived_ += nodes;
+  semantic_obligations_ += obligations;
 }
 
 void OptimizerTrace::FusionResolve(int step, bool fused, std::string outcome) {
@@ -88,6 +100,14 @@ std::string OptimizerTrace::ToString() const {
   for (const RuleFiring& f : firings_) {
     os << "  [" << f.phase << "] " << f.rule << " @ " << f.anchor << " ("
        << f.ops_before << " -> " << f.ops_after << " ops)\n";
+    if (!f.props.empty()) {
+      os << "    props: " << f.props << "\n";
+    }
+  }
+  if (semantic_plans_verified_ > 0 || semantic_obligations_ > 0) {
+    os << "semantic checks: plans=" << semantic_plans_verified_
+       << " nodes_derived=" << semantic_nodes_derived_
+       << " obligations=" << semantic_obligations_ << "\n";
   }
   if (!cost_decisions_.empty()) {
     os << "cost decisions (fuse vs spool; share vs solo):\n";

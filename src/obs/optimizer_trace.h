@@ -37,6 +37,8 @@ struct RuleFiring {
   std::string anchor;  // description of the pre-rewrite anchor node
   int ops_before = 0;
   int ops_after = 0;
+  std::string props;  // derived semantic properties of the rewritten subtree
+                      // (semantic tier only; empty otherwise)
 };
 
 /// One Fuse(P1, P2) invocation in the recursion. `outcome` is either the
@@ -94,8 +96,16 @@ class OptimizerTrace {
   int FusionEnter(const LogicalOp& p1, const LogicalOp& p2);
   void FusionResolve(int step, bool fused, std::string outcome);
 
+  /// Attaches a semantic-property dump to the most recent firing (the
+  /// semantic tier calls this right after verifying the rewrite).
+  void AnnotateLastFiring(std::string props);
+
   /// Records one cost-model fuse-vs-spool pricing (adaptive spool mode).
   void RecordCostDecision(CostDecision decision);
+
+  /// Accumulates semantic-tier work counters (plans verified, property
+  /// nodes derived, ledger obligations discharged).
+  void RecordSemanticChecks(int64_t plans, int64_t nodes, int64_t obligations);
 
   const std::vector<RulePhaseStats>& rule_stats() const { return rule_stats_; }
   const std::vector<RuleFiring>& firings() const { return firings_; }
@@ -104,6 +114,9 @@ class OptimizerTrace {
     return cost_decisions_;
   }
   int64_t dropped_fusion_steps() const { return dropped_fusion_steps_; }
+  int64_t semantic_plans_verified() const { return semantic_plans_verified_; }
+  int64_t semantic_nodes_derived() const { return semantic_nodes_derived_; }
+  int64_t semantic_obligations() const { return semantic_obligations_; }
 
   /// Human-readable rendering (run_query --trace-optimizer).
   std::string ToString() const;
@@ -119,6 +132,9 @@ class OptimizerTrace {
   std::vector<FusionStep> fusion_steps_;
   std::vector<CostDecision> cost_decisions_;
   int64_t dropped_fusion_steps_ = 0;
+  int64_t semantic_plans_verified_ = 0;
+  int64_t semantic_nodes_derived_ = 0;
+  int64_t semantic_obligations_ = 0;
   int depth_ = 0;
 };
 

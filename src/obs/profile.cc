@@ -84,6 +84,7 @@ void WriteTrace(const OptimizerTrace& t, JsonWriter* w) {
     w->Field("anchor", f.anchor);
     w->Field("ops_before", static_cast<int64_t>(f.ops_before));
     w->Field("ops_after", static_cast<int64_t>(f.ops_after));
+    if (!f.props.empty()) w->Field("props", f.props);
     w->EndObject();
   }
   w->EndArray();
@@ -120,6 +121,11 @@ void WriteTrace(const OptimizerTrace& t, JsonWriter* w) {
   w->EndArray();
   if (t.dropped_fusion_steps() > 0) {
     w->Field("dropped_fusion_steps", t.dropped_fusion_steps());
+  }
+  if (t.semantic_plans_verified() > 0 || t.semantic_obligations() > 0) {
+    w->Field("semantic_plans_verified", t.semantic_plans_verified());
+    w->Field("semantic_nodes_derived", t.semantic_nodes_derived());
+    w->Field("semantic_obligations", t.semantic_obligations());
   }
   w->EndObject();
 }

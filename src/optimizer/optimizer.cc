@@ -6,7 +6,10 @@
 #include <memory>
 #include <vector>
 
+#include "analysis/plan_props.h"
 #include "analysis/plan_verifier.h"
+#include "analysis/semantic_ledger.h"
+#include "analysis/semantic_verifier.h"
 #include "cost/cost_model.h"
 #include "obs/optimizer_trace.h"
 #include "optimizer/prune_columns.h"
@@ -43,15 +46,20 @@ class PhaseTimer {
 };
 
 /// One bottom-up sweep: children first, then every rule at this node to a
-/// local fixpoint.
+/// local fixpoint. `semantic` (nullable) is the semantic verification tier:
+/// after each firing it discharges the obligations the rule recorded on the
+/// context's ledger and re-checks the rewritten subtree's semantic
+/// contracts (DESIGN.md §8).
 Result<PlanPtr> SweepOnce(const PlanPtr& plan,
                           const std::vector<const Rule*>& rules,
-                          PlanContext* ctx, bool* changed) {
+                          PlanContext* ctx, SemanticVerifier* semantic,
+                          bool* changed) {
   std::vector<PlanPtr> children;
   children.reserve(plan->num_children());
   bool child_changed = false;
   for (const PlanPtr& c : plan->children()) {
-    FUSIONDB_ASSIGN_OR_RETURN(PlanPtr nc, SweepOnce(c, rules, ctx, changed));
+    FUSIONDB_ASSIGN_OR_RETURN(PlanPtr nc,
+                              SweepOnce(c, rules, ctx, semantic, changed));
     child_changed |= (nc != c);
     children.push_back(std::move(nc));
   }
@@ -83,6 +91,25 @@ Result<PlanPtr> SweepOnce(const PlanPtr& plan,
                 st.message()));
           }
         }
+        if (semantic != nullptr) {
+          // Translation validation: re-prove the facts the rule claimed
+          // (ledger obligations), then re-check the rewritten subtree's own
+          // semantic contracts (pruning monotonicity/implication, single-row
+          // feasibility). Only the touched subtree is walked; unchanged
+          // subtrees hit the verifier's memo.
+          Status st = semantic->CheckObligations(ctx->semantics(),
+                                                 rule->name());
+          if (st.ok()) st = semantic->Verify(next, rule->name());
+          if (!st.ok()) {
+            return Status::Internal(internal::StrCat(
+                "rule '", rule->name(), "' violated a semantic invariant: ",
+                st.message()));
+          }
+          if (trace != nullptr) {
+            trace->AnnotateLastFiring(
+                PropsToString(semantic->props().Derive(next)));
+          }
+        }
         current = std::move(next);
         round_changed = true;
         *changed = true;
@@ -98,13 +125,14 @@ Result<PlanPtr> SweepOnce(const PlanPtr& plan,
 /// re-application in Q23).
 Result<PlanPtr> RunPhase(const PlanPtr& plan,
                          const std::vector<const Rule*>& rules,
-                         PlanContext* ctx) {
+                         PlanContext* ctx, SemanticVerifier* semantic) {
   if (rules.empty()) return plan;
   PlanPtr current = plan;
   constexpr int kGlobalFixpointCap = 48;
   for (int pass = 0; pass < kGlobalFixpointCap; ++pass) {
     bool changed = false;
-    FUSIONDB_ASSIGN_OR_RETURN(current, SweepOnce(current, rules, ctx, &changed));
+    FUSIONDB_ASSIGN_OR_RETURN(
+        current, SweepOnce(current, rules, ctx, semantic, &changed));
     if (TraceEnabled()) {
       std::fprintf(stderr, "[optimizer]   pass %d: %d ops%s\n", pass,
                    CountAllOps(current), changed ? "" : " (fixpoint)");
@@ -113,6 +141,16 @@ Result<PlanPtr> RunPhase(const PlanPtr& plan,
   }
   return Status::Internal("optimizer phase did not reach a fixpoint");
 }
+
+/// Uninstalls an optimizer-owned ledger from the context on every return
+/// path; a caller-provided ledger (src/server) is left untouched.
+struct LedgerGuard {
+  PlanContext* ctx;
+  bool installed;
+  ~LedgerGuard() {
+    if (installed) ctx->set_semantics(nullptr);
+  }
+};
 
 }  // namespace
 
@@ -140,12 +178,30 @@ Result<PlanPtr> Optimizer::Optimize(const PlanPtr& plan,
   PlanPtr current = plan;
   OptimizerTrace* obs_trace = ctx->trace();
 
+  // Semantic tier (DESIGN.md §8): active when the runtime flag is on or
+  // when a caller attached a ledger explicitly (tests, src/server). Rules
+  // record obligations through ctx->semantics(); if no ledger is attached
+  // yet, install a local one for the duration of this call.
+  SemanticLedger local_ledger;
+  std::unique_ptr<SemanticVerifier> semantic_holder;
+  LedgerGuard ledger_guard{ctx, false};
+  if (SemanticVerificationEnabled() || ctx->semantics() != nullptr) {
+    semantic_holder = std::make_unique<SemanticVerifier>();
+    if (ctx->semantics() == nullptr) {
+      ctx->set_semantics(&local_ledger);
+      ledger_guard.installed = true;
+    }
+    FUSIONDB_RETURN_IF_ERROR(
+        semantic_holder->Verify(current, "initial plan"));
+  }
+  SemanticVerifier* semantic = semantic_holder.get();
+
   // 1. Normalize.
   {
     if (obs_trace != nullptr) obs_trace->BeginPhase("normalize");
     PhaseTimer timer("normalize");
     std::vector<const Rule*> rules{&simplify, &merge_filters, &merge_projects};
-    FUSIONDB_ASSIGN_OR_RETURN(current, RunPhase(current, rules, ctx));
+    FUSIONDB_ASSIGN_OR_RETURN(current, RunPhase(current, rules, ctx, semantic));
   }
 
   // 2. Decorrelate (always-on substrate; Apply cannot execute).
@@ -153,7 +209,7 @@ Result<PlanPtr> Optimizer::Optimize(const PlanPtr& plan,
     if (obs_trace != nullptr) obs_trace->BeginPhase("decorrelate");
     PhaseTimer timer("decorrelate");
     std::vector<const Rule*> rules{&decorrelate, &merge_filters};
-    FUSIONDB_ASSIGN_OR_RETURN(current, RunPhase(current, rules, ctx));
+    FUSIONDB_ASSIGN_OR_RETURN(current, RunPhase(current, rules, ctx, semantic));
   }
 
   // 3. Lower DISTINCT aggregates onto MarkDistinct.
@@ -161,7 +217,7 @@ Result<PlanPtr> Optimizer::Optimize(const PlanPtr& plan,
     if (obs_trace != nullptr) obs_trace->BeginPhase("lower");
     PhaseTimer timer("lower");
     std::vector<const Rule*> rules{&lower_distinct};
-    FUSIONDB_ASSIGN_OR_RETURN(current, RunPhase(current, rules, ctx));
+    FUSIONDB_ASSIGN_OR_RETURN(current, RunPhase(current, rules, ctx, semantic));
   }
 
   // 4. Fusion rules (Section IV).
@@ -175,7 +231,7 @@ Result<PlanPtr> Optimizer::Optimize(const PlanPtr& plan,
       if (obs_trace != nullptr) obs_trace->BeginPhase("fuse");
       PhaseTimer timer("fuse");
       rules.push_back(&simplify);
-      FUSIONDB_ASSIGN_OR_RETURN(current, RunPhase(current, rules, ctx));
+      FUSIONDB_ASSIGN_OR_RETURN(current, RunPhase(current, rules, ctx, semantic));
     }
   }
 
@@ -185,7 +241,7 @@ Result<PlanPtr> Optimizer::Optimize(const PlanPtr& plan,
     PhaseTimer timer("distinct");
     std::vector<const Rule*> rules{&semi_to_distinct, &push_distinct,
                                    &merge_projects};
-    FUSIONDB_ASSIGN_OR_RETURN(current, RunPhase(current, rules, ctx));
+    FUSIONDB_ASSIGN_OR_RETURN(current, RunPhase(current, rules, ctx, semantic));
   }
 
   // 6. Fusion again: phase 5 exposes new JoinOnKeys opportunities.
@@ -193,7 +249,7 @@ Result<PlanPtr> Optimizer::Optimize(const PlanPtr& plan,
     if (obs_trace != nullptr) obs_trace->BeginPhase("fuse2");
     PhaseTimer timer("fuse2");
     std::vector<const Rule*> rules{&join_on_keys, &simplify};
-    FUSIONDB_ASSIGN_OR_RETURN(current, RunPhase(current, rules, ctx));
+    FUSIONDB_ASSIGN_OR_RETURN(current, RunPhase(current, rules, ctx, semantic));
   }
 
   // 7. Cleanup: simplify, push filters toward (and into) scans, prune.
@@ -202,7 +258,7 @@ Result<PlanPtr> Optimizer::Optimize(const PlanPtr& plan,
     PhaseTimer timer("cleanup");
     std::vector<const Rule*> rules{&simplify, &merge_filters, &merge_projects,
                                    &filter_pushdown, &push_into_scan};
-    FUSIONDB_ASSIGN_OR_RETURN(current, RunPhase(current, rules, ctx));
+    FUSIONDB_ASSIGN_OR_RETURN(current, RunPhase(current, rules, ctx, semantic));
   }
   if (options_.enable_column_pruning) {
     if (obs_trace != nullptr) obs_trace->BeginPhase("prune");
@@ -219,6 +275,9 @@ Result<PlanPtr> Optimizer::Optimize(const PlanPtr& plan,
       }
     }
     FUSIONDB_RETURN_IF_ERROR(VerifyPlanIfEnabled(current, "column pruning"));
+    if (semantic != nullptr) {
+      FUSIONDB_RETURN_IF_ERROR(semantic->Verify(current, "column pruning"));
+    }
   }
 
   // 8. Spooling (off by default): share duplicated subtrees through
@@ -246,6 +305,9 @@ Result<PlanPtr> Optimizer::Optimize(const PlanPtr& plan,
       }
     }
     FUSIONDB_RETURN_IF_ERROR(VerifyPlanIfEnabled(current, "spooling"));
+    if (semantic != nullptr) {
+      FUSIONDB_RETURN_IF_ERROR(semantic->Verify(current, "spooling"));
+    }
   }
 
   // Schema stability contract: rewrites may leave superset schemas behind
@@ -270,6 +332,20 @@ Result<PlanPtr> Optimizer::Optimize(const PlanPtr& plan,
   // Final gate before the plan is handed to the executor: also covers the
   // schema-narrowing projection built just above.
   FUSIONDB_RETURN_IF_ERROR(VerifyPlanIfEnabled(current, "optimized plan"));
+  if (semantic != nullptr) {
+    // Full-plan re-verification with fresh context: rules verify subtrees
+    // incrementally, but filter/scan relationships crossing rewrite
+    // boundaries (e.g. a pruning filter whose enforcing Filter was merged
+    // away two phases later) only show at the root.
+    Status st = semantic->CheckObligations(ctx->semantics(), "optimized plan");
+    if (st.ok()) st = semantic->Verify(current, "optimized plan");
+    FUSIONDB_RETURN_IF_ERROR(st);
+    if (obs_trace != nullptr) {
+      obs_trace->RecordSemanticChecks(semantic->plans_verified(),
+                                      semantic->props().nodes_derived(),
+                                      semantic->obligations_checked());
+    }
+  }
   return current;
 }
 

@@ -1,17 +1,31 @@
 // Section IV.B — JoinOnKeys.
 //
-// Two join inputs whose rows are keyed (GroupBy outputs: the grouping
-// columns are a key) and joined on those keys match pairwise, so the join
-// collapses onto the fused plan:
+// Two join inputs joined on a candidate key of one of them match pairwise,
+// so the join collapses onto the fused plan:
 //   Filter_{L AND R AND keys NOT NULL}(Fuse(P1, P2).plan)
 // (residual conjuncts M(C2) are re-placed by the n-ary rebuild). The
-// scalar-aggregate specialization (empty keys, cross join) needs no extra
+// scalar-aggregate specialization (empty key, cross join) needs no extra
 // filter: for scalar aggregates the compensations are TRUE because the
 // fusion itself tightened every aggregate's mask.
+//
+// The precondition comes from the derived plan properties (src/analysis):
+// some candidate key K of input j must (a) be equated column-by-column with
+// its fused image M(K) by the join conjuncts and (b) have M(K) cover a
+// candidate key of the FUSED plan, so two joined rows match exactly when
+// they are the same fused row. GroupBy outputs (the grouping columns are a
+// key) are the paper's case; primary-key scans and single-row subplans fall
+// out of the same property check. Guard conjuncts already implied by the
+// fused subtree's derived column domains are dropped; when a semantic
+// ledger is attached, the key claims and the dropped-guard implication are
+// recorded for the verifier to re-prove.
 //
 // Per IV.E the rule linearizes the join tree and applies pairwise a
 // quadratic number of times, growing the fused result incrementally — this
 // is what collapses Q09's 15 scans of store_sales in one optimizer visit.
+#include <algorithm>
+
+#include "analysis/plan_props.h"
+#include "analysis/semantic_ledger.h"
 #include "expr/expr_builder.h"
 #include "expr/simplifier.h"
 #include "fusion/fuse.h"
@@ -32,20 +46,6 @@ void ComposeInto(ColumnMap* total, const ColumnMap& newer) {
   }
 }
 
-/// The aggregate rooted at `plan`, or below a single Filter (a previous
-/// JoinOnKeys application wraps its fused aggregate in a guard filter; that
-/// result must remain fusable so n-ary chains keep collapsing).
-const AggregateOp* AggregateBelowGuard(const PlanPtr& plan) {
-  if (plan->kind() == OpKind::kAggregate) {
-    return &Cast<AggregateOp>(*plan);
-  }
-  if (plan->kind() == OpKind::kFilter &&
-      plan->child(0)->kind() == OpKind::kAggregate) {
-    return &Cast<AggregateOp>(*plan->child(0));
-  }
-  return nullptr;
-}
-
 }  // namespace
 
 Result<PlanPtr> JoinOnKeysRule::Apply(const PlanPtr& plan,
@@ -53,6 +53,7 @@ Result<PlanPtr> JoinOnKeysRule::Apply(const PlanPtr& plan,
   NaryJoin nary;
   if (!FlattenJoin(plan, &nary)) return plan;
   Fuser fuser(ctx);
+  PropertyDerivation props;
   ColumnMap total_remap;
   bool changed = false;
 
@@ -61,48 +62,72 @@ Result<PlanPtr> JoinOnKeysRule::Apply(const PlanPtr& plan,
     progress = false;
     EqualityClasses classes(nary.conjuncts);
     for (size_t i = 0; i < nary.inputs.size() && !progress; ++i) {
-      const AggregateOp* gi = AggregateBelowGuard(nary.inputs[i]);
-      if (gi == nullptr) continue;
       for (size_t j = i + 1; j < nary.inputs.size() && !progress; ++j) {
-        const AggregateOp* gj = AggregateBelowGuard(nary.inputs[j]);
-        if (gj == nullptr) continue;
-        if (gi->group_by().size() != gj->group_by().size()) continue;
+        const std::vector<std::vector<ColumnId>> j_keys =
+            props.Derive(nary.inputs[j]).keys;
+        if (j_keys.empty()) continue;
 
         auto fused = fuser.Fuse(nary.inputs[i], nary.inputs[j]);
         if (!fused.has_value()) continue;
+        const PlanProps& pf = props.Derive(fused->plan);
 
-        // Grouped case: the join must equate each of gj's keys with its
-        // fused counterpart (a key of gi). Scalar case (empty keys):
-        // nothing to check — 1-row relations combined by a cross product.
-        bool keys_ok = true;
-        std::vector<ExprPtr> extra;  // NOT NULL guards on surviving keys
-        for (ColumnId k2 : gj->group_by()) {
-          ColumnId k1 = ApplyMap(fused->mapping, k2);
-          if (!classes.Same(k1, k2)) {
-            keys_ok = false;
+        // Find a key of input j whose columns the join equates with their
+        // fused counterparts and whose image keys the fused plan. Scalar
+        // case (empty key, "at most one row"): nothing to equate — 1-row
+        // relations combined by a cross product.
+        const std::vector<ColumnId>* key = nullptr;
+        std::vector<ColumnId> mapped;
+        for (const std::vector<ColumnId>& kj : j_keys) {
+          bool ok = true;
+          std::vector<ColumnId> m;
+          m.reserve(kj.size());
+          for (ColumnId k2 : kj) {
+            ColumnId k1 = ApplyMap(fused->mapping, k2);
+            if (fused->plan->schema().IndexOf(k1) < 0 ||
+                !classes.Same(k1, k2)) {
+              ok = false;
+              break;
+            }
+            m.push_back(k1);
+          }
+          if (ok && pf.HasKey(m)) {
+            key = &kj;
+            mapped = std::move(m);
             break;
           }
         }
-        if (!keys_ok) continue;
-        for (ColumnId k1 : gi->group_by()) {
-          int idx = fused->plan->schema().IndexOf(k1);
-          if (idx < 0) {
-            keys_ok = false;
-            break;
-          }
-          extra.push_back(eb::IsNotNull(
-              eb::Col(k1, fused->plan->schema().column(idx).type)));
-        }
-        if (!keys_ok) continue;
+        if (key == nullptr) continue;
 
         // Keep rows present on both sides (compensating count guards), with
-        // NULL keys excluded as in the original join.
+        // NULL keys excluded as in the original join. Guards the fused
+        // subtree's derived domains already prove are dropped (and the drop
+        // recorded as an implication obligation when a ledger is attached).
         std::vector<ExprPtr> conds;
         SplitConjuncts(fused->left_filter, &conds);
         SplitConjuncts(fused->right_filter, &conds);
-        for (ExprPtr& e : extra) conds.push_back(std::move(e));
+        std::vector<ColumnId> guard_cols = mapped;
+        std::sort(guard_cols.begin(), guard_cols.end());
+        guard_cols.erase(std::unique(guard_cols.begin(), guard_cols.end()),
+                         guard_cols.end());
+        for (ColumnId k1 : guard_cols) {
+          int idx = fused->plan->schema().IndexOf(k1);
+          conds.push_back(eb::IsNotNull(
+              eb::Col(k1, fused->plan->schema().column(idx).type)));
+        }
+        ExprPtr full_guard = Simplify(CombineConjuncts(conds));
+        std::vector<ExprPtr> kept = DropImpliedConjuncts(conds, pf.domains);
+        ExprPtr guard = Simplify(CombineConjuncts(kept));
+
+        if (SemanticLedger* ledger = ctx->semantics()) {
+          ledger->AddKey(nary.inputs[j], *key, "JoinOnKeys");
+          ledger->AddKey(fused->plan, mapped, "JoinOnKeys");
+          if (kept.size() != conds.size()) {
+            ledger->AddImplication(fused->plan, guard, full_guard,
+                                   "JoinOnKeys");
+          }
+        }
+
         PlanPtr replacement = fused->plan;
-        ExprPtr guard = Simplify(CombineConjuncts(conds));
         if (!IsTrueLiteral(guard)) {
           replacement = std::make_shared<FilterOp>(replacement, guard);
         }

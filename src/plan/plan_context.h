@@ -13,6 +13,9 @@ namespace fusiondb {
 
 class OptimizerTrace;  // obs/optimizer_trace.h; forward-declared so the
                        // plan layer takes no dependency on the obs library
+class SemanticLedger;  // analysis/semantic_ledger.h; forward-declared for
+                       // the same reason (rules record semantic obligations
+                       // through the context without a link dependency)
 
 class PlanContext {
  public:
@@ -35,9 +38,17 @@ class PlanContext {
   OptimizerTrace* trace() const { return trace_; }
   void set_trace(OptimizerTrace* trace) { trace_ = trace; }
 
+  /// Optional semantic-obligation ledger (not owned; may be null, the
+  /// default). When set, rewrite rules record the semantic facts they rely
+  /// on — key claims, filter implications — and the optimizer's semantic
+  /// tier re-proves each one after the firing (DESIGN.md §8).
+  SemanticLedger* semantics() const { return semantics_; }
+  void set_semantics(SemanticLedger* ledger) { semantics_ = ledger; }
+
  private:
   ColumnId next_id_ = 1;
   OptimizerTrace* trace_ = nullptr;
+  SemanticLedger* semantics_ = nullptr;
 };
 
 }  // namespace fusiondb

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "analysis/semantic_verifier.h"
 #include "cost/cost_model.h"
 #include "fusion/fuse_across.h"
 #include "plan/plan_fingerprint.h"
@@ -69,6 +70,7 @@ SessionManager::SessionManager(ServerOptions options)
     : options_(std::move(options)) {
   if (options_.window.max_batch < 1) options_.window.max_batch = 1;
   ctx_.set_trace(options_.trace);
+  if (SemanticVerificationEnabled()) ctx_.set_semantics(&ledger_);
 }
 
 SessionManager::~SessionManager() { Stop(); }
@@ -220,6 +222,44 @@ void SessionManager::ProcessBatch(const std::vector<SessionPtr>& sessions) {
     }
     target->members.push_back(
         {std::move(p.session), std::move(p.renumber), consumer});
+  }
+
+  // 2b. Semantic tier (FUSIONDB_VERIFY_SEMANTICS): before anything runs,
+  //     re-prove the cross-plan folds — the implication obligations the
+  //     fuser recorded, each shared group's fused plan, and every member's
+  //     restoration (filter well-typed over the fused schema; every output
+  //     column reachable through the consumer mapping). A failing group is
+  //     fulfilled with the error instead of executing. Obligations are
+  //     batch-global (the ledger does not attribute them to a group), so an
+  //     obligation failure fails every shared group; solo groups recorded
+  //     none and still run.
+  if (ctx_.semantics() != nullptr) {
+    SemanticVerifier verifier;
+    Status obligations =
+        verifier.CheckObligations(ctx_.semantics(), "cross-plan fold");
+    for (std::unique_ptr<Group>& group : groups) {
+      if (group->members.size() < 2) continue;
+      Status st = obligations;
+      if (st.ok()) st = verifier.Verify(group->fuser.plan(), "cross-plan fold");
+      for (const Group::Member& m : group->members) {
+        if (!st.ok()) break;
+        const CrossConsumer& cc = group->fuser.consumer(m.consumer);
+        st = verifier.VerifyConsumer(
+            group->fuser.plan(), cc.filter, cc.mapping,
+            group->fuser.members()[m.consumer]->schema(), "cross-plan fold");
+      }
+      if (!st.ok()) {
+        for (const Group::Member& m : group->members) {
+          m.session->Fulfill(st, nullptr, {});
+        }
+        group->members.clear();  // ExecuteGroup skips an emptied group
+      }
+    }
+    if (ctx_.trace() != nullptr) {
+      ctx_.trace()->RecordSemanticChecks(verifier.plans_verified(),
+                                         verifier.props().nodes_derived(),
+                                         verifier.obligations_checked());
+    }
   }
 
   // 3. Price and execute each group, routing results to their sessions.

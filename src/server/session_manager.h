@@ -28,6 +28,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/semantic_ledger.h"
 #include "exec/fanout.h"
 #include "obs/optimizer_trace.h"
 #include "optimizer/optimizer.h"
@@ -148,6 +149,11 @@ class SessionManager {
 
   std::mutex batch_mu_;  // serializes ProcessBatch (and thus ctx_)
   PlanContext ctx_;      // master id space; guarded by batch_mu_
+  // Semantic-obligation ledger, attached to ctx_ when the semantic tier is
+  // on (FUSIONDB_VERIFY_SEMANTICS): the optimizer and the cross-plan fuser
+  // record the facts their rewrites rely on, and ProcessBatch re-proves the
+  // fold obligations before any group executes. Guarded by batch_mu_.
+  SemanticLedger ledger_;
   uint64_t next_session_id_ = 1;  // guarded by queue_mu_
 
   std::mutex queue_mu_;

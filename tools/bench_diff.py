@@ -14,6 +14,12 @@ on it:
 
 Benchmarks present in only one report are listed but never fail the check
 (renames should not mask real regressions elsewhere).
+
+With --total the gate applies to the summed wall_ms over shared benchmarks
+instead of per benchmark. Use it for overheads that are amortized across a
+whole workload (e.g. the semantic-verification tier): per-query medians at
+smoke scale are sub-millisecond and noisy, but the noise cancels in the sum.
+Per-benchmark deltas are still printed for diagnosis.
 """
 
 import argparse
@@ -56,6 +62,9 @@ def main():
     parser.add_argument("candidate")
     parser.add_argument("--threshold", type=float, default=10.0,
                         help="regression threshold in percent (default 10)")
+    parser.add_argument("--total", action="store_true",
+                        help="gate the summed wall_ms over shared benchmarks "
+                             "instead of each benchmark individually")
     args = parser.parse_args()
 
     base = load_records(args.baseline)
@@ -71,7 +80,7 @@ def main():
         b, c = base[key], cand[key]
         pct = (c - b) / b * 100.0 if b > 0 else 0.0
         marker = ""
-        if pct > args.threshold:
+        if pct > args.threshold and not args.total:
             marker = "  REGRESSION"
             regressions.append((key, pct))
         print(f"{fmt_key(key):<{width}}  {b:>10.4f}  {c:>10.4f}  "
@@ -81,6 +90,20 @@ def main():
         print(f"{fmt_key(key)}: only in baseline")
     for key in only_cand:
         print(f"{fmt_key(key)}: only in candidate")
+
+    if args.total:
+        total_base = sum(base[k] for k in shared)
+        total_cand = sum(cand[k] for k in shared)
+        pct = ((total_cand - total_base) / total_base * 100.0
+               if total_base > 0 else 0.0)
+        print(f"\ntotal over {len(shared)} shared benchmark(s): "
+              f"{total_base:.4f} ms -> {total_cand:.4f} ms ({pct:+.1f}%)")
+        if pct > args.threshold:
+            print(f"bench_diff: total regressed more than "
+                  f"{args.threshold:g}% (+{pct:.1f}%)", file=sys.stderr)
+            return 1
+        print(f"bench_diff: OK (total within {args.threshold:g}%)")
+        return 0
 
     if regressions:
         print(f"\nbench_diff: {len(regressions)} benchmark(s) regressed "

@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
 # The full pre-merge gate, in the order a failure is cheapest to hit:
 #   1. tier-1: plain build + full ctest (plan verification on by default)
-#   2. ThreadSanitizer over the `parallel`-labelled tests
-#   3. UndefinedBehaviorSanitizer over the full suite
-#   4. tools/lint.sh (banned patterns + clang-tidy when available)
-#   5. bench smoke: spool_vs_fusion + adaptive_vs_static at tiny scale,
+#   2. semantic verification: the TPC-DS-facing tests re-run with
+#      FUSIONDB_VERIFY_SEMANTICS=1, so every rule firing across all modes
+#      (and the server's cross-plan folds) re-proves its [semantic-*]
+#      obligations; then tpcds_overall runs with the tier off and on and
+#      tools/bench_diff.py gates the verification overhead at 5%
+#   3. ThreadSanitizer over the `parallel`-labelled tests
+#   4. UndefinedBehaviorSanitizer over the full suite
+#   5. tools/lint.sh (banned patterns + clang-tidy when available)
+#   6. bench smoke: spool_vs_fusion + adaptive_vs_static at tiny scale,
 #      with tools/bench_diff.py gating adaptive against best-static;
 #      multi_client_throughput with bench_diff.py gating the sharing
 #      path's single-client latency against the solo path
@@ -23,25 +28,48 @@ done
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
-echo "== [1/5] tier-1 build + tests =="
+echo "== [1/6] tier-1 build + tests =="
 cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure -j"$JOBS"
 
-echo "== [2/5] ThreadSanitizer (parallel tests) =="
+echo "== [2/6] semantic verification (FUSIONDB_VERIFY_SEMANTICS=1) =="
+# Every optimizer mode's full TPC-DS sweep, plus the server's cross-plan
+# folds, with the semantic tier re-proving each rewrite's obligations.
+# plan_props_test covers derivation + the per-tag negative cases;
+# tpcds_test/integration_equivalence_test/optimizer_test span all modes;
+# server_test exercises the batch-time consumer checks.
+FUSIONDB_VERIFY_SEMANTICS=1 ctest --test-dir build --output-on-failure \
+  -j"$JOBS" -R '^(plan_props_test|tpcds_test|integration_equivalence_test|optimizer_test|cost_model_test|server_test)$'
+# Overhead gate: the tier must cost <= 5% on the whole-workload bench
+# (derivation is DAG-memoized; most of the work amortizes). Gated on the
+# workload total (--total): per-query medians at smoke scale are sub-ms
+# and noisy, but the noise cancels in the sum.
+(cd build/bench &&
+  FUSIONDB_BENCH_SCALE=0.01 FUSIONDB_BENCH_REPEATS=5 \
+    FUSIONDB_VERIFY_SEMANTICS=0 ./tpcds_overall &&
+  mv BENCH_tpcds_overall.json BENCH_tpcds_overall.semantics_off.json &&
+  FUSIONDB_BENCH_SCALE=0.01 FUSIONDB_BENCH_REPEATS=5 \
+    FUSIONDB_VERIFY_SEMANTICS=1 ./tpcds_overall &&
+  mv BENCH_tpcds_overall.json BENCH_tpcds_overall.semantics_on.json)
+python3 tools/bench_diff.py \
+  build/bench/BENCH_tpcds_overall.semantics_off.json \
+  build/bench/BENCH_tpcds_overall.semantics_on.json --threshold 5 --total
+
+echo "== [3/6] ThreadSanitizer (parallel tests) =="
 cmake -B build-tsan -S . -DFUSIONDB_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$JOBS"
 ctest --test-dir build-tsan --output-on-failure -L parallel
 
-echo "== [3/5] UndefinedBehaviorSanitizer (full suite) =="
+echo "== [4/6] UndefinedBehaviorSanitizer (full suite) =="
 cmake -B build-ubsan -S . -DFUSIONDB_SANITIZE=undefined >/dev/null
 cmake --build build-ubsan -j"$JOBS"
 ctest --test-dir build-ubsan --output-on-failure -j"$JOBS"
 
-echo "== [4/5] lint =="
+echo "== [5/6] lint =="
 tools/lint.sh build
 
-echo "== [5/5] bench smoke + adaptive regression gate =="
+echo "== [6/6] bench smoke + adaptive regression gate =="
 # Tiny scale, one repeat: this checks the benches run and that their
 # cross-config result-equivalence assertions hold, and gates adaptive
 # mode against the best static policy. Latency numbers at this scale are

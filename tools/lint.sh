@@ -78,6 +78,18 @@ if grep -rn --include='*.cc' --include='*.h' 'ExecutePlan(' src/server \
   note_failure 'src/server must execute through ExecuteFanOut (exec/fanout.h), not ExecutePlan'
 fi
 
+# Semantic facts (candidate keys, uniqueness) have one derivation authority:
+# analysis/plan_props.h. A rewrite rule reaching for Table::primary_key() or
+# growing its own structural key scan re-creates the ad-hoc re-derivation
+# JoinOnKeys used to carry (AggregateBelowGuard), which drifted from the
+# real property lattice. Rules must consume PropertyDerivation and record
+# obligations in the SemanticLedger instead.
+if grep -rn --include='*.cc' --include='*.h' \
+    'primary_key()\|AggregateBelowGuard' src/optimizer src/fusion \
+    2>/dev/null; then
+  note_failure 'src/optimizer and src/fusion must derive keys via analysis/plan_props.h (PropertyDerivation), not re-derive them ad hoc'
+fi
+
 # --- Layer 2: clang-tidy (optional) ----------------------------------------
 
 if command -v clang-tidy >/dev/null 2>&1; then
