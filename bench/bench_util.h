@@ -62,6 +62,17 @@ inline bool BenchProfileEnabled() {
   return env == nullptr || std::atoi(env) != 0;
 }
 
+/// Service-metrics recording during benches; enable with
+/// FUSIONDB_BENCH_METRICS=1 to measure the registry's always-on recording
+/// cost (tools/check.sh gates the overhead at <= 2% on tpcds_overall, see
+/// EXPERIMENTS.md). Null when the knob is off.
+inline MetricsRegistry* BenchMetricsRegistry() {
+  const char* env = std::getenv("FUSIONDB_BENCH_METRICS");
+  if (env == nullptr || std::atoi(env) == 0) return nullptr;
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return registry;
+}
+
 /// One measurement row in a bench's machine-readable report.
 struct BenchRecord {
   std::string query;
@@ -137,7 +148,8 @@ inline RunStats RunPlan(const PlanPtr& plan, const OptimizerOptions& options,
   std::vector<double> times;
   for (int i = 0; i < repeats; ++i) {
     QueryResult result =
-        Unwrap(ExecutePlan(optimized, {.profile = BenchProfileEnabled()}));
+        Unwrap(ExecutePlan(optimized, {.profile = BenchProfileEnabled(),
+                                       .metrics = BenchMetricsRegistry()}));
     times.push_back(result.wall_ms());
     stats.bytes_scanned = result.metrics().bytes_scanned;
     stats.peak_hash_bytes = result.metrics().peak_hash_bytes;

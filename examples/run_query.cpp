@@ -29,7 +29,18 @@
 //                       server mode only)
 //   --window-ms=M       admission window in milliseconds (default 50 so
 //                       all clients land in one batch; server mode only)
+//   --metrics=PATH      record into a service MetricsRegistry and write the
+//                       final snapshot JSON to PATH on exit. In server mode
+//                       the written counters are cross-checked against the
+//                       summed per-session attribution blocks; a mismatch
+//                       exits 1.
+//   --query-log=PATH    append one JSONL event per completed session to
+//                       PATH (server mode only)
+//   --slow-ms=N         sessions slower than N ms (queue + execute) are
+//                       marked slow and auto-capture their full profile
+//                       next to the query log (requires --query-log)
 // Unknown --flags and unknown --mode values are rejected with exit code 2.
+// Telemetry write failures (--profile, --metrics, --query-log open) exit 1.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -61,7 +72,8 @@ void Usage() {
                "[--mode={baseline,fused,spooling,adaptive}] [--plans] "
                "[--explain] [--explain-analyze] [--trace-optimizer] "
                "[--profile=PATH] [--threads=N] "
-               "[--server] [--clients=N] [--window-ms=M]\n");
+               "[--server] [--clients=N] [--window-ms=M] "
+               "[--metrics=PATH] [--query-log=PATH] [--slow-ms=N]\n");
 }
 
 }  // namespace
@@ -79,6 +91,9 @@ int main(int argc, char** argv) {
   bool server = false;
   int clients = 4;
   int64_t window_ms = 50;
+  std::string metrics_path;
+  std::string query_log_path;
+  int64_t slow_ms = 0;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--plans") == 0) {
@@ -103,6 +118,12 @@ int main(int argc, char** argv) {
       clients = std::atoi(argv[i] + 10);
     } else if (std::strncmp(argv[i], "--window-ms=", 12) == 0) {
       window_ms = std::atoll(argv[i] + 12);
+    } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
+      metrics_path = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--query-log=", 12) == 0) {
+      query_log_path = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--slow-ms=", 10) == 0) {
+      slow_ms = std::atoll(argv[i] + 10);
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       std::fprintf(stderr, "run_query: unknown flag '%s'\n", argv[i]);
       Usage();
@@ -117,6 +138,14 @@ int main(int argc, char** argv) {
       mode != "adaptive") {
     std::fprintf(stderr, "run_query: unknown mode '%s'\n", mode.c_str());
     Usage();
+    return 2;
+  }
+  if (!query_log_path.empty() && !server) {
+    std::fprintf(stderr, "run_query: --query-log requires --server\n");
+    return 2;
+  }
+  if (slow_ms > 0 && query_log_path.empty()) {
+    std::fprintf(stderr, "run_query: --slow-ms requires --query-log\n");
     return 2;
   }
 
@@ -156,6 +185,14 @@ int main(int argc, char** argv) {
     OptimizerTrace server_trace;
     bool want_trace = trace_optimizer || !profile_path.empty();
     if (want_trace) server_options.trace = &server_trace;
+    MetricsRegistry registry;
+    if (!metrics_path.empty()) server_options.metrics = &registry;
+    std::unique_ptr<QueryLog> query_log;
+    if (!query_log_path.empty()) {
+      query_log = Unwrap(QueryLog::Open(query_log_path, slow_ms));
+      server_options.query_log = query_log.get();
+    }
+    server_options.mode_label = mode;
     SessionManager manager(server_options);
 
     // Each client is its own thread with its own PlanContext — the server
@@ -197,6 +234,52 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "profile written to %s\n", profile_path.c_str());
     }
 
+    // Reconcile the service counters against the per-session attribution
+    // blocks: the registry's session counts and attributed bytes must equal
+    // the sums over what each session was told, and the physical bytes
+    // counter must equal the manager's own total. Any drift is a telemetry
+    // bug, so it fails the run.
+    bool reconciled = true;
+    if (!metrics_path.empty()) {
+      MetricsSnapshot snap = registry.Snapshot();
+      int64_t attributed = 0;
+      for (const SessionPtr& session : sessions) {
+        attributed += session->sharing().attributed_bytes_scanned;
+      }
+      int64_t snap_sessions =
+          snap.Counter("fusiondb_server_shared_sessions_total") +
+          snap.Counter("fusiondb_server_solo_sessions_total");
+      struct Check {
+        const char* what;
+        int64_t metric;
+        int64_t expected;
+      } checks[] = {
+          {"attributed bytes",
+           snap.Counter("fusiondb_server_attributed_bytes_total"), attributed},
+          {"physical bytes", snap.Counter("fusiondb_server_bytes_scanned_total"),
+           manager.total_bytes_scanned()},
+          {"sessions", snap_sessions, static_cast<int64_t>(clients)},
+      };
+      for (const Check& c : checks) {
+        if (c.metric != c.expected) {
+          std::fprintf(stderr,
+                       "run_query: metrics reconciliation FAILED: %s counter "
+                       "%lld != session-sum %lld\n",
+                       c.what, static_cast<long long>(c.metric),
+                       static_cast<long long>(c.expected));
+          reconciled = false;
+        }
+      }
+      DieIf(WriteMetricsJson(snap, metrics_path));
+      std::fprintf(stderr, "metrics snapshot written to %s\n",
+                   metrics_path.c_str());
+    }
+    if (query_log != nullptr) {
+      std::fprintf(stderr, "query log: %lld events appended to %s\n",
+                   static_cast<long long>(query_log->events()),
+                   query_log->path().c_str());
+    }
+
     std::printf("query %s, server mode (%s), %d clients\n", name.c_str(),
                 mode.c_str(), clients);
     std::printf("results match isolated: %d/%d%s\n", matched, clients,
@@ -210,7 +293,7 @@ int main(int argc, char** argv) {
                 static_cast<long long>(isolated.metrics().bytes_scanned));
     std::printf("\nfirst rows:\n%s",
                 (*sessions.front()->result()).ToString(5).c_str());
-    return matched == clients ? 0 : 1;
+    return matched == clients && reconciled ? 0 : 1;
   }
 
   PlanContext ctx;
@@ -289,8 +372,13 @@ int main(int argc, char** argv) {
       Unwrap(ExecutePlan(baseline, {.parallelism = threads}));
   std::fprintf(stderr, "executing (%s, threads=%zu)...\n", mode.c_str(),
                threads);
-  QueryResult mode_result =
-      Unwrap(ExecutePlan(optimized, {.parallelism = threads}));
+  // The measured run records into the service registry when --metrics is
+  // given (the baseline reference run does not), so the snapshot describes
+  // exactly the measured execution.
+  MetricsRegistry registry;
+  QueryResult mode_result = Unwrap(ExecutePlan(
+      optimized, {.parallelism = threads,
+                  .metrics = metrics_path.empty() ? nullptr : &registry}));
 
   if (explain_analyze) {
     std::printf("== baseline (explain analyze) ==\n%s\n",
@@ -303,6 +391,11 @@ int main(int argc, char** argv) {
         MakeQueryProfile(name, mode, optimized, mode_result, &trace);
     DieIf(WriteProfileJson(profile, profile_path));
     std::fprintf(stderr, "profile written to %s\n", profile_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    DieIf(WriteMetricsJson(registry.Snapshot(), metrics_path));
+    std::fprintf(stderr, "metrics snapshot written to %s\n",
+                 metrics_path.c_str());
   }
 
   std::printf("query %s (%s)\n", name.c_str(),

@@ -194,6 +194,22 @@ class ExecContext {
     }
   }
 
+  /// Records one spool materialization (the miss that pays the build).
+  void AddSpoolBuild(int32_t op_id) {
+    if (op_id >= 0 && static_cast<size_t>(op_id) < op_slots_.size()) {
+      ++op_slots_[static_cast<size_t>(op_id)].spool_builds;
+    }
+  }
+
+  /// Attributes decoded bytes to a scan's stats slot. Driver thread only:
+  /// serial scans call it inline, parallel scans once after their region
+  /// has merged (the query-level total travels through ExecMetrics shards).
+  void AddScanBytes(int32_t op_id, int64_t bytes) {
+    if (op_id >= 0 && static_cast<size_t>(op_id) < op_slots_.size()) {
+      op_slots_[static_cast<size_t>(op_id)].bytes_scanned += bytes;
+    }
+  }
+
   /// Snapshot of all operator slots with derived fields (rows_in, self
   /// time) filled in; taken after the operator tree is torn down so close
   /// times are complete. Empty when profiling is off.

@@ -4,6 +4,7 @@
 
 #include "analysis/plan_verifier.h"
 #include "exec/operators_internal.h"
+#include "obs/metrics.h"
 #include "obs/operator_stats.h"
 #include "plan/spool.h"
 
@@ -171,6 +172,51 @@ Result<ExecOperatorPtr> BuildExecutor(const PlanPtr& plan, ExecContext* ctx) {
   return BuildNode(plan, ctx, /*parent=*/-1);
 }
 
+void RecordExecutionMetrics(MetricsRegistry* registry,
+                            const ExecMetrics& metrics,
+                            const std::vector<OperatorStats>& op_stats,
+                            int64_t chunks, double wall_ms) {
+  if (registry == nullptr) return;
+  registry->Add(registry->Counter("fusiondb_exec_queries_total"), 1);
+  registry->Add(registry->Counter("fusiondb_exec_bytes_scanned_total"),
+                metrics.bytes_scanned);
+  registry->Add(registry->Counter("fusiondb_exec_rows_scanned_total"),
+                metrics.rows_scanned);
+  registry->Add(registry->Counter("fusiondb_exec_partitions_scanned_total"),
+                metrics.partitions_scanned);
+  registry->Add(registry->Counter("fusiondb_exec_partitions_pruned_total"),
+                metrics.partitions_pruned);
+  registry->Add(registry->Counter("fusiondb_exec_rows_produced_total"),
+                metrics.rows_produced);
+  registry->Add(registry->Counter("fusiondb_exec_chunks_produced_total"),
+                chunks);
+  registry->Add(registry->Counter("fusiondb_exec_spool_bytes_written_total"),
+                metrics.spool_bytes_written);
+  registry->Add(registry->Counter("fusiondb_exec_spool_bytes_read_total"),
+                metrics.spool_bytes_read);
+  registry->Record(registry->Histogram("fusiondb_exec_query_wall_us"),
+                   static_cast<int64_t>(wall_ms * 1e3));
+  registry->Record(registry->Histogram("fusiondb_exec_query_bytes_scanned"),
+                   metrics.bytes_scanned);
+  int64_t spool_hits = 0;
+  int64_t spool_builds = 0;
+  for (const OperatorStats& s : op_stats) {
+    spool_hits += s.spool_hits;
+    spool_builds += s.spool_builds;
+    if (s.bytes_scanned > 0 && s.kind == OpKindName(OpKind::kScan) &&
+        !s.detail.empty()) {
+      registry->Add(
+          registry->Counter("fusiondb_exec_table_bytes_scanned_total{table=\"" +
+                            s.detail + "\"}"),
+          s.bytes_scanned);
+    }
+  }
+  registry->Add(registry->Counter("fusiondb_exec_spool_hits_total"),
+                spool_hits);
+  registry->Add(registry->Counter("fusiondb_exec_spool_builds_total"),
+                spool_builds);
+}
+
 Result<QueryResult> ExecutePlan(const PlanPtr& plan,
                                 const ExecOptions& options) {
   // Static checks first: a malformed plan is reported with the violated
@@ -202,8 +248,12 @@ Result<QueryResult> ExecutePlan(const PlanPtr& plan,
     }
   }
   double wall_ms = static_cast<double>(NowNanos() - start) * 1e-6;
-  return QueryResult(plan->schema(), std::move(chunks), ctx.FinalMetrics(),
-                     wall_ms, ctx.FinalOperatorStats());
+  ExecMetrics final_metrics = ctx.FinalMetrics();
+  std::vector<OperatorStats> op_stats = ctx.FinalOperatorStats();
+  RecordExecutionMetrics(options.metrics, final_metrics, op_stats,
+                         static_cast<int64_t>(chunks.size()), wall_ms);
+  return QueryResult(plan->schema(), std::move(chunks),
+                     std::move(final_metrics), wall_ms, std::move(op_stats));
 }
 
 Result<QueryResult> ExecutePlan(const PlanPtr& plan, size_t chunk_size,

@@ -9,6 +9,8 @@
 
 namespace fusiondb {
 
+class MetricsRegistry;  // obs/metrics.h — recorded into, never rendered here
+
 /// Builds the physical tree for `plan`. The plan must outlive the returned
 /// operators. Fails with kPlanError on malformed/unbound plans, and on
 /// ApplyOp (correlated subqueries must be decorrelated first).
@@ -38,7 +40,25 @@ struct ExecOptions {
   /// timers on the driver thread). On by default; the overhead knob exists
   /// so benches can measure the instrumentation cost.
   bool profile = true;
+
+  /// Optional service-level metrics sink (obs/metrics.h). When set, every
+  /// completed execution records its query counters — bytes/rows scanned,
+  /// per-table scan bytes, spool hits/builds, rows/chunks produced, wall
+  /// time — into the registry after the drain. Recording happens once per
+  /// query (never per chunk), so always-on cost is a handful of counter
+  /// bumps. Null (the default) records nothing.
+  MetricsRegistry* metrics = nullptr;
 };
+
+/// Records one completed execution into `registry` under the
+/// `fusiondb_exec_*` metric catalog (DESIGN.md §9.4). Per-table scan bytes
+/// and spool hit/build counters come from the stats slots, so they are only
+/// recorded when the run was profiled; the ExecMetrics totals always are.
+/// No-op when `registry` is null.
+void RecordExecutionMetrics(MetricsRegistry* registry,
+                            const ExecMetrics& metrics,
+                            const std::vector<OperatorStats>& op_stats,
+                            int64_t chunks, double wall_ms);
 
 /// Runs `plan` to completion, collecting all output and metrics.
 Result<QueryResult> ExecutePlan(const PlanPtr& plan,

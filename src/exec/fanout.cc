@@ -92,6 +92,7 @@ Result<FanOutResult> ExecuteFanOut(const PlanPtr& plan,
   ctx.set_parallelism(parallelism);
 
   int64_t start = NowNanos();
+  int64_t chunks_produced = 0;
   {
     // Scope the operator tree so destructors release accounted memory
     // before metrics are snapshotted (as in ExecutePlan).
@@ -102,6 +103,7 @@ Result<FanOutResult> ExecuteFanOut(const PlanPtr& plan,
       if (!chunk.has_value()) break;
       if (chunk->num_rows() == 0) continue;
       ctx.metrics().rows_produced += static_cast<int64_t>(chunk->num_rows());
+      ++chunks_produced;
       for (size_t i = 0; i < bound.size(); ++i) {
         BoundConsumer& b = bound[i];
         if (b.passthrough) {
@@ -135,6 +137,8 @@ Result<FanOutResult> ExecuteFanOut(const PlanPtr& plan,
   out.metrics = ctx.FinalMetrics();
   out.operator_stats = ctx.FinalOperatorStats();
   out.wall_ms = wall_ms;
+  RecordExecutionMetrics(options.metrics, out.metrics, out.operator_stats,
+                         chunks_produced, wall_ms);
   out.results.reserve(bound.size());
   for (BoundConsumer& b : bound) {
     ExecMetrics metrics = out.metrics;

@@ -112,7 +112,8 @@ class ScanExec final : public ExecOperator {
       : ExecOperator(op.schema()),
         table_(op.table()),
         table_columns_(op.table_columns()),
-        ctx_(ctx) {
+        ctx_(ctx),
+        op_id_(ctx->building_op()) {
     // Locate the partitioning column among the scan's outputs, if selected.
     int part_table_col = table_->partition_column();
     ColumnId part_out = kInvalidColumnId;
@@ -165,6 +166,7 @@ class ScanExec final : public ExecOperator {
           FUSIONDB_ASSIGN_OR_RETURN(Column col, DecodeColumn(p.columns[c]));
           decoded_.push_back(std::move(col));
           ctx_->metrics().bytes_scanned += p.column_bytes[c];
+          ctx_->AddScanBytes(op_id_, p.column_bytes[c]);
         }
         ++ctx_->metrics().partitions_scanned;
         ctx_->metrics().rows_scanned += static_cast<int64_t>(p.num_rows());
@@ -243,7 +245,15 @@ class ScanExec final : public ExecOperator {
           return Status::OK();
         });
     FUSIONDB_RETURN_IF_ERROR(st);
-    for (const ExecMetrics& shard : shards) ctx_->MergeMetrics(shard);
+    int64_t scan_bytes = 0;
+    for (const ExecMetrics& shard : shards) {
+      scan_bytes += shard.bytes_scanned;
+      ctx_->MergeMetrics(shard);
+    }
+    // Slot attribution happens once, on the driver, after the region merged
+    // — the per-scan total is thread-count-invariant because the shard sums
+    // are.
+    ctx_->AddScanBytes(op_id_, scan_bytes);
     for (std::vector<Chunk>& chunks : per_partition) {
       for (Chunk& c : chunks) out_chunks_.push_back(std::move(c));
     }
@@ -253,6 +263,7 @@ class ScanExec final : public ExecOperator {
   TablePtr table_;
   std::vector<int> table_columns_;
   ExecContext* ctx_;
+  int32_t op_id_ = -1;
   PruneSpec prune_;
   size_t partition_ = 0;
   size_t offset_ = 0;

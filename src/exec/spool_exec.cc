@@ -67,6 +67,7 @@ class SpoolExec final : public ExecOperator {
     // The buffer lives until the end of the query (charged once, by the
     // materializing consumer).
     ctx_->AddHashBytes(buffer_->bytes, op_id_);
+    ctx_->AddSpoolBuild(op_id_);
     accounted_ = true;
     return Status::OK();
   }

@@ -9,7 +9,7 @@
 //   - optimizer/: rule-based optimizer with the Section-IV fusion rules
 //   - fusion/   : the Fuse(P1, P2) primitive itself
 //   - exec/     : streaming executor + metrics + fan-out execution
-//   - obs/      : per-operator profiling, optimizer trace, JSON export
+//   - obs/      : profiling, optimizer trace, service metrics, query log
 //   - server/   : concurrent query sessions with cross-query fusion
 //   - tpcds/    : benchmark substrate (schema, datagen, query suite)
 #ifndef FUSIONDB_FUSIONDB_H_
@@ -27,8 +27,10 @@
 #include "expr/simplifier.h"
 #include "fusion/fuse.h"
 #include "fusion/fuse_across.h"
+#include "obs/metrics.h"
 #include "obs/optimizer_trace.h"
 #include "obs/profile.h"
+#include "obs/query_log.h"
 #include "optimizer/optimizer.h"
 #include "plan/multi_plan.h"
 #include "plan/plan_builder.h"

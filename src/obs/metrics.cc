@@ -1,0 +1,163 @@
+// JSON and Prometheus text exposition for MetricsSnapshot (DESIGN.md §9.4).
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <string>
+
+#include "obs/json_writer.h"
+
+namespace fusiondb {
+
+namespace {
+
+/// Splits a registered name like `family_total{table="x"}` into the metric
+/// family and the brace-less label body (`table="x"`, empty when the name
+/// carries no labels).
+void SplitLabels(const std::string& name, std::string* family,
+                 std::string* labels) {
+  size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *family = name;
+    labels->clear();
+    return;
+  }
+  *family = name.substr(0, brace);
+  size_t close = name.rfind('}');
+  if (close == std::string::npos || close <= brace + 1) {
+    labels->clear();
+    return;
+  }
+  *labels = name.substr(brace + 1, close - brace - 1);
+}
+
+void AppendTypeLineOnce(const std::string& family, const char* type,
+                        std::vector<std::string>* seen, std::string* out) {
+  for (const std::string& s : *seen) {
+    if (s == family) return;
+  }
+  seen->push_back(family);
+  out->append("# TYPE ");
+  out->append(family);
+  out->append(" ");
+  out->append(type);
+  out->append("\n");
+}
+
+void AppendSample(const std::string& family, const std::string& labels,
+                  int64_t value, std::string* out) {
+  out->append(family);
+  if (!labels.empty()) {
+    out->append("{");
+    out->append(labels);
+    out->append("}");
+  }
+  out->append(" ");
+  out->append(std::to_string(value));
+  out->append("\n");
+}
+
+void WriteHistogram(const HistogramSnapshot& h, JsonWriter* w) {
+  w->BeginObject();
+  w->Field("count", h.count);
+  w->Field("sum", h.sum);
+  w->Field("min", h.min);
+  w->Field("max", h.max);
+  w->Field("p50", h.ValueAtQuantile(0.50));
+  w->Field("p90", h.ValueAtQuantile(0.90));
+  w->Field("p99", h.ValueAtQuantile(0.99));
+  w->Key("buckets");
+  w->BeginArray();
+  for (size_t i = 0; i < h.buckets.size(); ++i) {
+    if (h.buckets[i] == 0) continue;
+    w->BeginObject();
+    w->Field("le", MetricBucketUpperBound(static_cast<int32_t>(i)));
+    w->Field("count", h.buckets[i]);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+}  // namespace
+
+std::string MetricsToJson(const MetricsSnapshot& snapshot) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("schema_version", kTelemetrySchemaVersion);
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& c : snapshot.counters) {
+    w.Field(c.first, c.second);
+  }
+  w.EndObject();
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& g : snapshot.gauges) {
+    w.Field(g.first, g.second);
+  }
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
+  for (const auto& h : snapshot.histograms) {
+    w.Key(h.first);
+    WriteHistogram(h.second, &w);
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.TakeString();
+}
+
+std::string MetricsToPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::vector<std::string> seen;  // families with a TYPE line already out
+  std::string family;
+  std::string labels;
+  for (const auto& c : snapshot.counters) {
+    SplitLabels(c.first, &family, &labels);
+    AppendTypeLineOnce(family, "counter", &seen, &out);
+    AppendSample(family, labels, c.second, &out);
+  }
+  for (const auto& g : snapshot.gauges) {
+    SplitLabels(g.first, &family, &labels);
+    AppendTypeLineOnce(family, "gauge", &seen, &out);
+    AppendSample(family, labels, g.second, &out);
+  }
+  for (const auto& hp : snapshot.histograms) {
+    SplitLabels(hp.first, &family, &labels);
+    const HistogramSnapshot& h = hp.second;
+    AppendTypeLineOnce(family, "histogram", &seen, &out);
+    std::string prefix = labels.empty() ? "" : labels + ",";
+    int64_t cum = 0;
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;
+      cum += h.buckets[i];
+      AppendSample(family + "_bucket",
+                   prefix + "le=\"" +
+                       std::to_string(
+                           MetricBucketUpperBound(static_cast<int32_t>(i))) +
+                       "\"",
+                   cum, &out);
+    }
+    AppendSample(family + "_bucket", prefix + "le=\"+Inf\"", h.count, &out);
+    AppendSample(family + "_sum", labels, h.sum, &out);
+    AppendSample(family + "_count", labels, h.count, &out);
+  }
+  return out;
+}
+
+Status WriteMetricsJson(const MetricsSnapshot& snapshot,
+                        const std::string& path) {
+  std::string json = MetricsToJson(snapshot);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::ExecutionError("cannot open metrics output file: " + path);
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  bool ok = written == json.size();
+  ok = (std::fputc('\n', f) != EOF) && ok;
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) return Status::ExecutionError("failed writing metrics to " + path);
+  return Status::OK();
+}
+
+}  // namespace fusiondb

@@ -53,9 +53,15 @@ struct OperatorStats {
 
   // Blocking-operator extras: peak accounted hash/buffer memory, and for
   // spool reads, how many consumers were served from an already-built
-  // buffer (the spool-hit count).
+  // buffer (the spool-hit count) vs how many had to build it (the miss).
   int64_t peak_memory_bytes = 0;
   int64_t spool_hits = 0;
+  int64_t spool_builds = 0;
+
+  // Scan-only: bytes this scan decoded, attributed on the driver thread
+  // (serial scans inline, parallel scans once after their region merges) so
+  // per-table service counters can be derived from the slot's detail.
+  int64_t bytes_scanned = 0;
 
   // Derived at finalize time from the parent links (never updated live).
   int64_t chunks_in = 0;

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "obs/json_writer.h"
+#include "obs/metrics.h"
 #include "plan/plan_fingerprint.h"
 #include "plan/plan_printer.h"
 
@@ -36,6 +37,8 @@ void WriteStats(const OperatorStats& s, JsonWriter* w) {
   w->Field("close_ns", s.close_ns);
   w->Field("peak_memory_bytes", s.peak_memory_bytes);
   w->Field("spool_hits", s.spool_hits);
+  w->Field("spool_builds", s.spool_builds);
+  w->Field("bytes_scanned", s.bytes_scanned);
   w->EndObject();
 }
 
@@ -155,6 +158,7 @@ QueryProfile MakeQueryProfile(std::string query, std::string config,
 std::string ProfileToJson(const QueryProfile& profile) {
   JsonWriter w;
   w.BeginObject();
+  w.Field("schema_version", kTelemetrySchemaVersion);
   w.Field("query", profile.query);
   w.Field("config", profile.config);
   w.Field("wall_ms", profile.wall_ms);

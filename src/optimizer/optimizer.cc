@@ -11,6 +11,7 @@
 #include "analysis/semantic_ledger.h"
 #include "analysis/semantic_verifier.h"
 #include "cost/cost_model.h"
+#include "obs/metrics.h"
 #include "obs/optimizer_trace.h"
 #include "optimizer/prune_columns.h"
 #include "optimizer/rules.h"
@@ -45,6 +46,51 @@ class PhaseTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
+/// Rule activity accumulated across one Optimize() call and flushed to the
+/// context's MetricsRegistry once, at scope exit (also on error paths, so
+/// failure counters survive the early return). Local plain ints keep the
+/// sweep hot path free of registry lookups.
+struct OptCounters {
+  MetricsRegistry* registry = nullptr;  // null: everything below is inert
+  int64_t attempts = 0;
+  int64_t firings = 0;
+  int64_t verifier_failures = 0;
+  int64_t semantic_failures = 0;
+  std::vector<std::pair<std::string, int64_t>> per_rule;
+
+  void AddFiring(std::string_view rule) {
+    ++firings;
+    for (auto& e : per_rule) {
+      if (e.first == rule) {
+        ++e.second;
+        return;
+      }
+    }
+    per_rule.emplace_back(rule, 1);
+  }
+
+  ~OptCounters() {
+    if (registry == nullptr) return;
+    MetricsRegistry* r = registry;
+    r->Add(r->Counter("fusiondb_optimizer_runs_total"), 1);
+    r->Add(r->Counter("fusiondb_optimizer_rule_attempts_total"), attempts);
+    r->Add(r->Counter("fusiondb_optimizer_rule_firings_total"), firings);
+    if (verifier_failures > 0) {
+      r->Add(r->Counter("fusiondb_optimizer_verifier_failures_total"),
+             verifier_failures);
+    }
+    if (semantic_failures > 0) {
+      r->Add(r->Counter("fusiondb_optimizer_semantic_failures_total"),
+             semantic_failures);
+    }
+    for (const auto& e : per_rule) {
+      r->Add(r->Counter("fusiondb_optimizer_rule_firings_total{rule=\"" +
+                        e.first + "\"}"),
+             e.second);
+    }
+  }
+};
+
 /// One bottom-up sweep: children first, then every rule at this node to a
 /// local fixpoint. `semantic` (nullable) is the semantic verification tier:
 /// after each firing it discharges the obligations the rule recorded on the
@@ -53,13 +99,13 @@ class PhaseTimer {
 Result<PlanPtr> SweepOnce(const PlanPtr& plan,
                           const std::vector<const Rule*>& rules,
                           PlanContext* ctx, SemanticVerifier* semantic,
-                          bool* changed) {
+                          OptCounters* counters, bool* changed) {
   std::vector<PlanPtr> children;
   children.reserve(plan->num_children());
   bool child_changed = false;
   for (const PlanPtr& c : plan->children()) {
-    FUSIONDB_ASSIGN_OR_RETURN(PlanPtr nc,
-                              SweepOnce(c, rules, ctx, semantic, changed));
+    FUSIONDB_ASSIGN_OR_RETURN(
+        PlanPtr nc, SweepOnce(c, rules, ctx, semantic, counters, changed));
     child_changed |= (nc != c);
     children.push_back(std::move(nc));
   }
@@ -80,12 +126,15 @@ Result<PlanPtr> SweepOnce(const PlanPtr& plan,
                                   CountAllOps(next));
         }
       }
+      ++counters->attempts;
       if (next != current) {
+        counters->AddFiring(rule->name());
         // An invalid rewrite is a bug in the rule: pinpoint it here, at the
         // first bad application, rather than as a downstream symptom.
         if (PlanVerificationEnabled()) {
           Status st = PlanVerifier::Verify(next);
           if (!st.ok()) {
+            ++counters->verifier_failures;
             return Status::Internal(internal::StrCat(
                 "rule '", rule->name(), "' produced an invalid plan: ",
                 st.message()));
@@ -101,6 +150,7 @@ Result<PlanPtr> SweepOnce(const PlanPtr& plan,
                                                  rule->name());
           if (st.ok()) st = semantic->Verify(next, rule->name());
           if (!st.ok()) {
+            ++counters->semantic_failures;
             return Status::Internal(internal::StrCat(
                 "rule '", rule->name(), "' violated a semantic invariant: ",
                 st.message()));
@@ -125,14 +175,16 @@ Result<PlanPtr> SweepOnce(const PlanPtr& plan,
 /// re-application in Q23).
 Result<PlanPtr> RunPhase(const PlanPtr& plan,
                          const std::vector<const Rule*>& rules,
-                         PlanContext* ctx, SemanticVerifier* semantic) {
+                         PlanContext* ctx, SemanticVerifier* semantic,
+                         OptCounters* counters) {
   if (rules.empty()) return plan;
   PlanPtr current = plan;
   constexpr int kGlobalFixpointCap = 48;
   for (int pass = 0; pass < kGlobalFixpointCap; ++pass) {
     bool changed = false;
     FUSIONDB_ASSIGN_OR_RETURN(
-        current, SweepOnce(current, rules, ctx, semantic, &changed));
+        current,
+        SweepOnce(current, rules, ctx, semantic, counters, &changed));
     if (TraceEnabled()) {
       std::fprintf(stderr, "[optimizer]   pass %d: %d ops%s\n", pass,
                    CountAllOps(current), changed ? "" : " (fixpoint)");
@@ -177,6 +229,9 @@ Result<PlanPtr> Optimizer::Optimize(const PlanPtr& plan,
 
   PlanPtr current = plan;
   OptimizerTrace* obs_trace = ctx->trace();
+  // Flushes to the context's registry at scope exit, error paths included.
+  OptCounters counters;
+  counters.registry = ctx->metrics();
 
   // Semantic tier (DESIGN.md §8): active when the runtime flag is on or
   // when a caller attached a ledger explicitly (tests, src/server). Rules
@@ -201,7 +256,7 @@ Result<PlanPtr> Optimizer::Optimize(const PlanPtr& plan,
     if (obs_trace != nullptr) obs_trace->BeginPhase("normalize");
     PhaseTimer timer("normalize");
     std::vector<const Rule*> rules{&simplify, &merge_filters, &merge_projects};
-    FUSIONDB_ASSIGN_OR_RETURN(current, RunPhase(current, rules, ctx, semantic));
+    FUSIONDB_ASSIGN_OR_RETURN(current, RunPhase(current, rules, ctx, semantic, &counters));
   }
 
   // 2. Decorrelate (always-on substrate; Apply cannot execute).
@@ -209,7 +264,7 @@ Result<PlanPtr> Optimizer::Optimize(const PlanPtr& plan,
     if (obs_trace != nullptr) obs_trace->BeginPhase("decorrelate");
     PhaseTimer timer("decorrelate");
     std::vector<const Rule*> rules{&decorrelate, &merge_filters};
-    FUSIONDB_ASSIGN_OR_RETURN(current, RunPhase(current, rules, ctx, semantic));
+    FUSIONDB_ASSIGN_OR_RETURN(current, RunPhase(current, rules, ctx, semantic, &counters));
   }
 
   // 3. Lower DISTINCT aggregates onto MarkDistinct.
@@ -217,7 +272,7 @@ Result<PlanPtr> Optimizer::Optimize(const PlanPtr& plan,
     if (obs_trace != nullptr) obs_trace->BeginPhase("lower");
     PhaseTimer timer("lower");
     std::vector<const Rule*> rules{&lower_distinct};
-    FUSIONDB_ASSIGN_OR_RETURN(current, RunPhase(current, rules, ctx, semantic));
+    FUSIONDB_ASSIGN_OR_RETURN(current, RunPhase(current, rules, ctx, semantic, &counters));
   }
 
   // 4. Fusion rules (Section IV).
@@ -231,7 +286,7 @@ Result<PlanPtr> Optimizer::Optimize(const PlanPtr& plan,
       if (obs_trace != nullptr) obs_trace->BeginPhase("fuse");
       PhaseTimer timer("fuse");
       rules.push_back(&simplify);
-      FUSIONDB_ASSIGN_OR_RETURN(current, RunPhase(current, rules, ctx, semantic));
+      FUSIONDB_ASSIGN_OR_RETURN(current, RunPhase(current, rules, ctx, semantic, &counters));
     }
   }
 
@@ -241,7 +296,7 @@ Result<PlanPtr> Optimizer::Optimize(const PlanPtr& plan,
     PhaseTimer timer("distinct");
     std::vector<const Rule*> rules{&semi_to_distinct, &push_distinct,
                                    &merge_projects};
-    FUSIONDB_ASSIGN_OR_RETURN(current, RunPhase(current, rules, ctx, semantic));
+    FUSIONDB_ASSIGN_OR_RETURN(current, RunPhase(current, rules, ctx, semantic, &counters));
   }
 
   // 6. Fusion again: phase 5 exposes new JoinOnKeys opportunities.
@@ -249,7 +304,7 @@ Result<PlanPtr> Optimizer::Optimize(const PlanPtr& plan,
     if (obs_trace != nullptr) obs_trace->BeginPhase("fuse2");
     PhaseTimer timer("fuse2");
     std::vector<const Rule*> rules{&join_on_keys, &simplify};
-    FUSIONDB_ASSIGN_OR_RETURN(current, RunPhase(current, rules, ctx, semantic));
+    FUSIONDB_ASSIGN_OR_RETURN(current, RunPhase(current, rules, ctx, semantic, &counters));
   }
 
   // 7. Cleanup: simplify, push filters toward (and into) scans, prune.
@@ -258,7 +313,7 @@ Result<PlanPtr> Optimizer::Optimize(const PlanPtr& plan,
     PhaseTimer timer("cleanup");
     std::vector<const Rule*> rules{&simplify, &merge_filters, &merge_projects,
                                    &filter_pushdown, &push_into_scan};
-    FUSIONDB_ASSIGN_OR_RETURN(current, RunPhase(current, rules, ctx, semantic));
+    FUSIONDB_ASSIGN_OR_RETURN(current, RunPhase(current, rules, ctx, semantic, &counters));
   }
   if (options_.enable_column_pruning) {
     if (obs_trace != nullptr) obs_trace->BeginPhase("prune");
@@ -274,6 +329,8 @@ Result<PlanPtr> Optimizer::Optimize(const PlanPtr& plan,
                                     CountAllOps(current));
       }
     }
+    ++counters.attempts;
+    if (current != pre_prune) counters.AddFiring("PruneColumns");
     FUSIONDB_RETURN_IF_ERROR(VerifyPlanIfEnabled(current, "column pruning"));
     if (semantic != nullptr) {
       FUSIONDB_RETURN_IF_ERROR(semantic->Verify(current, "column pruning"));
@@ -304,6 +361,8 @@ Result<PlanPtr> Optimizer::Optimize(const PlanPtr& plan,
                                     ops_before, CountAllOps(current));
       }
     }
+    ++counters.attempts;
+    if (current != pre_spool) counters.AddFiring("SpoolCommonSubexpressions");
     FUSIONDB_RETURN_IF_ERROR(VerifyPlanIfEnabled(current, "spooling"));
     if (semantic != nullptr) {
       FUSIONDB_RETURN_IF_ERROR(semantic->Verify(current, "spooling"));

@@ -8,6 +8,7 @@
 
 #include "cost/cost_model.h"
 #include "fusion/fuse.h"
+#include "obs/metrics.h"
 #include "obs/optimizer_trace.h"
 #include "plan/plan_fingerprint.h"
 #include "plan/plan_printer.h"
@@ -180,6 +181,13 @@ Result<PlanPtr> SpoolCommonSubexpressions(const PlanPtr& plan,
               rec.measured = d.measured;
               rec.spooled = d.spool;
               trace->RecordCostDecision(std::move(rec));
+            }
+            if (MetricsRegistry* reg = ctx->metrics()) {
+              reg->Add(reg->Counter(
+                           d.spool
+                               ? "fusiondb_cost_decisions_total{verdict=\"spool\"}"
+                               : "fusiondb_cost_decisions_total{verdict=\"fuse\"}"),
+                       1);
             }
           }
           // Fuse verdict: leave the duplicates for per-consumer

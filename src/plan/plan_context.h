@@ -16,6 +16,9 @@ class OptimizerTrace;  // obs/optimizer_trace.h; forward-declared so the
 class SemanticLedger;  // analysis/semantic_ledger.h; forward-declared for
                        // the same reason (rules record semantic obligations
                        // through the context without a link dependency)
+class MetricsRegistry;  // obs/metrics.h; forward-declared likewise (the
+                        // optimizer records service counters through the
+                        // context without a link dependency)
 
 class PlanContext {
  public:
@@ -45,10 +48,17 @@ class PlanContext {
   SemanticLedger* semantics() const { return semantics_; }
   void set_semantics(SemanticLedger* ledger) { semantics_ = ledger; }
 
+  /// Optional service-level metrics registry (not owned; may be null, the
+  /// default). When set, the optimizer records rule firings, cost verdicts
+  /// and verifier failures as `fusiondb_optimizer_*` counters.
+  MetricsRegistry* metrics() const { return metrics_; }
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
  private:
   ColumnId next_id_ = 1;
   OptimizerTrace* trace_ = nullptr;
   SemanticLedger* semantics_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace fusiondb

@@ -20,6 +20,7 @@
 
 #include "common/check.h"
 #include "exec/query_result.h"
+#include "obs/operator_stats.h"
 #include "obs/profile.h"
 #include "plan/logical_plan.h"
 
@@ -68,11 +69,34 @@ class QuerySession {
   /// `consumers == 1` for solo runs.
   const SessionSharing& sharing() const { return sharing_; }
 
+  /// Latency breakdown (service telemetry, DESIGN.md §9.5): time spent in
+  /// the admission queue before the session's group started executing, and
+  /// the group execution's wall time. Valid after Wait() returns.
+  int64_t queue_wait_us() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_wait_us_;
+  }
+  int64_t execute_us() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return execute_us_;
+  }
+
+  /// NowNanos() at submission (set at construction; immutable).
+  int64_t submitted_ns() const { return submitted_ns_; }
+
  private:
   friend class SessionManager;
 
   QuerySession(uint64_t id, PlanPtr plan)
-      : id_(id), plan_(std::move(plan)) {}
+      : id_(id), plan_(std::move(plan)), submitted_ns_(NowNanos()) {}
+
+  /// Called by the SessionManager before Fulfill (same thread), so the
+  /// fields are published to waiters by Fulfill's lock/notify.
+  void SetTiming(int64_t queue_wait_us, int64_t execute_us) {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_wait_us_ = queue_wait_us;
+    execute_us_ = execute_us;
+  }
 
   void Fulfill(Result<QueryResult> result, PlanPtr executed_plan,
                SessionSharing sharing) {
@@ -88,6 +112,7 @@ class QuerySession {
 
   const uint64_t id_;
   const PlanPtr plan_;
+  const int64_t submitted_ns_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -95,6 +120,8 @@ class QuerySession {
   Result<QueryResult> result_{Status::ExecutionError("session pending")};
   PlanPtr executed_plan_;
   SessionSharing sharing_;
+  int64_t queue_wait_us_ = 0;
+  int64_t execute_us_ = 0;
 };
 
 using SessionPtr = std::shared_ptr<QuerySession>;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <set>
@@ -71,6 +72,34 @@ SessionManager::SessionManager(ServerOptions options)
   if (options_.window.max_batch < 1) options_.window.max_batch = 1;
   ctx_.set_trace(options_.trace);
   if (SemanticVerificationEnabled()) ctx_.set_semantics(&ledger_);
+  if (MetricsRegistry* r = options_.metrics) {
+    // The optimizer and (unless the caller wired its own sink) the batch
+    // executor record into the same registry as the server counters.
+    ctx_.set_metrics(r);
+    if (options_.exec.metrics == nullptr) options_.exec.metrics = r;
+    mids_.batches = r->Counter("fusiondb_server_batches_total");
+    mids_.sessions = r->Counter("fusiondb_server_sessions_total");
+    mids_.shared_groups = r->Counter("fusiondb_server_shared_groups_total");
+    mids_.shared_sessions = r->Counter("fusiondb_server_shared_sessions_total");
+    mids_.solo_sessions = r->Counter("fusiondb_server_solo_sessions_total");
+    mids_.bytes_scanned = r->Counter("fusiondb_server_bytes_scanned_total");
+    mids_.attributed_bytes =
+        r->Counter("fusiondb_server_attributed_bytes_total");
+    mids_.isolated_bytes = r->Counter("fusiondb_server_isolated_bytes_total");
+    mids_.queue_depth = r->Gauge("fusiondb_server_queue_depth");
+    mids_.batch_sessions = r->Histogram("fusiondb_server_batch_sessions");
+    mids_.queue_wait_us = r->Histogram("fusiondb_server_queue_wait_us");
+    mids_.execute_us = r->Histogram("fusiondb_server_execute_us");
+    mids_.session_bytes =
+        r->Histogram("fusiondb_server_session_bytes_scanned");
+    mids_.decisions_share =
+        r->Counter("fusiondb_cost_decisions_total{verdict=\"share\"}");
+    mids_.decisions_solo =
+        r->Counter("fusiondb_cost_decisions_total{verdict=\"solo\"}");
+    mids_.slow_queries = r->Counter("fusiondb_server_slow_queries_total");
+    mids_.telemetry_errors =
+        r->Counter("fusiondb_server_telemetry_errors_total");
+  }
 }
 
 SessionManager::~SessionManager() { Stop(); }
@@ -88,6 +117,10 @@ SessionPtr SessionManager::Submit(PlanPtr plan) {
     }
     EnsureCoordinatorLocked();
     pending_.push_back(session);
+    if (options_.metrics != nullptr) {
+      options_.metrics->GaugeSet(mids_.queue_depth,
+                                 static_cast<int64_t>(pending_.size()));
+    }
   }
   queue_cv_.notify_all();
   return session;
@@ -155,6 +188,10 @@ void SessionManager::CoordinatorLoop() {
         pending_.begin(), pending_.begin() + static_cast<ptrdiff_t>(take));
     pending_.erase(pending_.begin(),
                    pending_.begin() + static_cast<ptrdiff_t>(take));
+    if (options_.metrics != nullptr) {
+      options_.metrics->GaugeSet(mids_.queue_depth,
+                                 static_cast<int64_t>(pending_.size()));
+    }
     lock.unlock();
     ProcessBatch(batch);
     lock.lock();
@@ -165,6 +202,11 @@ void SessionManager::ProcessBatch(const std::vector<SessionPtr>& sessions) {
   std::lock_guard<std::mutex> lock(batch_mu_);
   BatchReport report;
   report.sessions = sessions.size();
+  if (MetricsRegistry* r = options_.metrics) {
+    r->Add(mids_.batches, 1);
+    r->Add(mids_.sessions, static_cast<int64_t>(sessions.size()));
+    r->Record(mids_.batch_sessions, static_cast<int64_t>(sessions.size()));
+  }
 
   // 1. Renumber every submitted plan into the master id space (so plans
   //    from different sessions can be fused) and optimize it under the
@@ -280,6 +322,8 @@ void SessionManager::ProcessBatch(const std::vector<SessionPtr>& sessions) {
 void SessionManager::ExecuteGroup(Group* group, BatchReport* report) {
   size_t n = group->members.size();
   bool share = n >= 2;
+  int32_t group_decisions = 0;
+  int32_t group_spooled = 0;
 
   // Share-vs-solo pricing (cross-query CostDecision). The decision is
   // recorded even when use_cost_model forces sharing, so traces always
@@ -305,6 +349,11 @@ void SessionManager::ExecuteGroup(Group* group, BatchReport* report) {
     record.cross_query = true;
     if (ctx_.trace() != nullptr) ctx_.trace()->RecordCostDecision(record);
     report->decisions.push_back(std::move(record));
+    group_decisions = 1;
+    group_spooled = share ? 1 : 0;
+    if (MetricsRegistry* r = options_.metrics) {
+      r->Add(share ? mids_.decisions_share : mids_.decisions_solo, 1);
+    }
   }
 
   if (share) {
@@ -328,6 +377,7 @@ void SessionManager::ExecuteGroup(Group* group, BatchReport* report) {
       }
       consumers.push_back(std::move(fc));
     }
+    int64_t exec_start_ns = NowNanos();
     Result<FanOutResult> result =
         ExecuteFanOut(group->fuser.plan(), consumers, options_.exec);
     if (!result.ok()) {
@@ -338,10 +388,15 @@ void SessionManager::ExecuteGroup(Group* group, BatchReport* report) {
     }
     uint64_t fingerprint = PlanFingerprint(group->fuser.plan());
     int64_t bytes = result->metrics.bytes_scanned;
+    int64_t execute_us = (NowNanos() - exec_start_ns) / 1000;
     report->shared_groups++;
     report->shared_sessions += n;
     report->bytes_scanned += bytes;
     report->isolated_bytes_scanned += static_cast<int64_t>(n) * bytes;
+    if (MetricsRegistry* r = options_.metrics) {
+      r->Add(mids_.shared_groups, 1);
+      r->Add(mids_.bytes_scanned, bytes);
+    }
     int64_t share_each = bytes / static_cast<int64_t>(n);
     for (size_t i = 0; i < n; ++i) {
       const Group::Member& m = group->members[i];
@@ -357,8 +412,14 @@ void SessionManager::ExecuteGroup(Group* group, BatchReport* report) {
                                       sharing.consumers,
                                       sharing.attributed_bytes_scanned,
                                       result->results[i].num_rows()});
+      int64_t rows = result->results[i].num_rows();
+      int64_t queue_wait_us =
+          (exec_start_ns - m.session->submitted_ns()) / 1000;
+      m.session->SetTiming(queue_wait_us, execute_us);
       m.session->Fulfill(std::move(result->results[i]), group->fuser.plan(),
                          sharing);
+      FinishSession(m.session, sharing, rows, queue_wait_us, execute_us,
+                    group_decisions, group_spooled);
     }
     return;
   }
@@ -380,6 +441,7 @@ void SessionManager::ExecuteGroup(Group* group, BatchReport* report) {
            Expr::MakeColumnRef(renumbered,
                                type.ok() ? *type : c.type)});
     }
+    int64_t exec_start_ns = NowNanos();
     Result<FanOutResult> result =
         ExecuteFanOut(plan, {std::move(fc)}, options_.exec);
     if (!result.ok()) {
@@ -387,9 +449,13 @@ void SessionManager::ExecuteGroup(Group* group, BatchReport* report) {
       continue;
     }
     int64_t bytes = result->metrics.bytes_scanned;
+    int64_t execute_us = (NowNanos() - exec_start_ns) / 1000;
     report->solo_sessions++;
     report->bytes_scanned += bytes;
     report->isolated_bytes_scanned += bytes;
+    if (MetricsRegistry* r = options_.metrics) {
+      r->Add(mids_.bytes_scanned, bytes);
+    }
     SessionSharing sharing;
     sharing.session_id = m.session->id();
     sharing.group_fingerprint = PlanFingerprint(plan);
@@ -397,10 +463,80 @@ void SessionManager::ExecuteGroup(Group* group, BatchReport* report) {
     sharing.shared_bytes_scanned = bytes;
     sharing.attributed_bytes_scanned = bytes;
     sharing.isolated_bytes_scanned = bytes;
+    int64_t rows = result->results[0].num_rows();
     report->attributions.push_back({sharing.session_id,
                                     sharing.group_fingerprint, 1, bytes,
-                                    result->results[0].num_rows()});
+                                    rows});
+    int64_t queue_wait_us = (exec_start_ns - m.session->submitted_ns()) / 1000;
+    m.session->SetTiming(queue_wait_us, execute_us);
     m.session->Fulfill(std::move(result->results[0]), plan, sharing);
+    FinishSession(m.session, sharing, rows, queue_wait_us, execute_us,
+                  group_decisions, group_spooled);
+  }
+}
+
+void SessionManager::FinishSession(const SessionPtr& session,
+                                   const SessionSharing& sharing, int64_t rows,
+                                   int64_t queue_wait_us, int64_t execute_us,
+                                   int32_t decisions, int32_t spooled) {
+  bool is_shared = sharing.consumers > 1;
+  if (MetricsRegistry* r = options_.metrics) {
+    r->Add(is_shared ? mids_.shared_sessions : mids_.solo_sessions, 1);
+    r->Add(mids_.attributed_bytes, sharing.attributed_bytes_scanned);
+    r->Add(mids_.isolated_bytes,
+           sharing.isolated_bytes_scanned / sharing.consumers);
+    r->Record(mids_.queue_wait_us, queue_wait_us);
+    r->Record(mids_.execute_us, execute_us);
+    r->Record(mids_.session_bytes, sharing.attributed_bytes_scanned);
+  }
+  QueryLog* log = options_.query_log;
+  if (log == nullptr) return;
+
+  QueryLogEvent event;
+  event.session_id = session->id();
+  event.mode = options_.mode_label;
+  event.fingerprint = FingerprintToString(sharing.group_fingerprint);
+  if (is_shared) event.group_fingerprint = event.fingerprint;
+  event.shared = is_shared;
+  event.consumers = sharing.consumers;
+  event.queue_wait_us = queue_wait_us;
+  event.execute_us = execute_us;
+  event.bytes_scanned = sharing.attributed_bytes_scanned;
+  event.shared_bytes_scanned = sharing.shared_bytes_scanned;
+  event.isolated_bytes_scanned = sharing.isolated_bytes_scanned;
+  event.rows_produced = rows;
+  event.cost_decisions = decisions;
+  event.cost_spooled = spooled;
+
+  // Slow-query capture: anything whose end-to-end latency (queue + execute)
+  // crosses the log's threshold gets its full profile written next to the
+  // log. Telemetry failures never fail the query — count and report them.
+  if (log->IsSlow(queue_wait_us + execute_us)) {
+    event.slow = true;
+    if (MetricsRegistry* r = options_.metrics) {
+      r->Add(mids_.slow_queries, 1);
+    }
+    QueryProfile profile =
+        MakeSessionProfile(*session, "", options_.mode_label);
+    std::string path = log->SlowProfilePath(session->id());
+    Status st = WriteProfileJson(profile, path);
+    if (st.ok()) {
+      event.slow_profile_path = path;
+    } else {
+      fprintf(stderr, "fusiondb: slow-query profile capture failed: %s\n",
+              st.message().c_str());
+      if (MetricsRegistry* r = options_.metrics) {
+        r->Add(mids_.telemetry_errors, 1);
+      }
+    }
+  }
+  Status st = log->Append(event);
+  if (!st.ok()) {
+    fprintf(stderr, "fusiondb: query log append failed: %s\n",
+            st.message().c_str());
+    if (MetricsRegistry* r = options_.metrics) {
+      r->Add(mids_.telemetry_errors, 1);
+    }
   }
 }
 

@@ -30,7 +30,9 @@
 
 #include "analysis/semantic_ledger.h"
 #include "exec/fanout.h"
+#include "obs/metrics.h"
 #include "obs/optimizer_trace.h"
+#include "obs/query_log.h"
 #include "optimizer/optimizer.h"
 #include "plan/multi_plan.h"
 #include "server/query_session.h"
@@ -67,6 +69,24 @@ struct ServerOptions {
   /// Optional trace (not owned; must outlive the manager). Receives the
   /// per-session optimizer phases and the cross-query CostDecisions.
   OptimizerTrace* trace = nullptr;
+
+  /// Optional service metrics registry (not owned; must outlive the
+  /// manager). When set, the manager records the `fusiondb_server_*`
+  /// catalog (DESIGN.md §9.4) — queue-wait/execute latency histograms,
+  /// batch occupancy, shared-vs-solo session counts, shared/attributed/
+  /// isolated bytes — and wires the registry into the optimizer context
+  /// and, unless `exec.metrics` is already set, into batch execution.
+  MetricsRegistry* metrics = nullptr;
+
+  /// Optional structured query log (not owned; must outlive the manager).
+  /// One JSONL event per successfully completed session; sessions crossing
+  /// the log's slow threshold auto-capture a full QueryProfile JSON next
+  /// to the log file.
+  QueryLog* query_log = nullptr;
+
+  /// Label recorded as `mode` in query-log events ("baseline", "fused",
+  /// "spooling", "adaptive"). Informational only.
+  std::string mode_label;
 };
 
 /// One session's slice of a batch, for reports and JSON export.
@@ -142,10 +162,33 @@ class SessionManager {
   /// otherwise each member solo) and fulfills its sessions.
   void ExecuteGroup(Group* group, BatchReport* report);
 
+  /// Post-fulfillment telemetry for one successfully executed session:
+  /// latency histograms and sharing counters into the registry, one query
+  /// log event, and the slow-query profile capture. `decisions`/`spooled`
+  /// describe the group's cost verdicts.
+  void FinishSession(const SessionPtr& session, const SessionSharing& sharing,
+                     int64_t rows, int64_t queue_wait_us, int64_t execute_us,
+                     int32_t decisions, int32_t spooled);
+
   void CoordinatorLoop();
   void EnsureCoordinatorLocked();
 
   ServerOptions options_;
+
+  /// Metric ids pre-resolved at construction so batch hot paths never take
+  /// the registry's registration lock. All invalid when metrics == null
+  /// (recording through an invalid id is a no-op).
+  struct ServerMetricIds {
+    MetricId batches, sessions, shared_groups, shared_sessions, solo_sessions;
+    MetricId bytes_scanned, attributed_bytes, isolated_bytes;
+    MetricId queue_depth;                 // gauge
+    MetricId batch_sessions;              // histogram: admission occupancy
+    MetricId queue_wait_us, execute_us;   // histograms, microseconds
+    MetricId session_bytes;               // histogram: attributed bytes
+    MetricId decisions_share, decisions_solo;
+    MetricId slow_queries, telemetry_errors;
+  };
+  ServerMetricIds mids_;
 
   std::mutex batch_mu_;  // serializes ProcessBatch (and thus ctx_)
   PlanContext ctx_;      // master id space; guarded by batch_mu_

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Accumulate BENCH_<name>.json reports into per-benchmark time series.
+
+bench_diff.py answers "did this one change regress?"; this tool answers
+"how has each benchmark moved across the last N runs?". Every `append`
+stores one snapshot of a report into a JSONL trajectory file (one line per
+append, newest last); `report` replays the series and prints, for each
+(bench, query, config, threads) key, the recorded wall_ms values with the
+latest-vs-previous and latest-vs-first deltas.
+
+Usage:
+    tools/bench_trajectory.py append BENCH_tpcds_overall.json [...more]
+        [--db BENCH_TRAJECTORY.jsonl] [--label "after PR 8"]
+    tools/bench_trajectory.py report
+        [--db BENCH_TRAJECTORY.jsonl] [--bench tpcds_overall] [--last N]
+
+The trajectory file is append-only JSONL (schema_version stamped per line)
+and lives in the working directory by default, so CI can cache or upload it
+alongside the BENCH_*.json artifacts it is built from.
+"""
+
+import argparse
+import datetime
+import json
+import sys
+
+SCHEMA_VERSION = 1
+DEFAULT_DB = "BENCH_TRAJECTORY.jsonl"
+
+
+def load_report(path):
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_trajectory: cannot read {path}: {e}")
+    if "bench" not in report or not report.get("records"):
+        sys.exit(f"bench_trajectory: {path} is not a BENCH report "
+                 "(missing 'bench' or empty 'records')")
+    return report
+
+
+def cmd_append(args):
+    lines = []
+    stamp = datetime.datetime.now(datetime.timezone.utc).isoformat(
+        timespec="seconds")
+    for path in args.reports:
+        report = load_report(path)
+        entry = {
+            "schema_version": SCHEMA_VERSION,
+            "at": stamp,
+            "label": args.label,
+            "bench": report["bench"],
+            "scale": report.get("scale"),
+            "records": [
+                {
+                    "query": r["query"],
+                    "config": r.get("config", ""),
+                    "threads": r.get("threads", 1),
+                    "wall_ms": float(r["wall_ms"]),
+                    "bytes_scanned": r.get("bytes_scanned"),
+                }
+                for r in report["records"]
+            ],
+        }
+        lines.append(json.dumps(entry, separators=(",", ":")))
+    try:
+        with open(args.db, "a") as f:
+            for line in lines:
+                f.write(line + "\n")
+    except OSError as e:
+        sys.exit(f"bench_trajectory: cannot append to {args.db}: {e}")
+    print(f"bench_trajectory: appended {len(lines)} report(s) to {args.db}")
+    return 0
+
+
+def load_db(path):
+    entries = []
+    try:
+        with open(path) as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entries.append(json.loads(line))
+                except json.JSONDecodeError as e:
+                    sys.exit(f"bench_trajectory: {path}:{lineno}: bad JSON: {e}")
+    except OSError as e:
+        sys.exit(f"bench_trajectory: cannot read {path}: {e}")
+    if not entries:
+        sys.exit(f"bench_trajectory: {path} is empty — run `append` first")
+    return entries
+
+
+def fmt_key(key):
+    _, query, config, threads = key
+    out = query
+    if config:
+        out += f" [{config}]"
+    if threads != 1:
+        out += f" x{threads}t"
+    return out
+
+
+def cmd_report(args):
+    entries = load_db(args.db)
+    if args.bench:
+        entries = [e for e in entries if e.get("bench") == args.bench]
+        if not entries:
+            sys.exit(f"bench_trajectory: no entries for bench "
+                     f"'{args.bench}' in {args.db}")
+
+    # series[(bench, query, config, threads)] = [wall_ms, ...] oldest first.
+    series = {}
+    for e in entries:
+        for r in e.get("records", []):
+            key = (e["bench"], r["query"], r.get("config", ""),
+                   r.get("threads", 1))
+            series.setdefault(key, []).append(float(r["wall_ms"]))
+
+    benches = sorted({k[0] for k in series})
+    status = 0
+    for bench in benches:
+        keys = sorted(k for k in series if k[0] == bench)
+        runs = max(len(series[k]) for k in keys)
+        shown = min(runs, args.last) if args.last else runs
+        print(f"== {bench} ({runs} run(s), showing last {shown}) ==")
+        width = max(len(fmt_key(k)) for k in keys)
+        for key in keys:
+            vals = series[key]
+            tail = vals[-shown:]
+            cells = "  ".join(f"{v:>9.4f}" for v in tail)
+            deltas = ""
+            if len(vals) >= 2:
+                prev = vals[-2]
+                first = vals[0]
+                d_prev = ((vals[-1] - prev) / prev * 100.0) if prev > 0 else 0.0
+                d_first = ((vals[-1] - first) / first * 100.0) if first > 0 \
+                    else 0.0
+                deltas = f"  vs prev {d_prev:+6.1f}%  vs first {d_first:+6.1f}%"
+            print(f"  {fmt_key(key):<{width}}  {cells}{deltas}")
+        print()
+    return status
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Per-benchmark wall_ms time series over BENCH reports.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_append = sub.add_parser("append", help="record BENCH report(s)")
+    p_append.add_argument("reports", nargs="+",
+                          help="BENCH_<name>.json files to record")
+    p_append.add_argument("--db", default=DEFAULT_DB)
+    p_append.add_argument("--label", default="",
+                          help="free-form tag for this run (e.g. a commit)")
+    p_append.set_defaults(func=cmd_append)
+
+    p_report = sub.add_parser("report", help="print the recorded series")
+    p_report.add_argument("--db", default=DEFAULT_DB)
+    p_report.add_argument("--bench", default="",
+                          help="restrict to one bench name")
+    p_report.add_argument("--last", type=int, default=0,
+                          help="show only the last N runs per series")
+    p_report.set_defaults(func=cmd_report)
+
+    args = parser.parse_args()
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

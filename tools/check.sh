@@ -13,6 +13,11 @@
 #      with tools/bench_diff.py gating adaptive against best-static;
 #      multi_client_throughput with bench_diff.py gating the sharing
 #      path's single-client latency against the solo path
+#   7. service metrics: run_query --server with --metrics/--query-log and
+#      assert both outputs are non-empty well-formed JSON (the binary's own
+#      exit code already covers the counter-vs-attribution reconciliation);
+#      then tpcds_overall with FUSIONDB_BENCH_METRICS off and on, with
+#      tools/bench_diff.py gating the always-on recording overhead at 2%
 #
 # Usage: tools/check.sh [-j N]
 set -eu
@@ -28,12 +33,12 @@ done
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
-echo "== [1/6] tier-1 build + tests =="
+echo "== [1/7] tier-1 build + tests =="
 cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure -j"$JOBS"
 
-echo "== [2/6] semantic verification (FUSIONDB_VERIFY_SEMANTICS=1) =="
+echo "== [2/7] semantic verification (FUSIONDB_VERIFY_SEMANTICS=1) =="
 # Every optimizer mode's full TPC-DS sweep, plus the server's cross-plan
 # folds, with the semantic tier re-proving each rewrite's obligations.
 # plan_props_test covers derivation + the per-tag negative cases;
@@ -56,20 +61,20 @@ python3 tools/bench_diff.py \
   build/bench/BENCH_tpcds_overall.semantics_off.json \
   build/bench/BENCH_tpcds_overall.semantics_on.json --threshold 5 --total
 
-echo "== [3/6] ThreadSanitizer (parallel tests) =="
+echo "== [3/7] ThreadSanitizer (parallel tests) =="
 cmake -B build-tsan -S . -DFUSIONDB_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$JOBS"
 ctest --test-dir build-tsan --output-on-failure -L parallel
 
-echo "== [4/6] UndefinedBehaviorSanitizer (full suite) =="
+echo "== [4/7] UndefinedBehaviorSanitizer (full suite) =="
 cmake -B build-ubsan -S . -DFUSIONDB_SANITIZE=undefined >/dev/null
 cmake --build build-ubsan -j"$JOBS"
 ctest --test-dir build-ubsan --output-on-failure -j"$JOBS"
 
-echo "== [5/6] lint =="
+echo "== [5/7] lint =="
 tools/lint.sh build
 
-echo "== [6/6] bench smoke + adaptive regression gate =="
+echo "== [6/7] bench smoke + adaptive regression gate =="
 # Tiny scale, one repeat: this checks the benches run and that their
 # cross-config result-equivalence assertions hold, and gates adaptive
 # mode against the best static policy. Latency numbers at this scale are
@@ -94,5 +99,60 @@ python3 tools/bench_diff.py \
 python3 tools/bench_diff.py \
   build/bench/BENCH_multi_client_throughput.solo.json \
   build/bench/BENCH_multi_client_throughput.shared.json --threshold 10
+
+echo "== [7/7] service metrics smoke + overhead gate =="
+# Smoke: a server run with the full telemetry surface on. run_query itself
+# exits nonzero when the registry's counters fail to reconcile with the
+# summed per-session attribution blocks, or when any telemetry write
+# fails; the python check asserts the outputs are non-empty, well-formed,
+# and carry one query-log event per client.
+METRICS_DIR="$(mktemp -d)"
+trap 'rm -rf "$METRICS_DIR"' EXIT
+build/examples/run_query q65 0.01 --server --clients=8 \
+  --metrics="$METRICS_DIR/metrics.json" \
+  --query-log="$METRICS_DIR/query_log.jsonl" --slow-ms=10000 >/dev/null
+python3 - "$METRICS_DIR" <<'EOF'
+import json, sys
+d = sys.argv[1]
+m = json.load(open(d + "/metrics.json"))
+assert m["schema_version"] == 1, m.get("schema_version")
+assert m["counters"]["fusiondb_server_sessions_total"] == 8, m["counters"]
+assert m["histograms"]["fusiondb_server_queue_wait_us"]["count"] == 8
+assert m["histograms"]["fusiondb_server_execute_us"]["count"] == 8
+events = [json.loads(l) for l in open(d + "/query_log.jsonl")]
+assert len(events) == 8, len(events)
+assert all(e["schema_version"] == 1 for e in events)
+print("metrics smoke: snapshot + %d query-log events OK" % len(events))
+EOF
+# Overhead gate: always-on recording must cost <= 2% on the whole-workload
+# bench. Same --total rationale as the semantic-verification gate. The two
+# configurations are run interleaved (off/on, three rounds) and compared on
+# per-query best-of-rounds, because single process-pairs drift by more than
+# the threshold on shared hardware (same discipline as the adaptive gate).
+(cd build/bench &&
+  for round in 1 2 3; do
+    FUSIONDB_BENCH_SCALE=0.01 FUSIONDB_BENCH_REPEATS=3 \
+      FUSIONDB_BENCH_METRICS=0 ./tpcds_overall &&
+    mv BENCH_tpcds_overall.json "BENCH_tpcds_overall.metrics_off.$round.json" &&
+    FUSIONDB_BENCH_SCALE=0.01 FUSIONDB_BENCH_REPEATS=3 \
+      FUSIONDB_BENCH_METRICS=1 ./tpcds_overall &&
+    mv BENCH_tpcds_overall.json "BENCH_tpcds_overall.metrics_on.$round.json" ||
+    exit 1
+  done)
+python3 - build/bench <<'EOF'
+import json, sys
+d = sys.argv[1]
+for config in ("metrics_off", "metrics_on"):
+    reports = [json.load(open("%s/BENCH_tpcds_overall.%s.%d.json" % (d, config, i)))
+               for i in (1, 2, 3)]
+    merged = reports[0]
+    for rec, *others in zip(*(r["records"] for r in reports)):
+        rec["wall_ms"] = min([rec["wall_ms"]] + [o["wall_ms"] for o in others])
+    json.dump(merged, open("%s/BENCH_tpcds_overall.%s.json" % (d, config), "w"))
+    print("merged %s: best-of-3 over %d records" % (config, len(merged["records"])))
+EOF
+python3 tools/bench_diff.py \
+  build/bench/BENCH_tpcds_overall.metrics_off.json \
+  build/bench/BENCH_tpcds_overall.metrics_on.json --threshold 2 --total
 
 echo "check: all gates passed"
