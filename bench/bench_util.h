@@ -62,6 +62,15 @@ inline bool BenchProfileEnabled() {
   return env == nullptr || std::atoi(env) != 0;
 }
 
+/// Compiled pipelines during benches; disable with FUSIONDB_BENCH_COMPILE=0
+/// to run every chain on the interpreted pull operators. tools/check.sh
+/// runs the whole-workload and fused-chain benches under both settings and
+/// gates the off-vs-on deltas with bench_diff.py (see EXPERIMENTS.md).
+inline bool BenchCompilePipelines() {
+  const char* env = std::getenv("FUSIONDB_BENCH_COMPILE");
+  return env == nullptr || std::atoi(env) != 0;
+}
+
 /// Service-metrics recording during benches; enable with
 /// FUSIONDB_BENCH_METRICS=1 to measure the registry's always-on recording
 /// cost (tools/check.sh gates the overhead at <= 2% on tpcds_overall, see
@@ -147,9 +156,10 @@ inline RunStats RunPlan(const PlanPtr& plan, const OptimizerOptions& options,
   RunStats stats;
   std::vector<double> times;
   for (int i = 0; i < repeats; ++i) {
-    QueryResult result =
-        Unwrap(ExecutePlan(optimized, {.profile = BenchProfileEnabled(),
-                                       .metrics = BenchMetricsRegistry()}));
+    QueryResult result = Unwrap(
+        ExecutePlan(optimized, {.profile = BenchProfileEnabled(),
+                                .compile_pipelines = BenchCompilePipelines(),
+                                .metrics = BenchMetricsRegistry()}));
     times.push_back(result.wall_ms());
     stats.bytes_scanned = result.metrics().bytes_scanned;
     stats.peak_hash_bytes = result.metrics().peak_hash_bytes;
@@ -175,8 +185,10 @@ inline Comparison CompareQuery(const tpcds::TpcdsQuery& query,
       Unwrap(Optimizer(OptimizerOptions::Baseline()).Optimize(plan, &ctx));
   PlanPtr fused =
       Unwrap(Optimizer(OptimizerOptions::Fused()).Optimize(plan, &ctx));
-  QueryResult rb = Unwrap(ExecutePlan(baseline));
-  QueryResult rf = Unwrap(ExecutePlan(fused));
+  QueryResult rb = Unwrap(
+      ExecutePlan(baseline, {.compile_pipelines = BenchCompilePipelines()}));
+  QueryResult rf = Unwrap(
+      ExecutePlan(fused, {.compile_pipelines = BenchCompilePipelines()}));
   Comparison out;
   out.results_match = ResultsEquivalent(rb, rf);
   out.baseline = RunPlan(plan, OptimizerOptions::Baseline(), &ctx, repeats);

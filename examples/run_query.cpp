@@ -21,6 +21,10 @@
 //   --profile=PATH      write a JSON QueryProfile of the measured execution
 //   --threads=N         morsel-driven intra-query parallelism (0 = all
 //                       cores; default 1 = single-threaded)
+//   --no-compile-pipelines
+//                       disable bind-time pipeline compilation; every chain
+//                       runs on the interpreted pull operators (the
+//                       differential oracle — DESIGN.md §13)
 //   --server            cross-query fusion server mode: N concurrent
 //                       clients submit the same query; the session layer
 //                       batches them over the admission window and shares
@@ -71,7 +75,7 @@ void Usage() {
                "usage: run_query [query] [scale] "
                "[--mode={baseline,fused,spooling,adaptive}] [--plans] "
                "[--explain] [--explain-analyze] [--trace-optimizer] "
-               "[--profile=PATH] [--threads=N] "
+               "[--profile=PATH] [--threads=N] [--no-compile-pipelines] "
                "[--server] [--clients=N] [--window-ms=M] "
                "[--metrics=PATH] [--query-log=PATH] [--slow-ms=N]\n");
 }
@@ -88,6 +92,7 @@ int main(int argc, char** argv) {
   bool trace_optimizer = false;
   std::string profile_path;
   size_t threads = 1;
+  bool compile_pipelines = true;
   bool server = false;
   int clients = 4;
   int64_t window_ms = 50;
@@ -112,6 +117,8 @@ int main(int argc, char** argv) {
       profile_path = argv[++i];
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       threads = static_cast<size_t>(std::atoi(argv[i] + 10));
+    } else if (std::strcmp(argv[i], "--no-compile-pipelines") == 0) {
+      compile_pipelines = false;
     } else if (std::strcmp(argv[i], "--server") == 0) {
       server = true;
     } else if (std::strncmp(argv[i], "--clients=", 10) == 0) {
@@ -175,13 +182,34 @@ int main(int argc, char** argv) {
     PlanPtr ref_optimized = Unwrap(Optimizer(opt).Optimize(ref_plan, &ref_ctx));
     std::fprintf(stderr, "executing isolated reference (%s)...\n",
                  mode.c_str());
-    QueryResult isolated =
-        Unwrap(ExecutePlan(ref_optimized, {.parallelism = threads}));
+    QueryResult isolated = Unwrap(
+        ExecutePlan(ref_optimized, {.parallelism = threads,
+                                    .compile_pipelines = compile_pipelines}));
+
+    // Compiled-vs-interpreted self-check: the same plan executed with
+    // pipeline compilation toggled must read identical bytes and render
+    // identical rows (the interpreted pull path is the oracle). Any drift
+    // is an executor bug, so it fails the run like a metrics mismatch.
+    QueryResult cross_check = Unwrap(
+        ExecutePlan(ref_optimized, {.parallelism = threads,
+                                    .compile_pipelines = !compile_pipelines}));
+    bool pipelines_reconciled = true;
+    if (!ResultsEquivalent(isolated, cross_check) ||
+        isolated.metrics().bytes_scanned !=
+            cross_check.metrics().bytes_scanned) {
+      std::fprintf(stderr,
+                   "run_query: compiled-vs-interpreted self-check FAILED: "
+                   "bytes %lld vs %lld\n",
+                   static_cast<long long>(isolated.metrics().bytes_scanned),
+                   static_cast<long long>(cross_check.metrics().bytes_scanned));
+      pipelines_reconciled = false;
+    }
 
     ServerOptions server_options;
     server_options.window.window_ms = window_ms;
     server_options.optimizer = opt;
     server_options.exec.parallelism = threads;
+    server_options.exec.compile_pipelines = compile_pipelines;
     OptimizerTrace server_trace;
     bool want_trace = trace_optimizer || !profile_path.empty();
     if (want_trace) server_options.trace = &server_trace;
@@ -293,7 +321,7 @@ int main(int argc, char** argv) {
                 static_cast<long long>(isolated.metrics().bytes_scanned));
     std::printf("\nfirst rows:\n%s",
                 (*sessions.front()->result()).ToString(5).c_str());
-    return matched == clients && reconciled ? 0 : 1;
+    return matched == clients && reconciled && pipelines_reconciled ? 0 : 1;
   }
 
   PlanContext ctx;
@@ -319,8 +347,9 @@ int main(int argc, char** argv) {
         Optimizer(OptimizerOptions::Adaptive(nullptr)).Optimize(plan, &ctx));
     if (want_trace) ctx.set_trace(nullptr);
     std::fprintf(stderr, "executing feedback run (threads=%zu)...\n", threads);
-    QueryResult first_result =
-        Unwrap(ExecutePlan(first, {.parallelism = threads}));
+    QueryResult first_result = Unwrap(
+        ExecutePlan(first, {.parallelism = threads,
+                            .compile_pipelines = compile_pipelines}));
     size_t harvested = feedback.Harvest(first, first_result.operator_stats());
     std::fprintf(stderr, "harvested %zu measured cardinalities\n", harvested);
     std::fprintf(stderr, "optimizing (adaptive, measured feedback)...\n");
@@ -368,8 +397,9 @@ int main(int argc, char** argv) {
   if (explain_only) return 0;
 
   std::fprintf(stderr, "executing (baseline, threads=%zu)...\n", threads);
-  QueryResult base_result =
-      Unwrap(ExecutePlan(baseline, {.parallelism = threads}));
+  QueryResult base_result = Unwrap(
+      ExecutePlan(baseline, {.parallelism = threads,
+                             .compile_pipelines = compile_pipelines}));
   std::fprintf(stderr, "executing (%s, threads=%zu)...\n", mode.c_str(),
                threads);
   // The measured run records into the service registry when --metrics is
@@ -378,6 +408,7 @@ int main(int argc, char** argv) {
   MetricsRegistry registry;
   QueryResult mode_result = Unwrap(ExecutePlan(
       optimized, {.parallelism = threads,
+                  .compile_pipelines = compile_pipelines,
                   .metrics = metrics_path.empty() ? nullptr : &registry}));
 
   if (explain_analyze) {

@@ -1,9 +1,12 @@
 // Hash aggregation (with per-aggregate masks and DISTINCT), partitioned
-// window aggregation, and MarkDistinct.
+// window aggregation, and MarkDistinct. The binding and accumulation core
+// (BoundAgg/MaskSet/BindAggs, GroupMap, AccumulateView, merge/finalize) is
+// shared with the compiled-pipeline aggregate sink — see exec/agg_build.h.
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "exec/agg_build.h"
 #include "exec/agg_state.h"
 #include "exec/operators_internal.h"
 #include "exec/row_key.h"
@@ -13,120 +16,6 @@
 namespace fusiondb::internal {
 
 namespace {
-
-/// Bound form of one aggregate: evaluators for mask and argument. Masks are
-/// deduplicated per operator (fusion gives many aggregates the same mask —
-/// Q09 ends with 15 aggregates over 5 distinct masks) and evaluated once
-/// per chunk; bare-column arguments read the input column directly.
-struct BoundAgg {
-  const AggregateItem* item;
-  std::optional<BoundExpr> arg;
-  int arg_column = -1;  // >= 0 when the argument is a bare column reference
-  int mask_slot = -1;   // index into the per-chunk mask selections; -1 == TRUE
-};
-
-/// Deduplicated masks shared by a set of aggregates. Masks are stored as
-/// lists of *conjunct* slots, and conjuncts are deduplicated across masks
-/// (after fusion, `lp_avg_i`, `lp_cnt_i` and `lp_cntd_i` all carry the same
-/// bucket condition), so each distinct conjunct is evaluated once per chunk
-/// and masks intersect selections. Sound for filtering because a conjunction
-/// is TRUE iff every conjunct is TRUE.
-struct MaskSet {
-  std::vector<BoundExpr> conjuncts;            // unique conjunct evaluators
-  std::vector<std::vector<int>> mask_slots;    // per mask: conjunct indexes
-
-  size_t num_masks() const { return mask_slots.size(); }
-
-  /// Evaluates all masks over a chunk: one selection vector per mask, each
-  /// the intersection of its conjuncts' surviving rows.
-  std::vector<SelVector> Evaluate(const Chunk& chunk) const {
-    std::vector<SelVector> conjunct_sels;
-    conjunct_sels.reserve(conjuncts.size());
-    for (const BoundExpr& c : conjuncts) {
-      conjunct_sels.push_back(c.EvalFilter(chunk));
-    }
-    std::vector<SelVector> sels;
-    sels.reserve(mask_slots.size());
-    for (const std::vector<int>& slots : mask_slots) {
-      SelVector sel;
-      bool first = true;
-      for (int s : slots) {
-        sel = first ? conjunct_sels[s]
-                    : SelVector::Intersect(sel, conjunct_sels[s]);
-        first = false;
-      }
-      if (first) sel = SelVector::Dense(chunk.num_rows());
-      sels.push_back(std::move(sel));
-    }
-    return sels;
-  }
-};
-
-struct BoundAggs {
-  std::vector<BoundAgg> aggs;
-  MaskSet mask_set;
-};
-
-Result<BoundAggs> BindAggs(const std::vector<AggregateItem>& items,
-                           const Schema& input) {
-  BoundAggs out;
-  out.aggs.reserve(items.size());
-  std::vector<std::string> mask_fps;      // dedupe whole masks
-  std::vector<std::string> conjunct_fps;  // dedupe conjuncts across masks
-  for (const AggregateItem& item : items) {
-    BoundAgg b;
-    b.item = &item;
-    if (item.arg != nullptr) {
-      FUSIONDB_ASSIGN_OR_RETURN(BoundExpr e, BindExpr(item.arg, input));
-      b.arg = std::move(e);
-      if (item.arg->kind() == ExprKind::kColumnRef) {
-        b.arg_column = input.IndexOf(item.arg->column_id());
-      }
-    } else if (item.func != AggFunc::kCountStar) {
-      return Status::PlanError("aggregate " + item.name + " missing argument");
-    }
-    if (item.mask != nullptr && !item.mask->IsLiteralBool(true)) {
-      if (item.mask->type() != DataType::kBool) {
-        return Status::TypeError("aggregate mask must be boolean");
-      }
-      std::string fp = ExprFingerprint(item.mask);
-      for (size_t i = 0; i < mask_fps.size(); ++i) {
-        if (mask_fps[i] == fp) {
-          b.mask_slot = static_cast<int>(i);
-          break;
-        }
-      }
-      if (b.mask_slot < 0) {
-        std::vector<ExprPtr> parts;
-        SplitConjuncts(item.mask, &parts);
-        std::vector<int> slots;
-        slots.reserve(parts.size());
-        for (const ExprPtr& part : parts) {
-          std::string pfp = ExprFingerprint(part);
-          int slot = -1;
-          for (size_t i = 0; i < conjunct_fps.size(); ++i) {
-            if (conjunct_fps[i] == pfp) {
-              slot = static_cast<int>(i);
-              break;
-            }
-          }
-          if (slot < 0) {
-            FUSIONDB_ASSIGN_OR_RETURN(BoundExpr e, BindExpr(part, input));
-            slot = static_cast<int>(out.mask_set.conjuncts.size());
-            out.mask_set.conjuncts.push_back(std::move(e));
-            conjunct_fps.push_back(std::move(pfp));
-          }
-          slots.push_back(slot);
-        }
-        b.mask_slot = static_cast<int>(out.mask_set.mask_slots.size());
-        out.mask_set.mask_slots.push_back(std::move(slots));
-        mask_fps.push_back(std::move(fp));
-      }
-    }
-    out.aggs.push_back(std::move(b));
-  }
-  return out;
-}
 
 class AggregateExec final : public ExecOperator {
  public:
@@ -148,79 +37,37 @@ class AggregateExec final : public ExecOperator {
     if (done_) return std::optional<Chunk>();
     done_ = true;
     FUSIONDB_RETURN_IF_ERROR(Drain());
-    return std::optional<Chunk>(Finalize());
+    return std::optional<Chunk>(FinalizeGroups(&groups_, aggs_, OutputTypes(),
+                                               group_indexes_.size()));
   }
 
  private:
-  /// Per-group state plus one boxed copy of the grouping values (boxed once
-  /// per group, not per row — rows key on the serialized form).
-  struct GroupEntry {
-    std::vector<Value> representative;
-    std::vector<AggState> states;
-  };
-  using GroupMap = std::unordered_map<std::string, GroupEntry>;
-
-  /// Accumulates every row of `in` into `groups` (one hash table — the
-  /// query's for the serial path, a worker-private partial for the parallel
-  /// path). `key` is the reusable row-key buffer.
+  /// Accumulates every row of `in` into `groups` via the shared view-based
+  /// core: masks evaluate once per chunk, expression-valued arguments
+  /// evaluate once column-at-a-time, bare-column arguments read the input
+  /// column directly.
   void AccumulateChunk(const Chunk& in, GroupMap* groups, std::string* key) {
     size_t rows = in.num_rows();
     if (rows == 0) return;
+    AggInputView view;
+    view.rows = rows;
     // One pass per distinct mask conjunct over the whole chunk; each mask is
     // the intersection of its conjuncts' selections.
-    std::vector<SelVector> masks = mask_set_.Evaluate(in);
-    // Expression-valued arguments evaluate once per chunk, column-at-a-time.
+    view.masks = mask_set_.Evaluate(in);
+    view.group_cols.reserve(group_indexes_.size());
+    for (int g : group_indexes_) view.group_cols.push_back(&in.columns[g]);
     std::vector<Column> expr_args(aggs_.size());
+    view.arg_cols.resize(aggs_.size(), nullptr);
     for (size_t a = 0; a < aggs_.size(); ++a) {
       const BoundAgg& agg = aggs_[a];
-      if (agg.arg_column < 0 && agg.arg.has_value()) {
-        expr_args[a] = agg.arg->EvalAll(in);
-      }
-    }
-    // Pass 1: resolve each row's group once. The map is node-based, so entry
-    // pointers stay stable across later inserts.
-    std::vector<GroupEntry*> row_groups(rows);
-    for (size_t r = 0; r < rows; ++r) {
-      RowKeyEncoder::Encode(in, group_indexes_, r, key);
-      auto [it, inserted] = groups->try_emplace(*key);
-      GroupEntry& entry = it->second;
-      if (inserted) {
-        entry.states.resize(aggs_.size());
-        entry.representative.reserve(group_indexes_.size());
-        for (int g : group_indexes_) {
-          entry.representative.push_back(in.columns[g].GetValue(r));
-        }
-      }
-      row_groups[r] = &entry;
-    }
-    // Pass 2: per aggregate, one walk over its mask's surviving rows. Each
-    // (group, aggregate) state still sees its rows in ascending order, so
-    // floating-point sums accumulate in exactly the row-at-a-time order.
-    SelVector dense;
-    for (size_t a = 0; a < aggs_.size(); ++a) {
-      const BoundAgg& agg = aggs_[a];
-      if (agg.mask_slot < 0 && dense.size() != rows) {
-        dense = SelVector::Dense(rows);
-      }
-      const SelVector& sel =
-          agg.mask_slot >= 0 ? masks[agg.mask_slot] : dense;
       if (agg.arg_column >= 0) {
-        const Column& col = in.columns[agg.arg_column];
-        for (uint32_t r : sel) {
-          row_groups[r]->states[a].AccumulateColumnRow(*agg.item, col, r);
-        }
+        view.arg_cols[a] = &in.columns[agg.arg_column];
       } else if (agg.arg.has_value()) {
-        const Column& col = expr_args[a];
-        for (uint32_t r : sel) {
-          row_groups[r]->states[a].AccumulateColumnRow(*agg.item, col, r);
-        }
-      } else {
-        // COUNT(*): no argument to read.
-        for (uint32_t r : sel) {
-          row_groups[r]->states[a].AccumulateRow(*agg.item, Value::Bool(true));
-        }
+        expr_args[a] = agg.arg->EvalAll(in);
+        view.arg_cols[a] = &expr_args[a];
       }
     }
+    AccumulateView(view, aggs_, groups, key);
   }
 
   Status Drain() {
@@ -238,13 +85,8 @@ class AggregateExec final : public ExecOperator {
         AccumulateChunk(*in, &groups_, &key);
       }
     }
-    int64_t bytes = 0;
-    for (const auto& [k, entry] : groups_) {
-      bytes += 48 + static_cast<int64_t>(k.size());
-      for (const AggState& s : entry.states) bytes += AggStateBytes(s);
-    }
-    accounted_bytes_ = bytes;
-    ctx_->AddHashBytes(bytes, op_id_);
+    accounted_bytes_ = GroupMapBytes(groups_);
+    ctx_->AddHashBytes(accounted_bytes_, op_id_);
     return Status::OK();
   }
 
@@ -276,39 +118,12 @@ class AggregateExec final : public ExecOperator {
           return Status::OK();
         });
     FUSIONDB_RETURN_IF_ERROR(st);
-    for (GroupMap& pm : partials) {
-      for (auto& [k, entry] : pm) {
-        auto [it, inserted] = groups_.try_emplace(k);
-        if (inserted) {
-          it->second = std::move(entry);
-        } else {
-          GroupEntry& dst = it->second;
-          for (size_t a = 0; a < aggs_.size(); ++a) {
-            dst.states[a].Merge(*aggs_[a].item, std::move(entry.states[a]));
-          }
-        }
-      }
-    }
+    MergePartialGroups(aggs_, &partials, &groups_);
     if (scalar_) {
       // Scalar aggregates emit one row even over empty input.
       groups_[std::string()].states.resize(aggs_.size());
     }
     return Status::OK();
-  }
-
-  Chunk Finalize() {
-    Chunk out = Chunk::Empty(OutputTypes());
-    size_t gw = group_indexes_.size();
-    for (auto& [k, entry] : groups_) {
-      for (size_t g = 0; g < gw; ++g) {
-        out.columns[g].AppendValue(entry.representative[g]);
-      }
-      for (size_t a = 0; a < entry.states.size(); ++a) {
-        out.columns[gw + a].AppendValue(
-            entry.states[a].Finalize(*aggs_[a].item));
-      }
-    }
-    return out;
   }
 
   bool scalar_;

@@ -25,12 +25,14 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "catalog/encoding.h"
 #include "common/check.h"
+#include "exec/exec_options.h"
 #include "exec/thread_pool.h"
 #include "obs/operator_stats.h"
 #include "types/chunk.h"
@@ -54,6 +56,20 @@ struct ExecMetrics {
   int64_t spool_bytes_read = 0;
 };
 
+/// One compiled-pipeline outcome, recorded by the executor build for every
+/// chain it considered: either a successful compilation (fallback empty,
+/// ops_fused counts the covered operators, scan included) or a per-pipeline
+/// fallback to the interpreted operators with the reason that stopped the
+/// compiler. Surfaced through QueryResult into EXPLAIN ANALYZE, the profile
+/// JSON, and the fusiondb_exec_pipeline* service counters.
+struct PipelineRecord {
+  int32_t root_op_id = -1;  // chain root's stats slot; -1 when unprofiled
+  std::string root_kind;    // OpKindName of the chain root
+  int ops_fused = 0;        // operators covered by the chain, scan included
+  std::string fallback;     // empty == compiled; otherwise the reason
+  bool compiled() const { return fallback.empty(); }
+};
+
 /// Shared materialization buffer behind a SpoolOp id. The first consumer
 /// fills it; every consumer reads it. Chunks are stored as *encoded* pages:
 /// like Athena's exchange materialization, spooled intermediates pay a
@@ -67,19 +83,33 @@ struct SpoolBuffer {
 
 class ExecContext {
  public:
+  /// Installs the run's options — the single entry point through which
+  /// every execution (ExecutePlan, ExecuteFanOut, tests) configures the
+  /// context, so operators never re-read individual knobs from ad-hoc
+  /// setters. Resolves parallelism 0 to the hardware concurrency and builds
+  /// the worker pool. Must be called before BuildExecutor.
+  void Init(const ExecOptions& options) {
+    options_ = options;
+    if (options_.parallelism == 0) {
+      unsigned hw = std::thread::hardware_concurrency();
+      options_.parallelism = hw == 0 ? 1 : hw;
+    }
+    if (options_.parallelism < 1) options_.parallelism = 1;
+    pool_ = options_.parallelism > 1
+                ? std::make_unique<ThreadPool>(options_.parallelism - 1)
+                : nullptr;
+  }
+
+  /// The resolved options (parallelism never 0 after Init).
+  const ExecOptions& options() const { return options_; }
+
   /// Rows per streamed chunk.
-  size_t chunk_size() const { return chunk_size_; }
-  void set_chunk_size(size_t n) { chunk_size_ = n; }
+  size_t chunk_size() const { return options_.chunk_size; }
 
   /// Intra-query parallelism. 1 (the default) keeps every operator on its
   /// historical single-threaded code path; > 1 spawns a pool of n-1 worker
   /// threads (the driver thread is the n-th worker inside ParallelFor).
-  size_t parallelism() const { return parallelism_; }
-  void set_parallelism(size_t n) {
-    parallelism_ = n < 1 ? 1 : n;
-    pool_ = parallelism_ > 1 ? std::make_unique<ThreadPool>(parallelism_ - 1)
-                             : nullptr;
-  }
+  size_t parallelism() const { return options_.parallelism; }
 
   /// The query's worker pool, or nullptr when parallelism() == 1. Operators
   /// treat a null pool as "run the serial path".
@@ -154,11 +184,10 @@ class ExecContext {
   // --- per-operator profiling ----------------------------------------------
 
   /// Whether per-operator stats are collected (default on; benches flip it
-  /// off to measure the instrumentation overhead). Must be set before
-  /// BuildExecutor: with profiling off no slots are registered and the
-  /// operator tree is built without stats wrappers.
-  bool profile_enabled() const { return profile_enabled_; }
-  void set_profile_enabled(bool on) { profile_enabled_ = on; }
+  /// off via ExecOptions to measure the instrumentation overhead). Fixed by
+  /// Init, before BuildExecutor: with profiling off no slots are registered
+  /// and the operator tree is built without stats wrappers.
+  bool profile_enabled() const { return options_.profile; }
 
   /// Registers one operator slot during BuildExecutor's preorder walk and
   /// returns its id (== the node's preorder index). Driver thread only.
@@ -219,6 +248,15 @@ class ExecContext {
     return out;
   }
 
+  /// Records one pipeline-compilation outcome (BuildExecutor, driver thread
+  /// only). Recorded for every chain considered, compiled or fallen back.
+  void AddPipeline(PipelineRecord record) {
+    pipelines_.push_back(std::move(record));
+  }
+
+  /// All pipeline outcomes, in plan preorder of their chain roots.
+  const std::vector<PipelineRecord>& pipelines() const { return pipelines_; }
+
   /// The spool buffer for `spool_id`, created on first use. Spool
   /// *materialization* runs on the driver thread only (SpoolExec fills the
   /// buffer serially), but lookups can race: an operator inside a parallel
@@ -233,8 +271,7 @@ class ExecContext {
   }
 
  private:
-  size_t chunk_size_ = 4096;
-  size_t parallelism_ = 1;
+  ExecOptions options_;
   std::unique_ptr<ThreadPool> pool_;
   ExecMetrics metrics_;
   std::mutex merge_mu_;
@@ -243,12 +280,12 @@ class ExecContext {
   std::atomic<int32_t> open_regions_{0};
   std::mutex spool_mu_;  // guards spools_ (see GetSpool)
   std::unordered_map<int32_t, std::shared_ptr<SpoolBuffer>> spools_;
-  bool profile_enabled_ = true;
   int32_t building_op_ = -1;
   // Deque: RegisterOperator must not invalidate pointers handed out by
   // op_stats while the tree is still being built.
   std::deque<OperatorStats> op_slots_;
   std::deque<int64_t> op_live_bytes_;  // live bytes behind each slot's peak
+  std::vector<PipelineRecord> pipelines_;
 };
 
 /// RAII bracket for a parallel region (scan morsels, aggregation partials,

@@ -1,19 +1,20 @@
 #include "exec/executor.h"
 
-#include <thread>
-
 #include "analysis/plan_verifier.h"
 #include "exec/operators_internal.h"
+#include "exec/pipeline.h"
 #include "obs/metrics.h"
 #include "obs/operator_stats.h"
 #include "plan/spool.h"
 
 namespace fusiondb {
 
-namespace {
+namespace internal {
 
 /// Kind-specific context recorded in an operator's stats slot so profiles
-/// identify nodes without the full plan ("which scan was hot?").
+/// identify nodes without the full plan ("which scan was hot?"). Shared
+/// with the pipeline compiler, which registers slots for the operators it
+/// fuses so the id ↔ plan-node preorder mapping stays intact.
 std::string NodeDetail(const LogicalOp& plan) {
   switch (plan.kind()) {
     case OpKind::kScan:
@@ -42,6 +43,10 @@ std::string NodeDetail(const LogicalOp& plan) {
   }
   return std::string();
 }
+
+}  // namespace internal
+
+namespace {
 
 /// Transparent profiling decorator: owns the real operator and charges each
 /// Next() call (and teardown) to the operator's stats slot. Only the driver
@@ -121,12 +126,23 @@ Result<ExecOperatorPtr> MakeOperator(const PlanPtr& plan,
                                 OpKindName(plan->kind()));
 }
 
+/// True for the operator kinds that can head (or continue) a compilable
+/// non-blocking chain.
+bool IsChainKind(OpKind kind) {
+  return kind == OpKind::kFilter || kind == OpKind::kProject ||
+         kind == OpKind::kAggregate;
+}
+
 /// Recursive build with preorder operator-id assignment. Ids are handed out
 /// parent-before-children in the exact order PlanToString and the profile
 /// JSON walk the tree, which is what makes the id ↔ plan-node mapping
 /// stable with no side table.
+///
+/// `in_chain` marks nodes already covered by an enclosing pipeline attempt
+/// (compiled or fallen back): they must not re-attempt compilation, or a
+/// failed chain would re-record one fallback per member.
 Result<ExecOperatorPtr> BuildNode(const PlanPtr& plan, ExecContext* ctx,
-                                  int32_t parent) {
+                                  int32_t parent, bool in_chain) {
   using namespace internal;  // NOLINT: operator factories
   if (plan == nullptr) return Status::PlanError("null plan");
   if (plan->kind() == OpKind::kApply) {
@@ -141,10 +157,29 @@ Result<ExecOperatorPtr> BuildNode(const PlanPtr& plan, ExecContext* ctx,
                                parent);
     build_start = NowNanos();
   }
+  const bool chain_head = IsChainKind(plan->kind()) && !in_chain;
+  if (chain_head && ctx->options().compile_pipelines) {
+    // Fallible work (chain walk, expression composition, binding) happens
+    // before any interior slot is registered, so a fallback leaves the
+    // preorder id sequence exactly as the interpreted build produces it.
+    FUSIONDB_ASSIGN_OR_RETURN(ExecOperatorPtr pipe,
+                              TryCompilePipeline(plan, ctx, id));
+    if (pipe != nullptr) {
+      if (!profiled) return pipe;
+      OperatorStats* stats = ctx->op_stats(id);
+      stats->open_ns = NowNanos() - build_start;
+      return ExecOperatorPtr(new StatsExec(std::move(pipe), stats));
+    }
+  }
   std::vector<ExecOperatorPtr> children;
   children.reserve(plan->num_children());
   for (const PlanPtr& c : plan->children()) {
-    FUSIONDB_ASSIGN_OR_RETURN(ExecOperatorPtr child, BuildNode(c, ctx, id));
+    // Filter/Project children of a chain node belong to the same chain.
+    const bool child_in_chain =
+        IsChainKind(plan->kind()) && (c->kind() == OpKind::kFilter ||
+                                      c->kind() == OpKind::kProject);
+    FUSIONDB_ASSIGN_OR_RETURN(ExecOperatorPtr child,
+                              BuildNode(c, ctx, id, child_in_chain));
     children.push_back(std::move(child));
   }
   // Blocking operators capture building_op() in their constructors to
@@ -169,14 +204,28 @@ Result<ExecOperatorPtr> BuildNode(const PlanPtr& plan, ExecContext* ctx,
 }  // namespace
 
 Result<ExecOperatorPtr> BuildExecutor(const PlanPtr& plan, ExecContext* ctx) {
-  return BuildNode(plan, ctx, /*parent=*/-1);
+  return BuildNode(plan, ctx, /*parent=*/-1, /*in_chain=*/false);
 }
 
 void RecordExecutionMetrics(MetricsRegistry* registry,
                             const ExecMetrics& metrics,
                             const std::vector<OperatorStats>& op_stats,
+                            const std::vector<PipelineRecord>& pipelines,
                             int64_t chunks, double wall_ms) {
   if (registry == nullptr) return;
+  int64_t pipelines_compiled = 0;
+  for (const PipelineRecord& p : pipelines) {
+    if (p.compiled()) {
+      ++pipelines_compiled;
+    } else {
+      registry->Add(
+          registry->Counter("fusiondb_exec_pipeline_fallbacks_total{reason=\"" +
+                            p.fallback + "\"}"),
+          1);
+    }
+  }
+  registry->Add(registry->Counter("fusiondb_exec_pipelines_compiled_total"),
+                pipelines_compiled);
   registry->Add(registry->Counter("fusiondb_exec_queries_total"), 1);
   registry->Add(registry->Counter("fusiondb_exec_bytes_scanned_total"),
                 metrics.bytes_scanned);
@@ -225,14 +274,7 @@ Result<QueryResult> ExecutePlan(const PlanPtr& plan,
   // pre-decorrelation, so it passes here and BuildExecutor rejects it.)
   FUSIONDB_RETURN_IF_ERROR(VerifyPlanIfEnabled(plan, "pre-execution"));
   ExecContext ctx;
-  ctx.set_chunk_size(options.chunk_size);
-  ctx.set_profile_enabled(options.profile);
-  size_t parallelism = options.parallelism;
-  if (parallelism == 0) {
-    unsigned hw = std::thread::hardware_concurrency();
-    parallelism = hw == 0 ? 1 : hw;
-  }
-  ctx.set_parallelism(parallelism);
+  ctx.Init(options);
   int64_t start = NowNanos();
   std::vector<Chunk> chunks;
   {
@@ -251,9 +293,11 @@ Result<QueryResult> ExecutePlan(const PlanPtr& plan,
   ExecMetrics final_metrics = ctx.FinalMetrics();
   std::vector<OperatorStats> op_stats = ctx.FinalOperatorStats();
   RecordExecutionMetrics(options.metrics, final_metrics, op_stats,
-                         static_cast<int64_t>(chunks.size()), wall_ms);
+                         ctx.pipelines(), static_cast<int64_t>(chunks.size()),
+                         wall_ms);
   return QueryResult(plan->schema(), std::move(chunks),
-                     std::move(final_metrics), wall_ms, std::move(op_stats));
+                     std::move(final_metrics), wall_ms, std::move(op_stats),
+                     ctx.pipelines());
 }
 
 Result<QueryResult> ExecutePlan(const PlanPtr& plan, size_t chunk_size,

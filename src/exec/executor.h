@@ -3,61 +3,32 @@
 #ifndef FUSIONDB_EXEC_EXECUTOR_H_
 #define FUSIONDB_EXEC_EXECUTOR_H_
 
+#include "exec/exec_options.h"
 #include "exec/operator.h"
 #include "exec/query_result.h"
 #include "plan/logical_plan.h"
 
 namespace fusiondb {
 
-class MetricsRegistry;  // obs/metrics.h — recorded into, never rendered here
-
 /// Builds the physical tree for `plan`. The plan must outlive the returned
 /// operators. Fails with kPlanError on malformed/unbound plans, and on
-/// ApplyOp (correlated subqueries must be decorrelated first).
+/// ApplyOp (correlated subqueries must be decorrelated first). The context
+/// must already be Init()ed with the run's ExecOptions; when
+/// compile_pipelines is on, non-blocking scan→filter→project(→aggregate)
+/// chains are compiled into push-based pipelines (exec/pipeline.h).
 Result<ExecOperatorPtr> BuildExecutor(const PlanPtr& plan, ExecContext* ctx);
-
-/// Execution knobs for ExecutePlan. An aggregate, so call sites name what
-/// they change and inherit the rest:
-///
-///   ExecutePlan(plan);                            // all defaults
-///   ExecutePlan(plan, {.parallelism = 4});        // 4-way morsel-driven
-///   ExecutePlan(plan, {.profile = false});        // no instrumentation
-struct ExecOptions {
-  /// Rows per output chunk.
-  size_t chunk_size = 4096;
-
-  /// Morsel-driven intra-query parallelism degree:
-  ///   1 (default) — the historical single-threaded execution, byte-for-byte;
-  ///   0           — auto: std::thread::hardware_concurrency();
-  ///   n > 1       — a pool of n-1 workers plus the driver thread. Scans hand
-  ///                 out partition morsels, aggregation builds per-worker
-  ///                 partial hash tables merged at finalize, and join builds
-  ///                 partition the key encoding; results and all additive
-  ///                 metrics are thread-count-invariant.
-  size_t parallelism = 1;
-
-  /// Per-operator stats collection (OperatorStats slots + chunk-granularity
-  /// timers on the driver thread). On by default; the overhead knob exists
-  /// so benches can measure the instrumentation cost.
-  bool profile = true;
-
-  /// Optional service-level metrics sink (obs/metrics.h). When set, every
-  /// completed execution records its query counters — bytes/rows scanned,
-  /// per-table scan bytes, spool hits/builds, rows/chunks produced, wall
-  /// time — into the registry after the drain. Recording happens once per
-  /// query (never per chunk), so always-on cost is a handful of counter
-  /// bumps. Null (the default) records nothing.
-  MetricsRegistry* metrics = nullptr;
-};
 
 /// Records one completed execution into `registry` under the
 /// `fusiondb_exec_*` metric catalog (DESIGN.md §9.4). Per-table scan bytes
 /// and spool hit/build counters come from the stats slots, so they are only
 /// recorded when the run was profiled; the ExecMetrics totals always are.
+/// Pipeline outcomes feed fusiondb_exec_pipelines_compiled_total and
+/// fusiondb_exec_pipeline_fallbacks_total{reason=...}.
 /// No-op when `registry` is null.
 void RecordExecutionMetrics(MetricsRegistry* registry,
                             const ExecMetrics& metrics,
                             const std::vector<OperatorStats>& op_stats,
+                            const std::vector<PipelineRecord>& pipelines,
                             int64_t chunks, double wall_ms);
 
 /// Runs `plan` to completion, collecting all output and metrics.

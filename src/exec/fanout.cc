@@ -1,7 +1,6 @@
 #include "exec/fanout.h"
 
 #include <optional>
-#include <thread>
 #include <utility>
 
 #include "analysis/plan_verifier.h"
@@ -82,14 +81,7 @@ Result<FanOutResult> ExecuteFanOut(const PlanPtr& plan,
   }
 
   ExecContext ctx;
-  ctx.set_chunk_size(options.chunk_size);
-  ctx.set_profile_enabled(options.profile);
-  size_t parallelism = options.parallelism;
-  if (parallelism == 0) {
-    unsigned hw = std::thread::hardware_concurrency();
-    parallelism = hw == 0 ? 1 : hw;
-  }
-  ctx.set_parallelism(parallelism);
+  ctx.Init(options);
 
   int64_t start = NowNanos();
   int64_t chunks_produced = 0;
@@ -138,13 +130,13 @@ Result<FanOutResult> ExecuteFanOut(const PlanPtr& plan,
   out.operator_stats = ctx.FinalOperatorStats();
   out.wall_ms = wall_ms;
   RecordExecutionMetrics(options.metrics, out.metrics, out.operator_stats,
-                         chunks_produced, wall_ms);
+                         ctx.pipelines(), chunks_produced, wall_ms);
   out.results.reserve(bound.size());
   for (BoundConsumer& b : bound) {
     ExecMetrics metrics = out.metrics;
     metrics.rows_produced = b.rows;
     out.results.emplace_back(std::move(b.schema), std::move(b.chunks), metrics,
-                             wall_ms, out.operator_stats);
+                             wall_ms, out.operator_stats, ctx.pipelines());
   }
   return out;
 }

@@ -1,0 +1,97 @@
+// MorselSource: the shared scan front-end — partition pruning, page decode,
+// slicing into chunk_size morsels, and scanned-bytes accounting — behind
+// both execution models. ScanExec (the pull path) streams its morsels
+// through Next(); a CompiledPipeline (exec/pipeline.h) drives the same
+// source push-style, one tight loop per morsel. Keeping one implementation
+// guarantees the two paths read identical bytes, prune identical
+// partitions, and produce identical chunk boundaries, which is what makes
+// compiled-vs-interpreted runs reconcile byte-for-byte (metrics included).
+//
+// Implemented in scan_exec.cc next to ScanExec, its original home.
+#ifndef FUSIONDB_EXEC_MORSEL_SOURCE_H_
+#define FUSIONDB_EXEC_MORSEL_SOURCE_H_
+
+#include <functional>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "exec/exec_context.h"
+#include "plan/logical_plan.h"
+
+namespace fusiondb::internal {
+
+/// Constraints over the partitioning column extracted from the scan's
+/// pruning filter: a [lo, hi] interval intersection plus an optional point
+/// set (from = and IN conjuncts).
+struct PruneSpec {
+  int64_t lo = std::numeric_limits<int64_t>::min();
+  int64_t hi = std::numeric_limits<int64_t>::max();
+  bool has_points = false;
+  std::vector<int64_t> points;
+
+  bool KeepsRange(int64_t min_key, int64_t max_key) const {
+    if (max_key < lo || min_key > hi) return false;
+    if (has_points) {
+      for (int64_t p : points) {
+        if (p >= min_key && p <= max_key && p >= lo && p <= hi) return true;
+      }
+      return false;
+    }
+    return true;
+  }
+};
+
+/// Folds one conjunct into the prune spec when it constrains `part_col`.
+/// Unrecognized shapes are ignored (pruning is best-effort and the filter
+/// above the scan re-checks rows anyway).
+void ApplyPruneConjunct(const ExprPtr& e, ColumnId part_col, PruneSpec* spec);
+
+class MorselSource {
+ public:
+  /// `op_id` is the scan's stats slot (-1 when unprofiled); decoded bytes
+  /// are attributed to it exactly as ScanExec does.
+  MorselSource(const ScanOp& op, ExecContext* ctx, int32_t op_id);
+
+  const std::vector<DataType>& output_types() const { return types_; }
+
+  /// Total partition count before pruning — the size callers need when
+  /// collecting per-partition results in partition order.
+  size_t num_partitions() const { return table_->partitions().size(); }
+
+  /// Serial iteration: the next morsel of up to chunk_size rows (whole
+  /// partitions hand their decoded columns over without a copy), or nullopt
+  /// at end of table. Charges scan metrics inline on the driver thread.
+  Result<std::optional<Chunk>> NextSerial();
+
+  /// Parallel iteration: one ParallelFor over the partitions. For every
+  /// surviving partition, `fn(worker, partition_index, slices)` runs on the
+  /// claiming worker with the partition's morsels (sliced exactly as
+  /// NextSerial slices them). Workers accumulate scan metrics into private
+  /// shards merged once at region end; the per-scan byte total is
+  /// attributed on the driver after the merge, so every counter is
+  /// thread-count-invariant.
+  Status ParallelPartitions(
+      const std::function<Status(size_t worker, size_t partition,
+                                 std::vector<Chunk> slices)>& fn);
+
+  /// Parallel decode that keeps the chunks: appends every partition's
+  /// morsels to `out` in partition order (the serial streaming order).
+  Status DecodeAll(std::vector<Chunk>* out);
+
+ private:
+  TablePtr table_;
+  std::vector<int> table_columns_;
+  ExecContext* ctx_;
+  int32_t op_id_ = -1;
+  std::vector<DataType> types_;
+  PruneSpec prune_;
+  // Serial iteration state.
+  size_t partition_ = 0;
+  size_t offset_ = 0;
+  std::vector<Column> decoded_;  // pages of the partition being streamed
+};
+
+}  // namespace fusiondb::internal
+
+#endif  // FUSIONDB_EXEC_MORSEL_SOURCE_H_

@@ -13,6 +13,11 @@
 
 namespace fusiondb::internal {
 
+/// Kind-specific context recorded in an operator's stats slot (table name,
+/// join type, ...). Defined in executor.cc; the pipeline compiler uses it
+/// to register slots for fused operators with the same rendering.
+std::string NodeDetail(const LogicalOp& plan);
+
 Result<ExecOperatorPtr> MakeScanExec(const ScanOp& op, ExecContext* ctx);
 Result<ExecOperatorPtr> MakeFilterExec(const FilterOp& op,
                                        ExecOperatorPtr child);

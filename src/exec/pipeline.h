@@ -1,0 +1,37 @@
+// Push-based compiled pipelines (DESIGN.md §13). At bind time the executor
+// splits the plan at pipeline breakers (aggregate build, join build, sort,
+// spool materialization) and compiles each non-blocking run of
+// scan→filter→project(→aggregate-sink) into one CompiledPipeline operator:
+// a single loop per decoded scan morsel that chains the filters' selection
+// vectors and evaluates composed output expressions through the existing
+// typed kernels, with no intermediate chunk materialization between the
+// fused operators. Compilation is per-pipeline, never per-query: a chain the
+// compiler cannot handle falls back to the interpreted operators for that
+// chain only, with the reason recorded in the query's PipelineRecords.
+#ifndef FUSIONDB_EXEC_PIPELINE_H_
+#define FUSIONDB_EXEC_PIPELINE_H_
+
+#include "exec/operator.h"
+#include "plan/logical_plan.h"
+
+namespace fusiondb::internal {
+
+/// Attempts to compile the operator chain rooted at `plan` (a Filter,
+/// Project, or Aggregate chain head — the caller checks IsChainKind) down to
+/// its scan. On success, registers stats slots for the fused interior
+/// operators (keeping the preorder id ↔ plan-node mapping intact), records a
+/// compiled PipelineRecord, and returns the pipeline operator. On fallback,
+/// records the reason and returns nullptr — the caller then builds the
+/// interpreted operators for the same chain; no interior slot is registered
+/// before success, so a fallback leaves the id sequence untouched. Statuses
+/// are reserved for infrastructure failures, not compilation refusals.
+///
+/// `root_op_id` is the chain root's already-registered stats slot (-1 when
+/// profiling is off).
+Result<ExecOperatorPtr> TryCompilePipeline(const PlanPtr& plan,
+                                           ExecContext* ctx,
+                                           int32_t root_op_id);
+
+}  // namespace fusiondb::internal
+
+#endif  // FUSIONDB_EXEC_PIPELINE_H_

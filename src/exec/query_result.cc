@@ -8,12 +8,14 @@ namespace fusiondb {
 
 QueryResult::QueryResult(Schema schema, std::vector<Chunk> chunks,
                          ExecMetrics metrics, double wall_ms,
-                         std::vector<OperatorStats> operator_stats)
+                         std::vector<OperatorStats> operator_stats,
+                         std::vector<PipelineRecord> pipelines)
     : schema_(std::move(schema)),
       chunks_(std::move(chunks)),
       metrics_(metrics),
       wall_ms_(wall_ms),
-      operator_stats_(std::move(operator_stats)) {
+      operator_stats_(std::move(operator_stats)),
+      pipelines_(std::move(pipelines)) {
   for (const Chunk& c : chunks_) num_rows_ += static_cast<int64_t>(c.num_rows());
 }
 

@@ -15,7 +15,8 @@ class QueryResult {
  public:
   QueryResult() = default;
   QueryResult(Schema schema, std::vector<Chunk> chunks, ExecMetrics metrics,
-              double wall_ms, std::vector<OperatorStats> operator_stats = {});
+              double wall_ms, std::vector<OperatorStats> operator_stats = {},
+              std::vector<PipelineRecord> pipelines = {});
 
   const Schema& schema() const { return schema_; }
   const std::vector<Chunk>& chunks() const { return chunks_; }
@@ -27,6 +28,11 @@ class QueryResult {
   const std::vector<OperatorStats>& operator_stats() const {
     return operator_stats_;
   }
+
+  /// Pipeline-compilation outcomes (compiled chains and per-pipeline
+  /// fallbacks with reasons), in plan preorder of their chain roots. Empty
+  /// when the run had compile_pipelines off or the plan had no chains.
+  const std::vector<PipelineRecord>& pipelines() const { return pipelines_; }
 
   int64_t num_rows() const { return num_rows_; }
 
@@ -48,6 +54,7 @@ class QueryResult {
   double wall_ms_ = 0.0;
   int64_t num_rows_ = 0;
   std::vector<OperatorStats> operator_stats_;
+  std::vector<PipelineRecord> pipelines_;
 };
 
 /// Order-insensitive result equivalence (multiset of rendered rows). Used

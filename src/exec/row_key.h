@@ -27,41 +27,58 @@ class RowKeyEncoder {
     out->clear();
     bool has_null = false;
     for (int idx : indexes) {
-      const Column& col = chunk.columns[idx];
-      if (col.IsNull(row)) {
-        out->push_back('\0');
-        has_null = true;
-        continue;
-      }
-      out->push_back('\1');
-      switch (PhysicalTypeOf(col.type())) {
-        case PhysicalType::kInt: {
-          int64_t v = col.IntAt(row);
-          AppendRaw(&v, sizeof(v), out);
-          break;
-        }
-        case PhysicalType::kDouble: {
-          double v = col.DoubleAt(row);
-          AppendRaw(&v, sizeof(v), out);
-          break;
-        }
-        case PhysicalType::kString: {
-          const std::string& s = col.StringAt(row);
-          uint64_t len = s.size();
-          while (len >= 0x80) {
-            out->push_back(static_cast<char>((len & 0x7F) | 0x80));
-            len >>= 7;
-          }
-          out->push_back(static_cast<char>(len));
-          out->append(s);
-          break;
-        }
-      }
+      has_null |= EncodeColumn(chunk.columns[idx], row, out);
+    }
+    return has_null;
+  }
+
+  /// Same encoding over a column-pointer view: key columns that need not be
+  /// contiguous in (or belong to) any chunk. The compiled pipeline encodes
+  /// group keys from dense columns evaluated straight off the scan morsel;
+  /// the bytes match the chunk overload column-for-column.
+  static bool Encode(const std::vector<const Column*>& columns, size_t row,
+                     std::string* out) {
+    out->clear();
+    bool has_null = false;
+    for (const Column* col : columns) {
+      has_null |= EncodeColumn(*col, row, out);
     }
     return has_null;
   }
 
  private:
+  static bool EncodeColumn(const Column& col, size_t row, std::string* out) {
+    if (col.IsNull(row)) {
+      out->push_back('\0');
+      return true;
+    }
+    out->push_back('\1');
+    switch (PhysicalTypeOf(col.type())) {
+      case PhysicalType::kInt: {
+        int64_t v = col.IntAt(row);
+        AppendRaw(&v, sizeof(v), out);
+        break;
+      }
+      case PhysicalType::kDouble: {
+        double v = col.DoubleAt(row);
+        AppendRaw(&v, sizeof(v), out);
+        break;
+      }
+      case PhysicalType::kString: {
+        const std::string& s = col.StringAt(row);
+        uint64_t len = s.size();
+        while (len >= 0x80) {
+          out->push_back(static_cast<char>((len & 0x7F) | 0x80));
+          len >>= 7;
+        }
+        out->push_back(static_cast<char>(len));
+        out->append(s);
+        break;
+      }
+    }
+    return false;
+  }
+
   static void AppendRaw(const void* p, size_t n, std::string* out) {
     out->append(static_cast<const char*>(p), n);
   }

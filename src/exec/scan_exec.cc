@@ -1,5 +1,8 @@
-// Table scan with partition pruning and scanned-bytes accounting.
-#include <limits>
+// Table scan with partition pruning and scanned-bytes accounting. The scan
+// machinery itself lives in MorselSource (morsel_source.h), shared with the
+// compiled-pipeline path; ScanExec is the thin pull-model adapter over it.
+#include "exec/morsel_source.h"
+
 #include <optional>
 
 #include "exec/operators_internal.h"
@@ -7,32 +10,6 @@
 
 namespace fusiondb::internal {
 
-namespace {
-
-/// Constraints over the partitioning column extracted from the scan's
-/// pruning filter: a [lo, hi] interval intersection plus an optional point
-/// set (from = and IN conjuncts).
-struct PruneSpec {
-  int64_t lo = std::numeric_limits<int64_t>::min();
-  int64_t hi = std::numeric_limits<int64_t>::max();
-  bool has_points = false;
-  std::vector<int64_t> points;
-
-  bool KeepsRange(int64_t min_key, int64_t max_key) const {
-    if (max_key < lo || min_key > hi) return false;
-    if (has_points) {
-      for (int64_t p : points) {
-        if (p >= min_key && p <= max_key && p >= lo && p <= hi) return true;
-      }
-      return false;
-    }
-    return true;
-  }
-};
-
-/// Folds one conjunct into the prune spec when it constrains `part_col`.
-/// Unrecognized shapes are ignored (pruning is best-effort and the filter
-/// above the scan re-checks rows anyway).
 void ApplyPruneConjunct(const ExprPtr& e, ColumnId part_col, PruneSpec* spec) {
   if (e->kind() == ExprKind::kInList &&
       e->child(0)->kind() == ExprKind::kColumnRef &&
@@ -106,33 +83,163 @@ void ApplyPruneConjunct(const ExprPtr& e, ColumnId part_col, PruneSpec* spec) {
   }
 }
 
+MorselSource::MorselSource(const ScanOp& op, ExecContext* ctx, int32_t op_id)
+    : table_(op.table()),
+      table_columns_(op.table_columns()),
+      ctx_(ctx),
+      op_id_(op_id) {
+  types_.reserve(op.schema().num_columns());
+  for (size_t i = 0; i < op.schema().num_columns(); ++i) {
+    types_.push_back(op.schema().column(i).type);
+  }
+  // Locate the partitioning column among the scan's outputs, if selected.
+  int part_table_col = table_->partition_column();
+  ColumnId part_out = kInvalidColumnId;
+  if (part_table_col >= 0) {
+    for (size_t i = 0; i < table_columns_.size(); ++i) {
+      if (table_columns_[i] == part_table_col) {
+        part_out = op.schema().column(i).id;
+        break;
+      }
+    }
+  }
+  if (op.pruning_filter() != nullptr && part_out != kInvalidColumnId) {
+    std::vector<ExprPtr> conjuncts;
+    SplitConjuncts(op.pruning_filter(), &conjuncts);
+    for (const ExprPtr& c : conjuncts) {
+      ApplyPruneConjunct(c, part_out, &prune_);
+    }
+  }
+}
+
+Result<std::optional<Chunk>> MorselSource::NextSerial() {
+  const auto& partitions = table_->partitions();
+  while (true) {
+    if (partition_ >= partitions.size()) return std::optional<Chunk>();
+    const Partition& p = partitions[partition_];
+    if (offset_ == 0) {
+      if (!prune_.KeepsRange(p.min_key, p.max_key)) {
+        ++ctx_->metrics().partitions_pruned;
+        ++partition_;
+        continue;
+      }
+      // Decode the pages this scan reads (the engine's analogue of the
+      // S3-read + Parquet-decode cost the paper bills for) and charge
+      // their bytes, once per partition touched.
+      decoded_.clear();
+      decoded_.reserve(table_columns_.size());
+      for (int c : table_columns_) {
+        FUSIONDB_ASSIGN_OR_RETURN(Column col, DecodeColumn(p.columns[c]));
+        decoded_.push_back(std::move(col));
+        ctx_->metrics().bytes_scanned += p.column_bytes[c];
+        ctx_->AddScanBytes(op_id_, p.column_bytes[c]);
+      }
+      ++ctx_->metrics().partitions_scanned;
+      ctx_->metrics().rows_scanned += static_cast<int64_t>(p.num_rows());
+    }
+    size_t rows = p.num_rows();
+    if (offset_ >= rows) {
+      ++partition_;
+      offset_ = 0;
+      continue;
+    }
+    size_t take = std::min(ctx_->chunk_size(), rows - offset_);
+    Chunk out = Chunk::Empty(types_);
+    if (offset_ == 0 && take == rows) {
+      // Whole partition fits in one chunk: hand the decoded columns over.
+      out.columns = std::move(decoded_);
+      decoded_.clear();
+    } else {
+      for (size_t i = 0; i < table_columns_.size(); ++i) {
+        out.columns[i].AppendRange(decoded_[i], offset_, take);
+      }
+    }
+    offset_ += take;
+    if (offset_ >= rows) {
+      ++partition_;
+      offset_ = 0;
+    }
+    return std::optional<Chunk>(std::move(out));
+  }
+}
+
+Status MorselSource::ParallelPartitions(
+    const std::function<Status(size_t worker, size_t partition,
+                               std::vector<Chunk> slices)>& fn) {
+  const auto& partitions = table_->partitions();
+  ThreadPool* pool = ctx_->pool();
+  std::vector<ExecMetrics> shards(pool->num_workers());
+  ParallelRegion region(ctx_);
+  Status st = pool->ParallelFor(
+      partitions.size(), [&](size_t worker, size_t pi) -> Status {
+        const Partition& p = partitions[pi];
+        ExecMetrics& m = shards[worker];
+        if (!prune_.KeepsRange(p.min_key, p.max_key)) {
+          ++m.partitions_pruned;
+          return Status::OK();
+        }
+        std::vector<Column> decoded;
+        decoded.reserve(table_columns_.size());
+        for (int c : table_columns_) {
+          FUSIONDB_ASSIGN_OR_RETURN(Column col, DecodeColumn(p.columns[c]));
+          decoded.push_back(std::move(col));
+          m.bytes_scanned += p.column_bytes[c];
+        }
+        ++m.partitions_scanned;
+        size_t rows = p.num_rows();
+        m.rows_scanned += static_cast<int64_t>(rows);
+        std::vector<Chunk> slices;
+        if (rows <= ctx_->chunk_size()) {
+          Chunk chunk = Chunk::Empty(types_);
+          chunk.columns = std::move(decoded);
+          if (rows > 0) slices.push_back(std::move(chunk));
+        } else {
+          for (size_t offset = 0; offset < rows; offset += ctx_->chunk_size()) {
+            size_t take = std::min(ctx_->chunk_size(), rows - offset);
+            Chunk chunk = Chunk::Empty(types_);
+            for (size_t i = 0; i < decoded.size(); ++i) {
+              chunk.columns[i].AppendRange(decoded[i], offset, take);
+            }
+            slices.push_back(std::move(chunk));
+          }
+        }
+        if (slices.empty()) return Status::OK();
+        return fn(worker, pi, std::move(slices));
+      });
+  FUSIONDB_RETURN_IF_ERROR(st);
+  int64_t scan_bytes = 0;
+  for (const ExecMetrics& shard : shards) {
+    scan_bytes += shard.bytes_scanned;
+    ctx_->MergeMetrics(shard);
+  }
+  // Slot attribution happens once, on the driver, after the region merged —
+  // the per-scan total is thread-count-invariant because the shard sums are.
+  ctx_->AddScanBytes(op_id_, scan_bytes);
+  return Status::OK();
+}
+
+Status MorselSource::DecodeAll(std::vector<Chunk>* out) {
+  const auto& partitions = table_->partitions();
+  std::vector<std::vector<Chunk>> per_partition(partitions.size());
+  FUSIONDB_RETURN_IF_ERROR(ParallelPartitions(
+      [&](size_t /*worker*/, size_t pi, std::vector<Chunk> slices) -> Status {
+        per_partition[pi] = std::move(slices);
+        return Status::OK();
+      }));
+  for (std::vector<Chunk>& chunks : per_partition) {
+    for (Chunk& c : chunks) out->push_back(std::move(c));
+  }
+  return Status::OK();
+}
+
+namespace {
+
 class ScanExec final : public ExecOperator {
  public:
   ScanExec(const ScanOp& op, ExecContext* ctx)
       : ExecOperator(op.schema()),
-        table_(op.table()),
-        table_columns_(op.table_columns()),
         ctx_(ctx),
-        op_id_(ctx->building_op()) {
-    // Locate the partitioning column among the scan's outputs, if selected.
-    int part_table_col = table_->partition_column();
-    ColumnId part_out = kInvalidColumnId;
-    if (part_table_col >= 0) {
-      for (size_t i = 0; i < table_columns_.size(); ++i) {
-        if (table_columns_[i] == part_table_col) {
-          part_out = op.schema().column(i).id;
-          break;
-        }
-      }
-    }
-    if (op.pruning_filter() != nullptr && part_out != kInvalidColumnId) {
-      std::vector<ExprPtr> conjuncts;
-      SplitConjuncts(op.pruning_filter(), &conjuncts);
-      for (const ExprPtr& c : conjuncts) {
-        ApplyPruneConjunct(c, part_out, &prune_);
-      }
-    }
-  }
+        source_(op, ctx, ctx->building_op()) {}
 
   Result<std::optional<Chunk>> Next() override {
     // Morsel-driven path: with a pool available, the first pull decodes all
@@ -140,136 +247,20 @@ class ScanExec final : public ExecOperator {
     // prepared chunks (in partition order, matching the serial output).
     if (ctx_->pool() != nullptr) {
       if (!parallel_scanned_) {
-        FUSIONDB_RETURN_IF_ERROR(ParallelScan());
+        FUSIONDB_RETURN_IF_ERROR(source_.DecodeAll(&out_chunks_));
         parallel_scanned_ = true;
       }
       if (out_cursor_ >= out_chunks_.size()) return std::optional<Chunk>();
       Chunk out = std::move(out_chunks_[out_cursor_++]);
       return std::optional<Chunk>(std::move(out));
     }
-    const auto& partitions = table_->partitions();
-    while (true) {
-      if (partition_ >= partitions.size()) return std::optional<Chunk>();
-      const Partition& p = partitions[partition_];
-      if (offset_ == 0) {
-        if (!prune_.KeepsRange(p.min_key, p.max_key)) {
-          ++ctx_->metrics().partitions_pruned;
-          ++partition_;
-          continue;
-        }
-        // Decode the pages this scan reads (the engine's analogue of the
-        // S3-read + Parquet-decode cost the paper bills for) and charge
-        // their bytes, once per partition touched.
-        decoded_.clear();
-        decoded_.reserve(table_columns_.size());
-        for (int c : table_columns_) {
-          FUSIONDB_ASSIGN_OR_RETURN(Column col, DecodeColumn(p.columns[c]));
-          decoded_.push_back(std::move(col));
-          ctx_->metrics().bytes_scanned += p.column_bytes[c];
-          ctx_->AddScanBytes(op_id_, p.column_bytes[c]);
-        }
-        ++ctx_->metrics().partitions_scanned;
-        ctx_->metrics().rows_scanned += static_cast<int64_t>(p.num_rows());
-      }
-      size_t rows = p.num_rows();
-      if (offset_ >= rows) {
-        ++partition_;
-        offset_ = 0;
-        continue;
-      }
-      size_t take = std::min(ctx_->chunk_size(), rows - offset_);
-      Chunk out = Chunk::Empty(OutputTypes());
-      if (offset_ == 0 && take == rows) {
-        // Whole partition fits in one chunk: hand the decoded columns over.
-        out.columns = std::move(decoded_);
-        decoded_.clear();
-      } else {
-        for (size_t i = 0; i < table_columns_.size(); ++i) {
-          out.columns[i].AppendRange(decoded_[i], offset_, take);
-        }
-      }
-      offset_ += take;
-      if (offset_ >= rows) {
-        ++partition_;
-        offset_ = 0;
-      }
-      return std::optional<Chunk>(std::move(out));
-    }
+    return source_.NextSerial();
   }
 
  private:
-  /// One ParallelFor over the partitions: each morsel is one partition —
-  /// prune check, page decode, slicing into chunk_size chunks. Workers
-  /// accumulate scan metrics into private shards merged once at region end,
-  /// so every additive counter is identical for any thread count.
-  Status ParallelScan() {
-    const auto& partitions = table_->partitions();
-    ThreadPool* pool = ctx_->pool();
-    std::vector<std::vector<Chunk>> per_partition(partitions.size());
-    std::vector<ExecMetrics> shards(pool->num_workers());
-    ParallelRegion region(ctx_);
-    Status st = pool->ParallelFor(
-        partitions.size(), [&](size_t worker, size_t pi) -> Status {
-          const Partition& p = partitions[pi];
-          ExecMetrics& m = shards[worker];
-          if (!prune_.KeepsRange(p.min_key, p.max_key)) {
-            ++m.partitions_pruned;
-            return Status::OK();
-          }
-          std::vector<Column> decoded;
-          decoded.reserve(table_columns_.size());
-          for (int c : table_columns_) {
-            FUSIONDB_ASSIGN_OR_RETURN(Column col, DecodeColumn(p.columns[c]));
-            decoded.push_back(std::move(col));
-            m.bytes_scanned += p.column_bytes[c];
-          }
-          ++m.partitions_scanned;
-          size_t rows = p.num_rows();
-          m.rows_scanned += static_cast<int64_t>(rows);
-          std::vector<Chunk>& out = per_partition[pi];
-          if (rows <= ctx_->chunk_size()) {
-            Chunk chunk = Chunk::Empty(OutputTypes());
-            chunk.columns = std::move(decoded);
-            if (rows > 0) out.push_back(std::move(chunk));
-            return Status::OK();
-          }
-          for (size_t offset = 0; offset < rows;
-               offset += ctx_->chunk_size()) {
-            size_t take = std::min(ctx_->chunk_size(), rows - offset);
-            Chunk chunk = Chunk::Empty(OutputTypes());
-            for (size_t i = 0; i < decoded.size(); ++i) {
-              chunk.columns[i].AppendRange(decoded[i], offset, take);
-            }
-            out.push_back(std::move(chunk));
-          }
-          return Status::OK();
-        });
-    FUSIONDB_RETURN_IF_ERROR(st);
-    int64_t scan_bytes = 0;
-    for (const ExecMetrics& shard : shards) {
-      scan_bytes += shard.bytes_scanned;
-      ctx_->MergeMetrics(shard);
-    }
-    // Slot attribution happens once, on the driver, after the region merged
-    // — the per-scan total is thread-count-invariant because the shard sums
-    // are.
-    ctx_->AddScanBytes(op_id_, scan_bytes);
-    for (std::vector<Chunk>& chunks : per_partition) {
-      for (Chunk& c : chunks) out_chunks_.push_back(std::move(c));
-    }
-    return Status::OK();
-  }
-
-  TablePtr table_;
-  std::vector<int> table_columns_;
   ExecContext* ctx_;
-  int32_t op_id_ = -1;
-  PruneSpec prune_;
-  size_t partition_ = 0;
-  size_t offset_ = 0;
-  // Decoded pages of the partition currently being streamed.
-  std::vector<Column> decoded_;
-  // Parallel-path state: chunks prepared by ParallelScan, streamed in order.
+  MorselSource source_;
+  // Parallel-path state: chunks prepared by DecodeAll, streamed in order.
   bool parallel_scanned_ = false;
   std::vector<Chunk> out_chunks_;
   size_t out_cursor_ = 0;

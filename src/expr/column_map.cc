@@ -57,6 +57,61 @@ ExprPtr ApplyMap(const ColumnMap& m, const ExprPtr& expr) {
   return expr;
 }
 
+ExprPtr SubstituteColumns(const ColumnDefs& defs, const ExprPtr& expr) {
+  switch (expr->kind()) {
+    case ExprKind::kColumnRef: {
+      auto it = defs.find(expr->column_id());
+      if (it == defs.end()) return nullptr;
+      return it->second;
+    }
+    case ExprKind::kLiteral:
+      return expr;
+    case ExprKind::kCompare:
+    case ExprKind::kArith:
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+    case ExprKind::kNot:
+    case ExprKind::kIsNull:
+    case ExprKind::kCase:
+    case ExprKind::kInList:
+      break;  // recurse into children below
+  }
+  bool changed = false;
+  std::vector<ExprPtr> new_children;
+  new_children.reserve(expr->children().size());
+  for (const ExprPtr& c : expr->children()) {
+    ExprPtr nc = SubstituteColumns(defs, c);
+    if (nc == nullptr) return nullptr;
+    changed |= (nc != c);
+    new_children.push_back(std::move(nc));
+  }
+  if (!changed) return expr;
+  switch (expr->kind()) {
+    case ExprKind::kCompare:
+      return Expr::MakeCompare(expr->compare_op(), new_children[0],
+                               new_children[1]);
+    case ExprKind::kArith:
+      return Expr::MakeArith(expr->arith_op(), new_children[0], new_children[1],
+                             expr->type());
+    case ExprKind::kAnd:
+      return Expr::MakeAnd(std::move(new_children));
+    case ExprKind::kOr:
+      return Expr::MakeOr(std::move(new_children));
+    case ExprKind::kNot:
+      return Expr::MakeNot(new_children[0]);
+    case ExprKind::kIsNull:
+      return Expr::MakeIsNull(new_children[0]);
+    case ExprKind::kCase:
+      return Expr::MakeCase(std::move(new_children), expr->type());
+    case ExprKind::kInList:
+      return Expr::MakeInList(std::move(new_children));
+    case ExprKind::kColumnRef:
+    case ExprKind::kLiteral:
+      return expr;  // leaves; handled before recursion
+  }
+  return expr;
+}
+
 bool MergeMaps(ColumnMap* base, const ColumnMap& extra) {
   for (const auto& [from, to] : extra) {
     auto it = base->find(from);

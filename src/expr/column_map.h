@@ -27,6 +27,16 @@ ExprPtr ApplyMap(const ColumnMap& m, const ExprPtr& expr);
 /// conflict).
 bool MergeMaps(ColumnMap* base, const ColumnMap& extra);
 
+/// The expression-valued generalization of ApplyMap: every column reference
+/// is replaced by its definition in `defs`. This is how the pipeline
+/// compiler composes a projection into downstream predicates and aggregate
+/// arguments, so a filter→project chain evaluates directly against the scan
+/// schema with no intermediate chunk (DESIGN.md §13). References absent
+/// from `defs` are a composition error: the result is null and the caller
+/// must fall back. Shares subtrees that contain no references.
+using ColumnDefs = std::unordered_map<ColumnId, ExprPtr>;
+ExprPtr SubstituteColumns(const ColumnDefs& defs, const ExprPtr& expr);
+
 }  // namespace fusiondb
 
 #endif  // FUSIONDB_EXPR_COLUMN_MAP_H_

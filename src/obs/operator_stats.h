@@ -42,6 +42,11 @@ struct OperatorStats {
   int32_t parent = -1;  // parent's id; -1 for the root
   std::string kind;     // OpKindName of the logical node
   std::string detail;   // kind-specific context (table name, join type, ...)
+  // Compiled-pipeline membership: index into the query's PipelineRecords
+  // when this operator was fused into a compiled pipeline, -1 otherwise.
+  // Fused interior operators keep their preorder slot (zero counters) so
+  // the id ↔ plan-node mapping survives compilation.
+  int32_t pipeline = -1;
 
   // Driver-thread counters, updated once per Next() call.
   int64_t next_calls = 0;

@@ -26,6 +26,7 @@ void WriteMetrics(const ExecMetrics& m, JsonWriter* w) {
 
 void WriteStats(const OperatorStats& s, JsonWriter* w) {
   w->BeginObject();
+  if (s.pipeline >= 0) w->Field("pipeline", static_cast<int64_t>(s.pipeline));
   w->Field("next_calls", s.next_calls);
   w->Field("chunks_in", s.chunks_in);
   w->Field("chunks_out", s.chunks_out);
@@ -149,6 +150,7 @@ QueryProfile MakeQueryProfile(std::string query, std::string config,
   p.config = std::move(config);
   p.plan = plan;
   p.operator_stats = result.operator_stats();
+  p.pipelines = result.pipelines();
   p.metrics = result.metrics();
   p.wall_ms = result.wall_ms();
   p.trace = trace;
@@ -168,6 +170,23 @@ std::string ProfileToJson(const QueryProfile& profile) {
     w.Key("plan");
     int counter = 0;
     WritePlanNode(profile.plan, profile.operator_stats, &counter, &w);
+  }
+  if (!profile.pipelines.empty()) {
+    w.Key("pipelines");
+    w.BeginArray();
+    for (const PipelineRecord& r : profile.pipelines) {
+      w.BeginObject();
+      w.Field("root_op_id", static_cast<int64_t>(r.root_op_id));
+      w.Field("root_kind", r.root_kind);
+      w.Field("compiled", r.compiled());
+      if (r.compiled()) {
+        w.Field("ops_fused", static_cast<int64_t>(r.ops_fused));
+      } else {
+        w.Field("fallback", r.fallback);
+      }
+      w.EndObject();
+    }
+    w.EndArray();
   }
   if (profile.sharing.consumers > 0) {
     w.Key("sharing");
@@ -207,7 +226,7 @@ Status WriteProfileJson(const QueryProfile& profile, const std::string& path) {
 std::string ExplainAnalyze(const PlanPtr& plan, const QueryResult& result) {
   const std::vector<OperatorStats>& stats = result.operator_stats();
   if (stats.empty()) return PlanToString(plan);
-  return PlanToString(plan, [&stats](const LogicalOp& op, int id) {
+  std::string text = PlanToString(plan, [&stats](const LogicalOp& op, int id) {
     (void)op;
     if (id < 0 || static_cast<size_t>(id) >= stats.size()) return std::string();
     const OperatorStats& s = stats[static_cast<size_t>(id)];
@@ -222,9 +241,31 @@ std::string ExplainAnalyze(const PlanPtr& plan, const QueryResult& result) {
     if (s.spool_hits > 0) {
       out += " spool_hits=" + std::to_string(s.spool_hits);
     }
+    if (s.pipeline >= 0) {
+      out += " pipeline=" + std::to_string(s.pipeline);
+    }
     out += "]";
     return out;
   });
+  // Compilation outcomes per chain: compiled pipelines list their fused
+  // operator count, fallbacks their reason (DESIGN.md §13 taxonomy).
+  const std::vector<PipelineRecord>& pipes = result.pipelines();
+  if (!pipes.empty()) {
+    text += "\npipelines:\n";
+    for (size_t i = 0; i < pipes.size(); ++i) {
+      const PipelineRecord& r = pipes[i];
+      if (r.compiled()) {
+        text += "  #" + std::to_string(i) + " compiled root=op" +
+                std::to_string(r.root_op_id) + " (" + r.root_kind +
+                ") ops_fused=" + std::to_string(r.ops_fused) + "\n";
+      } else {
+        text += "  #" + std::to_string(i) + " fallback root=op" +
+                std::to_string(r.root_op_id) + " (" + r.root_kind +
+                ") reason=" + r.fallback + "\n";
+      }
+    }
+  }
+  return text;
 }
 
 }  // namespace fusiondb

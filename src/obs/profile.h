@@ -36,6 +36,7 @@ struct QueryProfile {
   std::string config;  // optimizer configuration, e.g. "fused"
   PlanPtr plan;        // the executed plan
   std::vector<OperatorStats> operator_stats;  // preorder, aligned with plan
+  std::vector<PipelineRecord> pipelines;      // compiled-pipeline outcomes
   ExecMetrics metrics;
   double wall_ms = 0.0;
   const OptimizerTrace* trace = nullptr;  // optional; not owned

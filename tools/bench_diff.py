@@ -20,6 +20,11 @@ instead of per benchmark. Use it for overheads that are amortized across a
 whole workload (e.g. the semantic-verification tier): per-query medians at
 smoke scale are sub-millisecond and noisy, but the noise cancels in the sum.
 Per-benchmark deltas are still printed for diagnosis.
+
+With --config NAME only records whose config field equals NAME are compared.
+Use it when one report mixes populations with different expectations — e.g.
+pipeline_micro's fused-chain entries (gated for speedup) vs its floor
+entries (near-ties by design, informational only).
 """
 
 import argparse
@@ -65,10 +70,18 @@ def main():
     parser.add_argument("--total", action="store_true",
                         help="gate the summed wall_ms over shared benchmarks "
                              "instead of each benchmark individually")
+    parser.add_argument("--config", default=None,
+                        help="only compare records with this config field")
     args = parser.parse_args()
 
     base = load_records(args.baseline)
     cand = load_records(args.candidate)
+    if args.config is not None:
+        base = {k: v for k, v in base.items() if k[1] == args.config}
+        cand = {k: v for k, v in cand.items() if k[1] == args.config}
+        if not base or not cand:
+            sys.exit(f"bench_diff: no records with config "
+                     f"'{args.config}' in both reports")
     shared = sorted(set(base) & set(cand))
     only_base = sorted(set(base) - set(cand))
     only_cand = sorted(set(cand) - set(base))

@@ -69,6 +69,25 @@ if grep -rn --include='*.cc' --include='*.h' --include='*.cpp' \
   note_failure 'positional ExecutePlan(plan, chunk, ...) is deprecated; pass ExecOptions: ExecutePlan(plan, {.chunk_size = ...})'
 fi
 
+# Compiled pipelines are push-based by construction: the whole point of
+# src/exec/pipeline.cc is that a morsel flows through filters, projections
+# and the aggregate sink in one loop. A pull-style ->Next() call creeping in
+# would reintroduce the operator-at-a-time boundary the compiler removes.
+if grep -n -- '->Next(' src/exec/pipeline*.cc 2>/dev/null; then
+  note_failure 'src/exec/pipeline*.cc must drive MorselSource push-style, never pull via ->Next()'
+fi
+
+# Inside a compiled pipeline no intermediate chunk may be materialized
+# between the fused operators: filters narrow one SelVector and outputs are
+# evaluated straight off the scan morsel (EvalSel). Chunk::Empty() /
+# Gather() are the materialization primitives of the interpreted path;
+# their appearance in pipeline.cc means a copy came back. (Aggregate
+# finalization, which legitimately builds the result chunk, lives in
+# agg_build.cc.)
+if grep -n 'Chunk::Empty(\|\.Gather(' src/exec/pipeline*.cc 2>/dev/null; then
+  note_failure 'src/exec/pipeline*.cc must not materialize intermediate chunks (Chunk::Empty/Gather); compose SelVectors and EvalSel instead'
+fi
+
 # The session layer routes every execution — shared or solo — through the
 # fan-out executor so the two paths cannot diverge; a direct ExecutePlan
 # call in src/server would bypass consumer restoration and the
