@@ -40,15 +40,15 @@ using namespace fusiondb::bench;  // NOLINT
 namespace {
 
 /// Optimizes with adaptive mode in its steady state: a profiled run under
-/// priors feeds measured cardinalities into the measured optimization.
-PlanPtr AdaptiveSteadyState(const PlanPtr& plan, PlanContext* ctx,
+/// priors (the still-empty feedback store) feeds measured cardinalities
+/// into the measured optimization.
+PlanPtr AdaptiveSteadyState(Engine& engine, PreparedQuery* query,
                             StatsFeedback* feedback) {
-  PlanPtr first = Unwrap(
-      Optimizer(OptimizerOptions::Adaptive(nullptr)).Optimize(plan, ctx));
-  QueryResult warm = Unwrap(ExecutePlan(first));
+  QueryOptions options = BenchOptions(OptimizerOptions::Adaptive(feedback));
+  PlanPtr first = Unwrap(engine.Optimize(query, options));
+  QueryResult warm = Unwrap(engine.ExecuteOptimized(first, options));
   feedback->Harvest(first, warm.operator_stats());
-  return Unwrap(
-      Optimizer(OptimizerOptions::Adaptive(feedback)).Optimize(plan, ctx));
+  return Unwrap(engine.Optimize(query, options));
 }
 
 /// Accumulates interleaved timings; latency_ms = median (as elsewhere),
@@ -59,8 +59,8 @@ struct Measured {
   std::vector<double> times;
 
   void Run(const PlanPtr& optimized) {
-    QueryResult result =
-        Unwrap(ExecutePlan(optimized, {.profile = BenchProfileEnabled()}));
+    QueryResult result = Unwrap(BenchEngine().ExecuteOptimized(
+        optimized, BenchOptions(OptimizerOptions())));
     times.push_back(result.wall_ms());
     stats.bytes_scanned = result.metrics().bytes_scanned;
     stats.peak_hash_bytes = result.metrics().peak_hash_bytes;
@@ -77,7 +77,7 @@ struct Measured {
 }  // namespace
 
 int main() {
-  const Catalog& catalog = BenchCatalog();
+  Engine& engine = BenchEngine();
   BenchReport report("adaptive_vs_static");
   BenchReport static_best("adaptive_vs_static.static");
   BenchReport adaptive_only("adaptive_vs_static.adaptive");
@@ -90,15 +90,14 @@ int main() {
 
   for (const tpcds::TpcdsQuery& q : tpcds::Queries()) {
     if (!q.fusion_applicable) continue;
-    PlanContext ctx;
-    PlanPtr plan = Unwrap(q.build(catalog, &ctx));
+    PreparedQuery prepared = Unwrap(engine.Prepare(q.build));
 
-    PlanPtr fused_plan =
-        Unwrap(Optimizer(OptimizerOptions::Fused()).Optimize(plan, &ctx));
-    PlanPtr spool_plan =
-        Unwrap(Optimizer(OptimizerOptions::Spooling()).Optimize(plan, &ctx));
+    PlanPtr fused_plan = Unwrap(
+        engine.Optimize(&prepared, BenchOptions(OptimizerOptions::Fused())));
+    PlanPtr spool_plan = Unwrap(engine.Optimize(
+        &prepared, BenchOptions(OptimizerOptions::Spooling())));
     StatsFeedback feedback;
-    PlanPtr adaptive_plan = AdaptiveSteadyState(plan, &ctx, &feedback);
+    PlanPtr adaptive_plan = AdaptiveSteadyState(engine, &prepared, &feedback);
 
     Measured fused, spool, adaptive;
     for (int i = 0; i < BenchRepeats(); ++i) {
@@ -110,9 +109,11 @@ int main() {
     spool.Finish();
     adaptive.Finish();
 
-    QueryResult rb = Unwrap(ExecutePlan(
-        Unwrap(Optimizer(OptimizerOptions::Baseline()).Optimize(plan, &ctx))));
-    bool match = ResultsEquivalent(rb, Unwrap(ExecutePlan(adaptive_plan)));
+    QueryOptions base_options = BenchOptions(OptimizerOptions::Baseline());
+    QueryResult rb = Unwrap(engine.ExecuteOptimized(
+        Unwrap(engine.Optimize(&prepared, base_options)), base_options));
+    bool match = ResultsEquivalent(
+        rb, Unwrap(engine.ExecuteOptimized(adaptive_plan, base_options)));
     diverged |= !match;
 
     const Measured& best = fused.min_ms <= spool.min_ms ? fused : spool;

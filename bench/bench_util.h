@@ -32,19 +32,25 @@ inline double BenchScale() {
   return env != nullptr ? std::atof(env) : 0.05;
 }
 
-/// Builds the benchmark catalog once per process.
-inline const Catalog& BenchCatalog() {
-  static Catalog* catalog = [] {
-    auto* c = new Catalog();
+/// The process-wide bench engine: owns the TPC-DS catalog (built once at
+/// BenchScale) and the shared prepare/optimize/execute flow. Micro benches
+/// that probe one layer in isolation may still grab `.catalog()` and call
+/// the low-level entry points directly; everything query-shaped goes
+/// through the engine.
+inline Engine& BenchEngine() {
+  static Engine* engine = [] {
+    auto* e = new Engine();
     tpcds::TpcdsOptions options;
     options.scale = BenchScale();
     std::fprintf(stderr, "building TPC-DS catalog at scale %.3f...\n",
                  options.scale);
-    DieIf(tpcds::BuildTpcdsCatalog(options, c));
-    return c;
+    DieIf(tpcds::BuildTpcdsCatalog(options, e->mutable_catalog()));
+    return e;
   }();
-  return *catalog;
+  return *engine;
 }
+
+inline const Catalog& BenchCatalog() { return BenchEngine().catalog(); }
 
 /// Latency repeats per measurement (median taken); override with
 /// FUSIONDB_BENCH_REPEATS (CI smoke runs set 1).
@@ -140,6 +146,17 @@ class BenchReport {
   std::vector<BenchRecord> records_;
 };
 
+/// QueryOptions carrying the bench environment knobs (profiling, pipeline
+/// compilation, metrics recording) on top of the given optimizer config.
+inline QueryOptions BenchOptions(const OptimizerOptions& optimizer) {
+  QueryOptions options;
+  options.optimizer = optimizer;
+  options.exec.profile = BenchProfileEnabled();
+  options.exec.compile_pipelines = BenchCompilePipelines();
+  options.exec.metrics = BenchMetricsRegistry();
+  return options;
+}
+
 struct RunStats {
   double latency_ms = 0.0;
   int64_t bytes_scanned = 0;
@@ -147,19 +164,19 @@ struct RunStats {
   int64_t rows = 0;
 };
 
-/// Optimizes and executes `plan`; latency is the median of `repeats` runs.
-inline RunStats RunPlan(const PlanPtr& plan, const OptimizerOptions& options,
-                        PlanContext* ctx, int repeats = 0) {
+/// Optimizes the prepared query under `options` and executes it through the
+/// bench engine; latency is the median of `repeats` runs.
+inline RunStats RunPrepared(PreparedQuery* query,
+                            const OptimizerOptions& options, int repeats = 0) {
   if (repeats <= 0) repeats = BenchRepeats();
-  Optimizer optimizer(options);
-  PlanPtr optimized = Unwrap(optimizer.Optimize(plan, ctx));
+  Engine& engine = BenchEngine();
+  QueryOptions bench_options = BenchOptions(options);
+  PlanPtr optimized = Unwrap(engine.Optimize(query, bench_options));
   RunStats stats;
   std::vector<double> times;
   for (int i = 0; i < repeats; ++i) {
-    QueryResult result = Unwrap(
-        ExecutePlan(optimized, {.profile = BenchProfileEnabled(),
-                                .compile_pipelines = BenchCompilePipelines(),
-                                .metrics = BenchMetricsRegistry()}));
+    QueryResult result =
+        Unwrap(engine.ExecuteOptimized(optimized, bench_options));
     times.push_back(result.wall_ms());
     stats.bytes_scanned = result.metrics().bytes_scanned;
     stats.peak_hash_bytes = result.metrics().peak_hash_bytes;
@@ -178,21 +195,20 @@ struct Comparison {
 };
 
 inline Comparison CompareQuery(const tpcds::TpcdsQuery& query,
-                               const Catalog& catalog, int repeats = 0) {
-  PlanContext ctx;
-  PlanPtr plan = Unwrap(query.build(catalog, &ctx));
-  PlanPtr baseline =
-      Unwrap(Optimizer(OptimizerOptions::Baseline()).Optimize(plan, &ctx));
-  PlanPtr fused =
-      Unwrap(Optimizer(OptimizerOptions::Fused()).Optimize(plan, &ctx));
-  QueryResult rb = Unwrap(
-      ExecutePlan(baseline, {.compile_pipelines = BenchCompilePipelines()}));
-  QueryResult rf = Unwrap(
-      ExecutePlan(fused, {.compile_pipelines = BenchCompilePipelines()}));
+                               int repeats = 0) {
+  Engine& engine = BenchEngine();
+  PreparedQuery prepared = Unwrap(engine.Prepare(query.build));
+  QueryOptions baseline = BenchOptions(OptimizerOptions::Baseline());
+  QueryOptions fused = BenchOptions(OptimizerOptions::Fused());
+  QueryResult rb = Unwrap(engine.ExecuteOptimized(
+      Unwrap(engine.Optimize(&prepared, baseline)), baseline));
+  QueryResult rf = Unwrap(engine.ExecuteOptimized(
+      Unwrap(engine.Optimize(&prepared, fused)), fused));
   Comparison out;
   out.results_match = ResultsEquivalent(rb, rf);
-  out.baseline = RunPlan(plan, OptimizerOptions::Baseline(), &ctx, repeats);
-  out.fused = RunPlan(plan, OptimizerOptions::Fused(), &ctx, repeats);
+  out.baseline =
+      RunPrepared(&prepared, OptimizerOptions::Baseline(), repeats);
+  out.fused = RunPrepared(&prepared, OptimizerOptions::Fused(), repeats);
   return out;
 }
 

@@ -10,7 +10,7 @@ using namespace fusiondb;         // NOLINT
 using namespace fusiondb::bench;  // NOLINT
 
 int main() {
-  const Catalog& catalog = BenchCatalog();
+  BenchEngine();  // build the catalog before the header prints
   BenchReport report("fig1_latency");
   std::printf("\nFigure 1 — latency improvement for selected queries\n");
   std::printf("(speedup = baseline latency / fused latency)\n\n");
@@ -19,7 +19,7 @@ int main() {
   std::printf("%s\n", std::string(66, '-').c_str());
   for (const tpcds::TpcdsQuery& q : tpcds::Queries()) {
     if (!q.fusion_applicable) continue;
-    Comparison c = CompareQuery(q, catalog);
+    Comparison c = CompareQuery(q);
     AddComparison(&report, q.name, c);
     std::printf("%-6s %-8s %14.2f %14.2f %8.2fx %7s\n", q.name.c_str(),
                 q.paper_section.c_str(), c.baseline.latency_ms,

@@ -10,7 +10,7 @@ using namespace fusiondb;         // NOLINT
 using namespace fusiondb::bench;  // NOLINT
 
 int main() {
-  const Catalog& catalog = BenchCatalog();
+  BenchEngine();  // build the catalog before the header prints
   BenchReport report("fig2_bytes_scanned");
   std::printf("\nFigure 2 — reduction in data read for selected queries\n");
   std::printf("(fraction = fused bytes scanned / baseline bytes scanned)\n\n");
@@ -19,7 +19,7 @@ int main() {
   std::printf("%s\n", std::string(70, '-').c_str());
   for (const tpcds::TpcdsQuery& q : tpcds::Queries()) {
     if (!q.fusion_applicable) continue;
-    Comparison c = CompareQuery(q, catalog, /*repeats=*/1);
+    Comparison c = CompareQuery(q, /*repeats=*/1);
     AddComparison(&report, q.name, c);
     std::printf("%-6s %-8s %16lld %16lld %9.1f%% %7s\n", q.name.c_str(),
                 q.paper_section.c_str(),

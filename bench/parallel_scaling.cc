@@ -19,11 +19,18 @@ using namespace fusiondb::bench;  // NOLINT
 
 namespace {
 
+QueryOptions ThreadedOptions(size_t threads) {
+  QueryOptions options = BenchOptions(OptimizerOptions());
+  options.exec.parallelism = threads;
+  return options;
+}
+
 double MedianLatencyMs(const PlanPtr& plan, size_t threads, int repeats) {
   std::vector<double> times;
   times.reserve(repeats);
   for (int i = 0; i < repeats; ++i) {
-    QueryResult r = Unwrap(ExecutePlan(plan, {.parallelism = threads}));
+    QueryResult r = Unwrap(
+        BenchEngine().ExecuteOptimized(plan, ThreadedOptions(threads)));
     times.push_back(r.wall_ms());
   }
   std::sort(times.begin(), times.end());
@@ -41,7 +48,7 @@ int main(int argc, char** argv) {
   std::vector<size_t> sweep;
   for (size_t t = 1; t <= max_threads; t *= 2) sweep.push_back(t);
 
-  const Catalog& catalog = BenchCatalog();
+  Engine& engine = BenchEngine();
   BenchReport report("parallel_scaling");
   std::printf("\nParallel scaling — morsel-driven execution, %u hardware "
               "thread(s) on this host\n\n",
@@ -54,20 +61,22 @@ int main(int argc, char** argv) {
   bool all_ok = true;
   for (const tpcds::TpcdsQuery& q : tpcds::Queries()) {
     if (!q.fusion_applicable) continue;
-    PlanContext ctx;
-    PlanPtr plan = Unwrap(q.build(catalog, &ctx));
+    PreparedQuery prepared = Unwrap(engine.Prepare(q.build));
     for (bool fused : {false, true}) {
       OptimizerOptions options =
           fused ? OptimizerOptions::Fused() : OptimizerOptions::Baseline();
-      PlanPtr optimized = Unwrap(Optimizer(options).Optimize(plan, &ctx));
+      PlanPtr optimized =
+          Unwrap(engine.Optimize(&prepared, BenchOptions(options)));
 
       // Correctness gate: results and scan accounting must not depend on
       // the thread count.
-      QueryResult serial = Unwrap(ExecutePlan(optimized));
+      QueryResult serial =
+          Unwrap(engine.ExecuteOptimized(optimized, ThreadedOptions(1)));
       bool ok = true;
       for (size_t t : sweep) {
         if (t == 1) continue;
-        QueryResult r = Unwrap(ExecutePlan(optimized, {.parallelism = t}));
+        QueryResult r =
+            Unwrap(engine.ExecuteOptimized(optimized, ThreadedOptions(t)));
         ok = ok && ResultsEquivalent(serial, r) &&
              r.metrics().bytes_scanned == serial.metrics().bytes_scanned &&
              r.metrics().rows_scanned == serial.metrics().rows_scanned;

@@ -56,7 +56,7 @@ std::vector<Variant> Variants() {
 }  // namespace
 
 int main() {
-  const Catalog& catalog = BenchCatalog();
+  Engine& engine = BenchEngine();
   BenchReport report("rule_ablation");
   std::vector<Variant> variants = Variants();
 
@@ -69,9 +69,8 @@ int main() {
     if (!q.fusion_applicable) continue;
     std::printf("%-6s", q.name.c_str());
     for (const Variant& v : variants) {
-      PlanContext ctx;
-      PlanPtr plan = Unwrap(q.build(catalog, &ctx));
-      RunStats stats = RunPlan(plan, v.options, &ctx, /*repeats=*/1);
+      PreparedQuery prepared = Unwrap(engine.Prepare(q.build));
+      RunStats stats = RunPrepared(&prepared, v.options, /*repeats=*/1);
       report.Add({q.name, v.name, stats.latency_ms, stats.bytes_scanned,
                   stats.peak_hash_bytes, 1});
       std::printf(" %12lld", static_cast<long long>(stats.bytes_scanned));

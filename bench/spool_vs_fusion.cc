@@ -17,7 +17,7 @@ using namespace fusiondb;         // NOLINT
 using namespace fusiondb::bench;  // NOLINT
 
 int main() {
-  const Catalog& catalog = BenchCatalog();
+  Engine& engine = BenchEngine();
   BenchReport report("spool_vs_fusion");
   bool diverged = false;
   std::printf("\nFusion vs spooling (baseline-normalized latency)\n\n");
@@ -27,15 +27,14 @@ int main() {
   std::printf("%s\n", std::string(92, '-').c_str());
   for (const tpcds::TpcdsQuery& q : tpcds::Queries()) {
     if (!q.fusion_applicable) continue;
-    PlanContext ctx;
-    PlanPtr plan = Unwrap(q.build(catalog, &ctx));
-    PlanPtr spool_plan = Unwrap(
-        Optimizer(OptimizerOptions::Spooling()).Optimize(plan, &ctx));
+    PreparedQuery prepared = Unwrap(engine.Prepare(q.build));
+    QueryOptions spool_options = BenchOptions(OptimizerOptions::Spooling());
+    PlanPtr spool_plan = Unwrap(engine.Optimize(&prepared, spool_options));
     int spools = CountOps(spool_plan, OpKind::kSpool);
 
-    RunStats base = RunPlan(plan, OptimizerOptions::Baseline(), &ctx);
-    RunStats spool = RunPlan(plan, OptimizerOptions::Spooling(), &ctx);
-    RunStats fused = RunPlan(plan, OptimizerOptions::Fused(), &ctx);
+    RunStats base = RunPrepared(&prepared, OptimizerOptions::Baseline());
+    RunStats spool = RunPrepared(&prepared, OptimizerOptions::Spooling());
+    RunStats fused = RunPrepared(&prepared, OptimizerOptions::Fused());
     report.Add({q.name, "baseline", base.latency_ms, base.bytes_scanned,
                 base.peak_hash_bytes, 1});
     report.Add({q.name, "spool", spool.latency_ms, spool.bytes_scanned,
@@ -44,11 +43,13 @@ int main() {
                 fused.peak_hash_bytes, 1});
 
     // Correctness across all three configurations.
-    QueryResult rb = Unwrap(ExecutePlan(
-        Unwrap(Optimizer(OptimizerOptions::Baseline()).Optimize(plan, &ctx))));
-    QueryResult rs = Unwrap(ExecutePlan(spool_plan));
-    QueryResult rf = Unwrap(ExecutePlan(
-        Unwrap(Optimizer(OptimizerOptions::Fused()).Optimize(plan, &ctx))));
+    QueryOptions base_options = BenchOptions(OptimizerOptions::Baseline());
+    QueryOptions fused_options = BenchOptions(OptimizerOptions::Fused());
+    QueryResult rb = Unwrap(engine.ExecuteOptimized(
+        Unwrap(engine.Optimize(&prepared, base_options)), base_options));
+    QueryResult rs = Unwrap(engine.ExecuteOptimized(spool_plan, spool_options));
+    QueryResult rf = Unwrap(engine.ExecuteOptimized(
+        Unwrap(engine.Optimize(&prepared, fused_options)), fused_options));
     bool match = ResultsEquivalent(rb, rs) && ResultsEquivalent(rb, rf);
     diverged |= !match;
     const char* ok = match ? "" : "  RESULTS DIVERGE";

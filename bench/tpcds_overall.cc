@@ -17,7 +17,7 @@ using namespace fusiondb;         // NOLINT
 using namespace fusiondb::bench;  // NOLINT
 
 int main() {
-  const Catalog& catalog = BenchCatalog();
+  BenchEngine();  // build the catalog before the header prints
   BenchReport report("tpcds_overall");
   std::printf("\nWhole-workload comparison (Section V headline numbers)\n\n");
   std::printf("%-6s %-5s %12s %12s %9s %13s %13s %7s\n", "query", "appl",
@@ -34,7 +34,7 @@ int main() {
   bool all_match = true;
 
   for (const tpcds::TpcdsQuery& q : tpcds::Queries()) {
-    Comparison c = CompareQuery(q, catalog);
+    Comparison c = CompareQuery(q);
     AddComparison(&report, q.name, c);
     double speedup = c.baseline.latency_ms / c.fused.latency_ms;
     std::printf("%-6s %-5s %12.2f %12.2f %8.2fx %13lld %13lld %7s\n",

@@ -32,10 +32,20 @@ T Unwrap(Result<T> result) {
   return std::move(result).ValueOrDie();
 }
 
+// "complex_subquery": a filter + computed column over the table. Each
+// UNION branch instantiates its own copy, as a streaming engine would.
+PlanBuilder MakeCte(const Catalog& catalog, PlanContext* ctx) {
+  TablePtr customers = Unwrap(catalog.GetTable("customers"));
+  PlanBuilder b = PlanBuilder::Scan(ctx, customers,
+                                    {"customer_id", "fname", "lname", "spend"});
+  b.Filter(eb::Gt(b.Ref("spend"), eb::Dbl(100.0)));
+  return b;
+}
+
 }  // namespace
 
 int main() {
-  // The CTE's source table.
+  // The CTE's source table, registered with the engine's catalog.
   TableBuilder builder("customers", {{"customer_id", DataType::kInt64},
                                      {"fname", DataType::kString},
                                      {"lname", DataType::kString},
@@ -48,32 +58,23 @@ int main() {
          Value::String(lnames[(i / 4) % 4]),
          Value::Float64(static_cast<double>(i % 1000))}));
   }
-  Catalog catalog;
-  DieIf(catalog.RegisterTable(Unwrap(builder.Build())));
-  TablePtr customers = Unwrap(catalog.GetTable("customers"));
+  Engine engine;
+  DieIf(engine.mutable_catalog()->RegisterTable(Unwrap(builder.Build())));
 
-  // "complex_subquery": a filter + computed column over the table. Each
-  // UNION branch instantiates its own copy, as a streaming engine would.
-  PlanContext ctx;
-  auto make_cte = [&]() {
-    PlanBuilder b = PlanBuilder::Scan(
-        &ctx, customers, {"customer_id", "fname", "lname", "spend"});
-    b.Filter(eb::Gt(b.Ref("spend"), eb::Dbl(100.0)));
-    return b;
-  };
+  PreparedQuery query = Unwrap(
+      engine.Prepare([](const Catalog& catalog,
+                        PlanContext* ctx) -> Result<PlanPtr> {
+        PlanBuilder branch1 = MakeCte(catalog, ctx);
+        branch1.Filter(eb::Eq(branch1.Ref("fname"), eb::Str("John")));
+        branch1.Select({"customer_id"});
+        PlanBuilder branch2 = MakeCte(catalog, ctx);
+        branch2.Filter(eb::Eq(branch2.Ref("lname"), eb::Str("Smith")));
+        branch2.Select({"customer_id"});
+        return PlanBuilder::UnionAll(ctx, {branch1, branch2}).Build();
+      }));
 
-  PlanBuilder branch1 = make_cte();
-  branch1.Filter(eb::Eq(branch1.Ref("fname"), eb::Str("John")));
-  branch1.Select({"customer_id"});
-  PlanBuilder branch2 = make_cte();
-  branch2.Filter(eb::Eq(branch2.Ref("lname"), eb::Str("Smith")));
-  branch2.Select({"customer_id"});
-  PlanPtr plan = PlanBuilder::UnionAll(&ctx, {branch1, branch2}).Build();
-
-  PlanPtr baseline =
-      Unwrap(Optimizer(OptimizerOptions::Baseline()).Optimize(plan, &ctx));
-  PlanPtr fused =
-      Unwrap(Optimizer(OptimizerOptions::Fused()).Optimize(plan, &ctx));
+  PlanPtr baseline = Unwrap(engine.Optimize(&query, QueryOptions::Baseline()));
+  PlanPtr fused = Unwrap(engine.Optimize(&query, QueryOptions::Fused()));
 
   std::printf("== baseline: %d scans of 'customers' ==\n%s\n",
               CountTableScans(baseline, "customers"),
@@ -82,8 +83,9 @@ int main() {
               CountTableScans(fused, "customers"),
               CountOps(fused, OpKind::kValues), PlanToString(fused).c_str());
 
-  QueryResult rb = Unwrap(ExecutePlan(baseline));
-  QueryResult rf = Unwrap(ExecutePlan(fused));
+  QueryResult rb =
+      Unwrap(engine.ExecuteOptimized(baseline, QueryOptions::Baseline()));
+  QueryResult rf = Unwrap(engine.ExecuteOptimized(fused, QueryOptions::Fused()));
   std::printf("results match: %s (%lld rows)\n",
               ResultsEquivalent(rb, rf) ? "yes" : "NO",
               static_cast<long long>(rb.num_rows()));
@@ -92,21 +94,26 @@ int main() {
               static_cast<long long>(rf.metrics().bytes_scanned));
 
   // Contradiction shortcut: disjoint branch predicates need no tag table.
-  PlanBuilder b1 = make_cte();
-  b1.Filter(eb::Lt(b1.Ref("spend"), eb::Dbl(300.0)));
-  b1.Select({"customer_id"});
-  PlanBuilder b2 = make_cte();
-  b2.Filter(eb::Gt(b2.Ref("spend"), eb::Dbl(700.0)));
-  b2.Select({"customer_id"});
-  PlanPtr disjoint = PlanBuilder::UnionAll(&ctx, {b1, b2}).Build();
-  PlanPtr fused2 =
-      Unwrap(Optimizer(OptimizerOptions::Fused()).Optimize(disjoint, &ctx));
+  PreparedQuery disjoint = Unwrap(
+      engine.Prepare([](const Catalog& catalog,
+                        PlanContext* ctx) -> Result<PlanPtr> {
+        PlanBuilder b1 = MakeCte(catalog, ctx);
+        b1.Filter(eb::Lt(b1.Ref("spend"), eb::Dbl(300.0)));
+        b1.Select({"customer_id"});
+        PlanBuilder b2 = MakeCte(catalog, ctx);
+        b2.Filter(eb::Gt(b2.Ref("spend"), eb::Dbl(700.0)));
+        b2.Select({"customer_id"});
+        return PlanBuilder::UnionAll(ctx, {b1, b2}).Build();
+      }));
+  PlanPtr fused2 = Unwrap(engine.Optimize(&disjoint, QueryOptions::Fused()));
   std::printf(
       "\n== disjoint branches (contradiction shortcut): %d Values ops ==\n%s\n",
       CountOps(fused2, OpKind::kValues), PlanToString(fused2).c_str());
-  QueryResult r2b = Unwrap(ExecutePlan(
-      Unwrap(Optimizer(OptimizerOptions::Baseline()).Optimize(disjoint, &ctx))));
-  QueryResult r2f = Unwrap(ExecutePlan(fused2));
+  QueryResult r2b = Unwrap(engine.ExecuteOptimized(
+      Unwrap(engine.Optimize(&disjoint, QueryOptions::Baseline())),
+      QueryOptions::Baseline()));
+  QueryResult r2f =
+      Unwrap(engine.ExecuteOptimized(fused2, QueryOptions::Fused()));
   std::printf("results match: %s\n", ResultsEquivalent(r2b, r2f) ? "yes" : "NO");
   return 0;
 }

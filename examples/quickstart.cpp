@@ -1,6 +1,7 @@
 // Quickstart: build a table, express a query with a duplicated
-// subexpression, optimize it with and without the fusion rules, and compare
-// plans, results and scan volume.
+// subexpression — as SQL text, through the fusiondb::Engine front door —
+// optimize it with and without the fusion rules, and compare plans, results
+// and scan volume.
 #include <cstdio>
 #include <cstdlib>
 
@@ -26,7 +27,7 @@ T Unwrap(Result<T> result) {
 }  // namespace
 
 int main() {
-  // 1. A small orders table.
+  // 1. A small orders table, registered with the engine's catalog.
   TableBuilder builder("orders", {{"order_id", DataType::kInt64},
                                   {"region", DataType::kString},
                                   {"amount", DataType::kFloat64}});
@@ -35,35 +36,22 @@ int main() {
     DieIf(builder.AppendRow({Value::Int64(i), Value::String(regions[i % 4]),
                              Value::Float64(static_cast<double>(i % 997))}));
   }
-  Catalog catalog;
-  DieIf(catalog.RegisterTable(Unwrap(builder.Build())));
-  TablePtr orders = Unwrap(catalog.GetTable("orders"));
+  Engine engine;
+  DieIf(engine.mutable_catalog()->RegisterTable(Unwrap(builder.Build())));
 
   // 2. A query that reads the table twice: orders joined against their
-  //    per-region average (the paper's motivating shape):
-  //      SELECT order_id, amount, avg_amount
-  //      FROM orders o, (SELECT region, AVG(amount) avg_amount
-  //                      FROM orders GROUP BY region) r
-  //      WHERE o.region = r.region AND o.amount > r.avg_amount
-  PlanContext ctx;
-  PlanBuilder agg = PlanBuilder::Scan(&ctx, orders, {"region", "amount"});
-  agg.Aggregate({"region"}, {{"avg_amount", AggFunc::kAvg, agg.Ref("amount"),
-                              nullptr, false}});
-  PlanBuilder q = PlanBuilder::Scan(&ctx, orders,
-                                    {"order_id", "region", "amount"});
-  ExprPtr o_region = q.Ref("region");
-  ExprPtr o_amount = q.Ref("amount");
-  q.Join(JoinType::kInner, agg,
-         eb::And(eb::Eq(o_region, agg.Ref("region")),
-                 eb::Gt(o_amount, agg.Ref("avg_amount"))));
-  q.Select({"order_id", "amount", "avg_amount"});
-  PlanPtr plan = q.Build();
+  //    per-region average (the paper's motivating shape). Plain SQL — the
+  //    engine parses and binds it; malformed text would come back with a
+  //    caret-position diagnostic.
+  PreparedQuery query = Unwrap(engine.Prepare(
+      "SELECT o.order_id, o.amount, r.avg_amount "
+      "FROM orders o JOIN (SELECT region, AVG(amount) AS avg_amount "
+      "                    FROM orders GROUP BY region) r "
+      "  ON o.region = r.region AND o.amount > r.avg_amount"));
 
   // 3. Optimize twice: baseline vs fusion rules on.
-  PlanPtr baseline =
-      Unwrap(Optimizer(OptimizerOptions::Baseline()).Optimize(plan, &ctx));
-  PlanPtr fused =
-      Unwrap(Optimizer(OptimizerOptions::Fused()).Optimize(plan, &ctx));
+  PlanPtr baseline = Unwrap(engine.Optimize(&query, QueryOptions::Baseline()));
+  PlanPtr fused = Unwrap(engine.Optimize(&query, QueryOptions::Fused()));
 
   std::printf("== baseline plan (reads 'orders' %d times) ==\n%s\n",
               CountTableScans(baseline, "orders"),
@@ -72,8 +60,10 @@ int main() {
               CountTableScans(fused, "orders"), PlanToString(fused).c_str());
 
   // 4. Execute both and compare.
-  QueryResult base_result = Unwrap(ExecutePlan(baseline));
-  QueryResult fused_result = Unwrap(ExecutePlan(fused));
+  QueryResult base_result =
+      Unwrap(engine.ExecuteOptimized(baseline, QueryOptions::Baseline()));
+  QueryResult fused_result =
+      Unwrap(engine.ExecuteOptimized(fused, QueryOptions::Fused()));
   std::printf("results match: %s\n",
               ResultsEquivalent(base_result, fused_result) ? "yes" : "NO");
   std::printf("rows: %lld\n",

@@ -1,8 +1,15 @@
-// run_query: execute one TPC-DS query by name under a selected optimizer
-// configuration, with the un-fused baseline run alongside as the
-// correctness/metrics reference.
+// run_query: execute one query — a TPC-DS query by name, or arbitrary SQL —
+// under a selected optimizer configuration, with the un-fused baseline run
+// alongside as the correctness/metrics reference. Everything goes through
+// the fusiondb::Engine facade (DESIGN.md §14).
 //
 // Usage: run_query [query=q65] [scale=0.01] [flags]
+//   --sql=TEXT          execute this SQL statement instead of a named
+//                       TPC-DS query. Malformed SQL prints a caret-position
+//                       diagnostic snippet and exits 2.
+//   --repl              interactive mode: read one SQL statement per line
+//                       from stdin and execute each under --mode. Errors
+//                       print their caret snippet and the loop continues.
 //   --mode=M            optimizer configuration for the measured run:
 //                         baseline — all Section IV fusion rules off
 //                         fused    — fusion rules on (default)
@@ -43,11 +50,13 @@
 //   --slow-ms=N         sessions slower than N ms (queue + execute) are
 //                       marked slow and auto-capture their full profile
 //                       next to the query log (requires --query-log)
-// Unknown --flags and unknown --mode values are rejected with exit code 2.
-// Telemetry write failures (--profile, --metrics, --query-log open) exit 1.
+// Unknown --flags, unknown --mode values and malformed --sql are rejected
+// with exit code 2. Telemetry write failures (--profile, --metrics,
+// --query-log open) exit 1.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <thread>
 #include <vector>
 
@@ -72,12 +81,42 @@ T Unwrap(Result<T> result) {
 
 void Usage() {
   std::fprintf(stderr,
-               "usage: run_query [query] [scale] "
+               "usage: run_query [query] [scale] [--sql=TEXT] [--repl] "
                "[--mode={baseline,fused,spooling,adaptive}] [--plans] "
                "[--explain] [--explain-analyze] [--trace-optimizer] "
                "[--profile=PATH] [--threads=N] [--no-compile-pipelines] "
                "[--server] [--clients=N] [--window-ms=M] "
                "[--metrics=PATH] [--query-log=PATH] [--slow-ms=N]\n");
+}
+
+/// Prepares SQL through the engine; on failure prints the caret-position
+/// diagnostic snippet ("sql:LINE:COL: message" plus the offending line).
+Result<PreparedQuery> PrepareSqlVerbose(Engine* engine,
+                                        const std::string& sql_text) {
+  sql::ParseResult parse;
+  auto prepared = engine->Prepare(sql_text, &parse);
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "%s", parse.FormatErrors().c_str());
+  }
+  return prepared;
+}
+
+/// One REPL turn: parse, bind, execute, render. Errors are reported with
+/// their caret snippet; the loop continues either way.
+void ReplExecute(Engine* engine, const std::string& line,
+                 const QueryOptions& options) {
+  auto prepared = PrepareSqlVerbose(engine, line);
+  if (!prepared.ok()) return;
+  PreparedQuery query = std::move(prepared).ValueOrDie();
+  auto result = engine->Execute(&query, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s", result->ToString().c_str());
+  std::printf("(%lld rows, %.2f ms, %lld bytes scanned)\n",
+              static_cast<long long>(result->num_rows()), result->wall_ms(),
+              static_cast<long long>(result->metrics().bytes_scanned));
 }
 
 }  // namespace
@@ -86,6 +125,8 @@ int main(int argc, char** argv) {
   std::string name = "q65";
   double scale = 0.01;
   std::string mode = "fused";
+  std::string sql_text;
+  bool repl = false;
   bool show_plans = false;
   bool explain_only = false;
   bool explain_analyze = false;
@@ -99,7 +140,7 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   std::string query_log_path;
   int64_t slow_ms = 0;
-  int positional = 0;
+  std::vector<std::string> positionals;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--plans") == 0) {
       show_plans = true;
@@ -111,6 +152,12 @@ int main(int argc, char** argv) {
       trace_optimizer = true;
     } else if (std::strncmp(argv[i], "--mode=", 7) == 0) {
       mode = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--sql=", 6) == 0) {
+      sql_text = argv[i] + 6;
+    } else if (std::strcmp(argv[i], "--sql") == 0 && i + 1 < argc) {
+      sql_text = argv[++i];
+    } else if (std::strcmp(argv[i], "--repl") == 0) {
+      repl = true;
     } else if (std::strncmp(argv[i], "--profile=", 10) == 0) {
       profile_path = argv[i] + 10;
     } else if (std::strcmp(argv[i], "--profile") == 0 && i + 1 < argc) {
@@ -135,14 +182,20 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "run_query: unknown flag '%s'\n", argv[i]);
       Usage();
       return 2;
-    } else if (++positional == 1) {
-      name = argv[i];
-    } else if (positional == 2) {
-      scale = std::atof(argv[i]);
+    } else {
+      positionals.push_back(argv[i]);
     }
   }
-  if (mode != "baseline" && mode != "fused" && mode != "spooling" &&
-      mode != "adaptive") {
+  // With --sql/--repl there is no query name to name: the first positional
+  // is the scale. Otherwise: [query] [scale].
+  if (!sql_text.empty() || repl) {
+    if (!positionals.empty()) scale = std::atof(positionals[0].c_str());
+  } else {
+    if (!positionals.empty()) name = positionals[0];
+    if (positionals.size() >= 2) scale = std::atof(positionals[1].c_str());
+  }
+  auto mode_options = QueryOptions::FromModeName(mode);
+  if (!mode_options.ok()) {
     std::fprintf(stderr, "run_query: unknown mode '%s'\n", mode.c_str());
     Usage();
     return 2;
@@ -155,44 +208,85 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "run_query: --slow-ms requires --query-log\n");
     return 2;
   }
+  if (repl && (server || !sql_text.empty())) {
+    std::fprintf(stderr, "run_query: --repl excludes --server and --sql\n");
+    return 2;
+  }
 
   std::fprintf(stderr, "building TPC-DS catalog at scale %.3f...\n", scale);
-  Catalog catalog;
-  tpcds::TpcdsOptions options;
-  options.scale = scale;
-  DieIf(tpcds::BuildTpcdsCatalog(options, &catalog));
+  Engine engine;
+  tpcds::TpcdsOptions catalog_options;
+  catalog_options.scale = scale;
+  DieIf(tpcds::BuildTpcdsCatalog(catalog_options, engine.mutable_catalog()));
 
-  tpcds::TpcdsQuery query = Unwrap(tpcds::QueryByName(name));
+  if (repl) {
+    QueryOptions repl_options = *mode_options;
+    repl_options.exec.parallelism = threads;
+    repl_options.exec.compile_pipelines = compile_pipelines;
+    std::fprintf(stderr, "fusiondb repl (%s mode) — one SQL statement per "
+                         "line; 'exit' to quit\n", mode.c_str());
+    std::string line;
+    while (true) {
+      std::fputs("fusiondb> ", stderr);
+      std::fflush(stderr);
+      if (!std::getline(std::cin, line)) break;
+      if (line.empty()) continue;
+      if (line == "exit" || line == "quit" || line == "\\q") break;
+      ReplExecute(&engine, line, repl_options);
+    }
+    return 0;
+  }
+
+  // Resolve what to run: arbitrary SQL (caret diagnostics, exit 2 on bad
+  // input) or a named TPC-DS plan constructor — both become the same
+  // PreparedQuery.
+  tpcds::TpcdsQuery query;
+  bool from_sql = !sql_text.empty();
+  if (from_sql) {
+    name = "sql";
+  } else {
+    query = Unwrap(tpcds::QueryByName(name));
+  }
+  auto prepare = [&]() -> Result<PreparedQuery> {
+    return from_sql ? PrepareSqlVerbose(&engine, sql_text)
+                    : engine.Prepare(query.build);
+  };
+  auto first_prepared = prepare();
+  if (!first_prepared.ok()) {
+    if (from_sql) return 2;  // diagnostics already printed with carets
+    DieIf(first_prepared.status());
+  }
+  PreparedQuery prepared = std::move(first_prepared).ValueOrDie();
 
   if (server) {
     if (clients < 1) {
       std::fprintf(stderr, "run_query: --clients must be >= 1\n");
       return 2;
     }
-    OptimizerOptions opt = mode == "baseline" ? OptimizerOptions::Baseline()
-                           : mode == "spooling"
-                               ? OptimizerOptions::Spooling()
-                           : mode == "adaptive"
-                               ? OptimizerOptions::Adaptive(nullptr)
-                               : OptimizerOptions::Fused();
+    QueryOptions options = *mode_options;
+    options.exec.parallelism = threads;
+    options.exec.compile_pipelines = compile_pipelines;
+    if (mode == "adaptive") {
+      // Server sessions optimize once per submission; run single-pass
+      // against the engine's (initially empty) feedback store.
+      options.optimizer.feedback = engine.feedback();
+    }
 
     // Isolated reference: one client, optimized and executed on its own.
-    PlanContext ref_ctx;
-    PlanPtr ref_plan = Unwrap(query.build(catalog, &ref_ctx));
-    PlanPtr ref_optimized = Unwrap(Optimizer(opt).Optimize(ref_plan, &ref_ctx));
+    PlanPtr ref_optimized = Unwrap(engine.Optimize(&prepared, options));
     std::fprintf(stderr, "executing isolated reference (%s)...\n",
                  mode.c_str());
-    QueryResult isolated = Unwrap(
-        ExecutePlan(ref_optimized, {.parallelism = threads,
-                                    .compile_pipelines = compile_pipelines}));
+    QueryResult isolated =
+        Unwrap(engine.ExecuteOptimized(ref_optimized, options));
 
     // Compiled-vs-interpreted self-check: the same plan executed with
     // pipeline compilation toggled must read identical bytes and render
     // identical rows (the interpreted pull path is the oracle). Any drift
     // is an executor bug, so it fails the run like a metrics mismatch.
-    QueryResult cross_check = Unwrap(
-        ExecutePlan(ref_optimized, {.parallelism = threads,
-                                    .compile_pipelines = !compile_pipelines}));
+    QueryOptions flipped = options;
+    flipped.exec.compile_pipelines = !compile_pipelines;
+    QueryResult cross_check =
+        Unwrap(engine.ExecuteOptimized(ref_optimized, flipped));
     bool pipelines_reconciled = true;
     if (!ResultsEquivalent(isolated, cross_check) ||
         isolated.metrics().bytes_scanned !=
@@ -207,7 +301,7 @@ int main(int argc, char** argv) {
 
     ServerOptions server_options;
     server_options.window.window_ms = window_ms;
-    server_options.optimizer = opt;
+    server_options.optimizer = options.optimizer;
     server_options.exec.parallelism = threads;
     server_options.exec.compile_pipelines = compile_pipelines;
     OptimizerTrace server_trace;
@@ -221,10 +315,11 @@ int main(int argc, char** argv) {
       server_options.query_log = query_log.get();
     }
     server_options.mode_label = mode;
-    SessionManager manager(server_options);
+    SessionManager& manager = *Unwrap(engine.StartServer(server_options));
 
-    // Each client is its own thread with its own PlanContext — the server
-    // renumbers the colliding column ids into one shared space.
+    // Each client prepares its own query (its own PlanContext — the server
+    // renumbers the colliding column ids into one shared space) and submits
+    // it through the engine.
     std::fprintf(stderr,
                  "server: %d clients, admission window %lld ms, mode %s\n",
                  clients, static_cast<long long>(window_ms), mode.c_str());
@@ -233,14 +328,14 @@ int main(int argc, char** argv) {
     client_threads.reserve(static_cast<size_t>(clients));
     for (int i = 0; i < clients; ++i) {
       client_threads.emplace_back([&, i] {
-        PlanContext client_ctx;
-        PlanPtr client_plan = Unwrap(query.build(catalog, &client_ctx));
-        sessions[static_cast<size_t>(i)] = manager.Submit(client_plan);
+        PreparedQuery client_query = Unwrap(prepare());
+        sessions[static_cast<size_t>(i)] =
+            Unwrap(engine.Submit(client_query));
         sessions[static_cast<size_t>(i)]->Wait();
       });
     }
     for (std::thread& t : client_threads) t.join();
-    manager.Stop();
+    engine.StopServer();
 
     int matched = 0;
     int shared = 0;
@@ -324,48 +419,43 @@ int main(int argc, char** argv) {
     return matched == clients && reconciled && pipelines_reconciled ? 0 : 1;
   }
 
-  PlanContext ctx;
-  PlanPtr plan = Unwrap(query.build(catalog, &ctx));
-
   std::fprintf(stderr, "optimizing (baseline)...\n");
   PlanPtr baseline =
-      Unwrap(Optimizer(OptimizerOptions::Baseline()).Optimize(plan, &ctx));
+      Unwrap(engine.Optimize(&prepared, QueryOptions::Baseline()));
 
   // The trace rides on the PlanContext only around the measured mode's
   // optimization, so it records exactly the rewrites that produced the
   // measured plan. Adaptive mode optimizes twice — once against catalog
   // priors, once against measured feedback — with a trace per pass.
-  StatsFeedback feedback;
   OptimizerTrace trace;        // the measured plan's trace (adaptive: pass 2)
   OptimizerTrace first_trace;  // adaptive pass 1 (priors only)
   bool want_trace = trace_optimizer || !profile_path.empty();
+  QueryOptions exec_knobs = *mode_options;
+  exec_knobs.exec.parallelism = threads;
+  exec_knobs.exec.compile_pipelines = compile_pipelines;
   PlanPtr optimized;
   if (mode == "adaptive") {
     std::fprintf(stderr, "optimizing (adaptive, catalog priors)...\n");
-    if (want_trace) ctx.set_trace(&first_trace);
-    PlanPtr first = Unwrap(
-        Optimizer(OptimizerOptions::Adaptive(nullptr)).Optimize(plan, &ctx));
-    if (want_trace) ctx.set_trace(nullptr);
+    QueryOptions first_pass = exec_knobs;
+    first_pass.optimizer.feedback = engine.feedback();
+    if (want_trace) first_pass.trace = &first_trace;
+    PlanPtr first = Unwrap(engine.Optimize(&prepared, first_pass));
     std::fprintf(stderr, "executing feedback run (threads=%zu)...\n", threads);
-    QueryResult first_result = Unwrap(
-        ExecutePlan(first, {.parallelism = threads,
-                            .compile_pipelines = compile_pipelines}));
-    size_t harvested = feedback.Harvest(first, first_result.operator_stats());
+    QueryResult first_result =
+        Unwrap(engine.ExecuteOptimized(first, first_pass));
+    size_t harvested =
+        engine.feedback()->Harvest(first, first_result.operator_stats());
     std::fprintf(stderr, "harvested %zu measured cardinalities\n", harvested);
     std::fprintf(stderr, "optimizing (adaptive, measured feedback)...\n");
-    if (want_trace) ctx.set_trace(&trace);
-    optimized = Unwrap(
-        Optimizer(OptimizerOptions::Adaptive(&feedback)).Optimize(plan, &ctx));
-    if (want_trace) ctx.set_trace(nullptr);
+    QueryOptions second_pass = exec_knobs;
+    second_pass.optimizer.feedback = engine.feedback();
+    if (want_trace) second_pass.trace = &trace;
+    optimized = Unwrap(engine.Optimize(&prepared, second_pass));
   } else {
-    OptimizerOptions opt = mode == "baseline" ? OptimizerOptions::Baseline()
-                           : mode == "spooling"
-                               ? OptimizerOptions::Spooling()
-                               : OptimizerOptions::Fused();
     std::fprintf(stderr, "optimizing (%s)...\n", mode.c_str());
-    if (want_trace) ctx.set_trace(&trace);
-    optimized = Unwrap(Optimizer(opt).Optimize(plan, &ctx));
-    if (want_trace) ctx.set_trace(nullptr);
+    QueryOptions pass = exec_knobs;
+    if (want_trace) pass.trace = &trace;
+    optimized = Unwrap(engine.Optimize(&prepared, pass));
   }
 
   if (show_plans || explain_only) {
@@ -397,19 +487,18 @@ int main(int argc, char** argv) {
   if (explain_only) return 0;
 
   std::fprintf(stderr, "executing (baseline, threads=%zu)...\n", threads);
-  QueryResult base_result = Unwrap(
-      ExecutePlan(baseline, {.parallelism = threads,
-                             .compile_pipelines = compile_pipelines}));
+  QueryResult base_result =
+      Unwrap(engine.ExecuteOptimized(baseline, exec_knobs));
   std::fprintf(stderr, "executing (%s, threads=%zu)...\n", mode.c_str(),
                threads);
   // The measured run records into the service registry when --metrics is
   // given (the baseline reference run does not), so the snapshot describes
   // exactly the measured execution.
   MetricsRegistry registry;
-  QueryResult mode_result = Unwrap(ExecutePlan(
-      optimized, {.parallelism = threads,
-                  .compile_pipelines = compile_pipelines,
-                  .metrics = metrics_path.empty() ? nullptr : &registry}));
+  QueryOptions measured = exec_knobs;
+  measured.exec.metrics = metrics_path.empty() ? nullptr : &registry;
+  QueryResult mode_result =
+      Unwrap(engine.ExecuteOptimized(optimized, measured));
 
   if (explain_analyze) {
     std::printf("== baseline (explain analyze) ==\n%s\n",
@@ -430,7 +519,9 @@ int main(int argc, char** argv) {
   }
 
   std::printf("query %s (%s)\n", name.c_str(),
-              query.fusion_applicable ? "fusion-applicable" : "filler");
+              from_sql ? "sql"
+              : query.fusion_applicable ? "fusion-applicable"
+                                        : "filler");
   std::printf("results match: %s\n",
               ResultsEquivalent(base_result, mode_result) ? "yes" : "NO");
   std::printf("%-22s %14s %14s\n", "", "baseline", mode.c_str());

@@ -38,19 +38,18 @@ int ScanCount(const PlanPtr& plan, const Catalog& catalog) {
 
 int main(int argc, char** argv) {
   double scale = argc > 1 ? std::atof(argv[1]) : 0.02;
-  Catalog catalog;
+  Engine engine;
   tpcds::TpcdsOptions options;
   options.scale = scale;
-  DieIf(tpcds::BuildTpcdsCatalog(options, &catalog));
+  DieIf(tpcds::BuildTpcdsCatalog(options, engine.mutable_catalog()));
+  const Catalog& catalog = engine.catalog();
 
   tpcds::TpcdsQuery query = Unwrap(tpcds::QueryByName("q23"));
-  PlanContext ctx;
-  PlanPtr plan = Unwrap(query.build(catalog, &ctx));
+  PreparedQuery prepared = Unwrap(engine.Prepare(query.build));
 
   PlanPtr baseline =
-      Unwrap(Optimizer(OptimizerOptions::Baseline()).Optimize(plan, &ctx));
-  PlanPtr fused =
-      Unwrap(Optimizer(OptimizerOptions::Fused()).Optimize(plan, &ctx));
+      Unwrap(engine.Optimize(&prepared, QueryOptions::Baseline()));
+  PlanPtr fused = Unwrap(engine.Optimize(&prepared, QueryOptions::Fused()));
 
   std::printf("total table scans: baseline %d, fused %d\n",
               ScanCount(baseline, catalog), ScanCount(fused, catalog));
@@ -61,8 +60,10 @@ int main(int argc, char** argv) {
               CountTableScans(baseline, "date_dim"),
               CountTableScans(fused, "date_dim"));
 
-  QueryResult rb = Unwrap(ExecutePlan(baseline));
-  QueryResult rf = Unwrap(ExecutePlan(fused));
+  QueryResult rb =
+      Unwrap(engine.ExecuteOptimized(baseline, QueryOptions::Baseline()));
+  QueryResult rf =
+      Unwrap(engine.ExecuteOptimized(fused, QueryOptions::Fused()));
   std::printf("results match: %s\n", ResultsEquivalent(rb, rf) ? "yes" : "NO");
   std::printf("latency: %.2f ms -> %.2f ms (%.2fx)\n", rb.wall_ms(),
               rf.wall_ms(), rb.wall_ms() / rf.wall_ms());

@@ -28,20 +28,18 @@ T Unwrap(Result<T> result) {
 
 int main(int argc, char** argv) {
   double scale = argc > 1 ? std::atof(argv[1]) : 0.02;
-  Catalog catalog;
+  Engine engine;
   tpcds::TpcdsOptions options;
   options.scale = scale;
-  DieIf(tpcds::BuildTpcdsCatalog(options, &catalog));
+  DieIf(tpcds::BuildTpcdsCatalog(options, engine.mutable_catalog()));
 
   // The Section I variant of Q65 (36-month window).
   tpcds::TpcdsQuery query = Unwrap(tpcds::QueryByName("q65v"));
-  PlanContext ctx;
-  PlanPtr plan = Unwrap(query.build(catalog, &ctx));
+  PreparedQuery prepared = Unwrap(engine.Prepare(query.build));
 
   PlanPtr baseline =
-      Unwrap(Optimizer(OptimizerOptions::Baseline()).Optimize(plan, &ctx));
-  PlanPtr fused =
-      Unwrap(Optimizer(OptimizerOptions::Fused()).Optimize(plan, &ctx));
+      Unwrap(engine.Optimize(&prepared, QueryOptions::Baseline()));
+  PlanPtr fused = Unwrap(engine.Optimize(&prepared, QueryOptions::Fused()));
 
   std::printf("baseline reads store_sales %d times; fused %d time(s)\n",
               CountTableScans(baseline, "store_sales"),
@@ -51,8 +49,10 @@ int main(int argc, char** argv) {
               CountOps(fused, OpKind::kWindow));
   std::printf("== fused plan ==\n%s\n", PlanToString(fused).c_str());
 
-  QueryResult rb = Unwrap(ExecutePlan(baseline));
-  QueryResult rf = Unwrap(ExecutePlan(fused));
+  QueryResult rb =
+      Unwrap(engine.ExecuteOptimized(baseline, QueryOptions::Baseline()));
+  QueryResult rf =
+      Unwrap(engine.ExecuteOptimized(fused, QueryOptions::Fused()));
   std::printf("results match: %s\n", ResultsEquivalent(rb, rf) ? "yes" : "NO");
   std::printf("latency: %.2f ms -> %.2f ms (%.0f%% faster)\n", rb.wall_ms(),
               rf.wall_ms(), 100.0 * (1.0 - rf.wall_ms() / rb.wall_ms()));

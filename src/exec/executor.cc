@@ -300,12 +300,4 @@ Result<QueryResult> ExecutePlan(const PlanPtr& plan,
                      ctx.pipelines());
 }
 
-Result<QueryResult> ExecutePlan(const PlanPtr& plan, size_t chunk_size,
-                                size_t parallelism, bool profile) {
-  return ExecutePlan(
-      plan, ExecOptions{.chunk_size = chunk_size,
-                        .parallelism = parallelism,
-                        .profile = profile});
-}
-
 }  // namespace fusiondb

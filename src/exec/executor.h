@@ -31,15 +31,12 @@ void RecordExecutionMetrics(MetricsRegistry* registry,
                             const std::vector<PipelineRecord>& pipelines,
                             int64_t chunks, double wall_ms);
 
-/// Runs `plan` to completion, collecting all output and metrics.
+/// Runs `plan` to completion, collecting all output and metrics. Options
+/// are always passed as designated initializers — e.g.
+/// `ExecutePlan(plan, {.chunk_size = 1024, .parallelism = 4})` — so a
+/// reader never has to count argument positions.
 Result<QueryResult> ExecutePlan(const PlanPtr& plan,
                                 const ExecOptions& options = ExecOptions());
-
-/// Positional-form shim for pre-ExecOptions call sites. New code must pass
-/// ExecOptions (tools/lint.sh rejects new positional calls).
-[[deprecated("pass ExecOptions: ExecutePlan(plan, {.chunk_size = ...})")]]
-Result<QueryResult> ExecutePlan(const PlanPtr& plan, size_t chunk_size,
-                                size_t parallelism = 1, bool profile = true);
 
 }  // namespace fusiondb
 

@@ -11,6 +11,8 @@
 //   - exec/     : streaming executor + metrics + fan-out execution
 //   - obs/      : profiling, optimizer trace, service metrics, query log
 //   - server/   : concurrent query sessions with cross-query fusion
+//   - sql/      : SQL front end (lexer, parser, binder, diagnostics)
+//   - engine/   : the Engine facade tying all of the above together
 //   - tpcds/    : benchmark substrate (schema, datagen, query suite)
 #ifndef FUSIONDB_FUSIONDB_H_
 #define FUSIONDB_FUSIONDB_H_
@@ -21,6 +23,7 @@
 #include "catalog/catalog.h"
 #include "cost/cost_model.h"
 #include "cost/stats_feedback.h"
+#include "engine/engine.h"
 #include "exec/executor.h"
 #include "exec/fanout.h"
 #include "expr/expr_builder.h"
@@ -37,6 +40,7 @@
 #include "plan/plan_fingerprint.h"
 #include "plan/plan_printer.h"
 #include "server/session_manager.h"
+#include "sql/sql.h"
 #include "tpcds/tpcds.h"
 
 #endif  // FUSIONDB_FUSIONDB_H_

@@ -1,0 +1,25 @@
+// Binder: resolves a parsed Statement against a Catalog and produces a bound
+// logical plan in the caller's PlanContext. Name-resolution and structural
+// errors are [sql-*] kPlanError diagnostics; typing errors are kTypeError —
+// every diagnostic points at the byte offset of the offending token.
+#ifndef FUSIONDB_SQL_BINDER_H_
+#define FUSIONDB_SQL_BINDER_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "plan/logical_plan.h"
+#include "plan/plan_context.h"
+#include "sql/ast.h"
+#include "sql/diagnostics.h"
+
+namespace fusiondb::sql {
+
+/// Binds `stmt` to a logical plan. Returns null and appends one diagnostic
+/// to `diag` on the first binding error.
+PlanPtr Bind(const Statement& stmt, const Catalog& catalog, PlanContext* ctx,
+             std::vector<SqlDiagnostic>* diag);
+
+}  // namespace fusiondb::sql
+
+#endif  // FUSIONDB_SQL_BINDER_H_

@@ -1,0 +1,44 @@
+#include "sql/diagnostics.h"
+
+namespace fusiondb::sql {
+
+SqlPosition PositionOf(const std::string& sql, size_t offset) {
+  SqlPosition pos;
+  if (offset > sql.size()) offset = sql.size();
+  for (size_t i = 0; i < offset; ++i) {
+    if (sql[i] == '\n') {
+      ++pos.line;
+      pos.column = 1;
+    } else {
+      ++pos.column;
+    }
+  }
+  return pos;
+}
+
+std::string FormatDiagnostic(const std::string& sql, const SqlDiagnostic& d) {
+  SqlPosition pos = PositionOf(sql, d.offset);
+  std::string out = "sql:" + std::to_string(pos.line) + ":" +
+                    std::to_string(pos.column) + ": " + d.message + "\n";
+  // The offending line, then a caret under the offending column.
+  size_t line_start = d.offset > sql.size() ? sql.size() : d.offset;
+  while (line_start > 0 && sql[line_start - 1] != '\n') --line_start;
+  size_t line_end = line_start;
+  while (line_end < sql.size() && sql[line_end] != '\n') ++line_end;
+  out += "  " + sql.substr(line_start, line_end - line_start) + "\n";
+  out += "  ";
+  for (int i = 1; i < pos.column; ++i) out += ' ';
+  out += "^\n";
+  return out;
+}
+
+Status DiagnosticsToStatus(const std::string& sql,
+                           const std::vector<SqlDiagnostic>& diagnostics) {
+  if (diagnostics.empty()) return Status::OK();
+  const SqlDiagnostic& d = diagnostics.front();
+  SqlPosition pos = PositionOf(sql, d.offset);
+  return Status(d.code, "at " + std::to_string(pos.line) + ":" +
+                            std::to_string(pos.column) + ": " + d.message);
+}
+
+}  // namespace fusiondb::sql

@@ -1,0 +1,47 @@
+// SQL diagnostics: typed errors carrying byte offsets into the query text.
+//
+// The taxonomy mirrors the plan verifier's (analysis/plan_verifier.h):
+// every diagnostic carries a bracketed [sql-*] tag plus a StatusCode —
+// kInvalidArgument for syntax errors, kPlanError for name-resolution and
+// structural binding errors, kTypeError for expression typing — so SQL
+// front-end failures classify exactly like the corresponding executor and
+// verifier failures on hand-built plans.
+#ifndef FUSIONDB_SQL_DIAGNOSTICS_H_
+#define FUSIONDB_SQL_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fusiondb::sql {
+
+struct SqlDiagnostic {
+  StatusCode code = StatusCode::kInvalidArgument;
+  std::string message;  // starts with the [sql-*] tag
+  size_t offset = 0;    // byte offset into the SQL text
+};
+
+/// 1-based line/column of a byte offset within `sql`.
+struct SqlPosition {
+  int line = 1;
+  int column = 1;
+};
+SqlPosition PositionOf(const std::string& sql, size_t offset);
+
+/// Renders one diagnostic as a compiler-style snippet:
+///
+///   sql:1:8: [sql-unknown-column] no column named 'regio'
+///     SELECT regio FROM orders
+///            ^
+std::string FormatDiagnostic(const std::string& sql, const SqlDiagnostic& d);
+
+/// First diagnostic as a Status (OK when the list is empty). The message
+/// carries the "line:column" position so callers that only see the Status
+/// still get the location.
+Status DiagnosticsToStatus(const std::string& sql,
+                           const std::vector<SqlDiagnostic>& diagnostics);
+
+}  // namespace fusiondb::sql
+
+#endif  // FUSIONDB_SQL_DIAGNOSTICS_H_

@@ -1,0 +1,163 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+namespace fusiondb::sql {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof: return "end of input";
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kInt: return "integer literal";
+    case TokenKind::kFloat: return "decimal literal";
+    case TokenKind::kString: return "string literal";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNe: return "'<>'";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+  }
+  return "token";
+}
+
+bool Token::IsKeyword(const char* keyword) const {
+  if (kind != TokenKind::kIdent) return false;
+  size_t i = 0;
+  for (; keyword[i] != '\0'; ++i) {
+    if (i >= text.size()) return false;
+    if (std::toupper(static_cast<unsigned char>(text[i])) != keyword[i]) {
+      return false;
+    }
+  }
+  return i == text.size();
+}
+
+std::vector<Token> Lex(const std::string& sql,
+                       std::vector<SqlDiagnostic>* diag) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  auto push = [&](TokenKind kind, size_t start, size_t end) {
+    tokens.push_back({kind, sql.substr(start, end - start), start});
+  };
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {  // line comment
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      push(TokenKind::kIdent, start, i);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i + 1 < n && sql[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(sql[i + 1]))) {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      push(is_float ? TokenKind::kFloat : TokenKind::kInt, start, i);
+      continue;
+    }
+    if (c == '\'') {
+      std::string contents;
+      ++i;
+      bool terminated = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // '' escapes a quote
+            contents += '\'';
+            i += 2;
+            continue;
+          }
+          terminated = true;
+          ++i;
+          break;
+        }
+        contents += sql[i++];
+      }
+      if (!terminated) {
+        diag->push_back({StatusCode::kInvalidArgument,
+                         "[sql-syntax] unterminated string literal", start});
+        break;
+      }
+      tokens.push_back({TokenKind::kString, std::move(contents), start});
+      continue;
+    }
+    TokenKind kind;
+    size_t len = 1;
+    switch (c) {
+      case ',': kind = TokenKind::kComma; break;
+      case '(': kind = TokenKind::kLParen; break;
+      case ')': kind = TokenKind::kRParen; break;
+      case '.': kind = TokenKind::kDot; break;
+      case ';': kind = TokenKind::kSemicolon; break;
+      case '*': kind = TokenKind::kStar; break;
+      case '+': kind = TokenKind::kPlus; break;
+      case '-': kind = TokenKind::kMinus; break;
+      case '/': kind = TokenKind::kSlash; break;
+      case '=': kind = TokenKind::kEq; break;
+      case '<':
+        if (i + 1 < n && sql[i + 1] == '>') {
+          kind = TokenKind::kNe;
+          len = 2;
+        } else if (i + 1 < n && sql[i + 1] == '=') {
+          kind = TokenKind::kLe;
+          len = 2;
+        } else {
+          kind = TokenKind::kLt;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          kind = TokenKind::kGe;
+          len = 2;
+        } else {
+          kind = TokenKind::kGt;
+        }
+        break;
+      case '!':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          kind = TokenKind::kNe;
+          len = 2;
+          break;
+        }
+        [[fallthrough]];
+      default:
+        diag->push_back({StatusCode::kInvalidArgument,
+                         std::string("[sql-syntax] unexpected character '") +
+                             c + "'",
+                         start});
+        tokens.push_back({TokenKind::kEof, "", start});
+        return tokens;
+    }
+    i += len;
+    push(kind, start, start + len);
+  }
+  tokens.push_back({TokenKind::kEof, "", n});
+  return tokens;
+}
+
+}  // namespace fusiondb::sql

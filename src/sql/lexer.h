@@ -1,0 +1,56 @@
+// SQL lexer: turns query text into a token stream with byte offsets, so
+// every later stage (parser, binder) can point diagnostics at the exact
+// source position (sql/diagnostics.h).
+#ifndef FUSIONDB_SQL_LEXER_H_
+#define FUSIONDB_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "sql/diagnostics.h"
+
+namespace fusiondb::sql {
+
+enum class TokenKind : uint8_t {
+  kEof,
+  kIdent,    // bare identifier (keywords are classified by the parser)
+  kInt,      // integer literal
+  kFloat,    // decimal literal
+  kString,   // single-quoted string literal ('' escapes a quote)
+  kComma,
+  kLParen,
+  kRParen,
+  kDot,
+  kSemicolon,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kEq,  // =
+  kNe,  // <> or !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;   // raw text (string literals: unescaped contents)
+  size_t offset = 0;  // byte offset of the first character in the SQL text
+
+  /// Case-insensitive keyword match (SQL keywords are not reserved; the
+  /// parser decides from context whether an ident is a keyword).
+  bool IsKeyword(const char* keyword) const;
+};
+
+/// Tokenizes `sql`. On a lexical error (stray character, unterminated
+/// string) returns the partial token list ending in kEof and appends one
+/// diagnostic to `diag`.
+std::vector<Token> Lex(const std::string& sql, std::vector<SqlDiagnostic>* diag);
+
+}  // namespace fusiondb::sql
+
+#endif  // FUSIONDB_SQL_LEXER_H_

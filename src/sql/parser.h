@@ -1,0 +1,23 @@
+// Recursive-descent SQL parser over the token stream (sql/lexer.h).
+// Produces a Statement parse tree; syntax errors are reported as
+// [sql-syntax] diagnostics pointing at the offending token.
+#ifndef FUSIONDB_SQL_PARSER_H_
+#define FUSIONDB_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+#include "sql/diagnostics.h"
+
+namespace fusiondb::sql {
+
+/// Parses `sql` into a Statement. Returns null and appends one diagnostic
+/// to `diag` on the first syntax error.
+std::unique_ptr<Statement> Parse(const std::string& sql,
+                                 std::vector<SqlDiagnostic>* diag);
+
+}  // namespace fusiondb::sql
+
+#endif  // FUSIONDB_SQL_PARSER_H_

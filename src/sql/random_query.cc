@@ -1,0 +1,537 @@
+#include "sql/random_query.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace fusiondb::sql {
+namespace {
+
+/// One column visible in the generated query's FROM scope, with enough
+/// provenance to sample literals for it from the value pool.
+struct ScopeCol {
+  std::string alias;   // table alias in the query
+  std::string table;   // catalog table name (for pool lookup)
+  int index = 0;       // column index within the table
+  std::string name;
+  DataType type = DataType::kInt64;
+
+  std::string Ref() const { return alias + "." + name; }
+};
+
+class Generator {
+ public:
+  Generator(const Catalog& catalog, const ValuePool& pool,
+            std::mt19937_64& rng)
+      : catalog_(catalog), pool_(pool), rng_(rng) {}
+
+  FuzzQuerySpec Generate() {
+    FuzzQuerySpec spec = GenerateCore();
+    if (Chance(0.15)) {
+      // Second UNION ALL branch: same FROM/SELECT shape (so output arity and
+      // types line up positionally), fresh WHERE literals.
+      auto branch = std::make_shared<FuzzQuerySpec>(spec);
+      branch->limit = -1;
+      RegenerateWhere(branch.get());
+      spec.union_branch = std::move(branch);
+    }
+    if (Chance(0.4)) spec.limit = 1 + static_cast<int64_t>(Uniform(50));
+    return spec;
+  }
+
+ private:
+  // --- randomness helpers -------------------------------------------------
+
+  size_t Uniform(size_t n) {  // in [0, n)
+    return n == 0 ? 0 : static_cast<size_t>(rng_() % n);
+  }
+  bool Chance(double p) {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(rng_) < p;
+  }
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[Uniform(v.size())];
+  }
+
+  // --- catalog / pool helpers ---------------------------------------------
+
+  std::vector<std::string> PooledTables() const {
+    std::vector<std::string> names;
+    for (const auto& [name, rows] : pool_.rows) {
+      if (!rows.empty()) names.push_back(name);
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  /// Samples a non-NULL value of `col`'s column from the pool; returns false
+  /// when every sampled row is NULL there.
+  bool SampleLiteral(const ScopeCol& col, Value* out) {
+    auto it = pool_.rows.find(col.table);
+    if (it == pool_.rows.end() || it->second.empty()) return false;
+    const auto& rows = it->second;
+    for (size_t attempt = 0; attempt < rows.size(); ++attempt) {
+      const auto& row = rows[Uniform(rows.size())];
+      if (col.index < static_cast<int>(row.size()) &&
+          !row[col.index].is_null()) {
+        *out = row[col.index];
+        return true;
+      }
+    }
+    return false;
+  }
+
+  static bool NumericArith(DataType t) {
+    // Arithmetic only on int64/float64: date +/- int would change the
+    // expression's type away from the column's, breaking CASE typing.
+    return t == DataType::kInt64 || t == DataType::kFloat64;
+  }
+
+  // --- query assembly -----------------------------------------------------
+
+  FuzzQuerySpec GenerateCore() {
+    FuzzQuerySpec spec;
+    scope_.clear();
+    std::vector<std::string> tables = PooledTables();
+    spec.from_table = Pick(tables);
+    spec.from_alias = "t0";
+    AddTableToScope(spec.from_table, spec.from_alias);
+
+    size_t num_joins = Uniform(3);  // 0..2
+    for (size_t j = 0; j < num_joins; ++j) {
+      FuzzJoin join;
+      if (!GenerateJoin(tables, "t" + std::to_string(j + 1), &join)) break;
+      AddTableToScope(join.table, join.alias);
+      spec.joins.push_back(std::move(join));
+    }
+
+    size_t num_where = Uniform(4);  // 0..3 conjuncts
+    for (size_t w = 0; w < num_where; ++w) {
+      spec.where.push_back(GeneratePredicate());
+    }
+
+    if (Chance(0.4)) {
+      GenerateAggregated(&spec);
+    } else {
+      size_t num_items = 1 + Uniform(4);
+      for (size_t s = 0; s < num_items; ++s) {
+        spec.select.push_back(GenerateSelectExpr());
+      }
+    }
+    return spec;
+  }
+
+  void AddTableToScope(const std::string& table_name,
+                       const std::string& alias) {
+    auto table = catalog_.GetTable(table_name);
+    if (!table.ok()) return;
+    const auto& cols = (*table)->columns();
+    for (size_t i = 0; i < cols.size(); ++i) {
+      scope_.push_back({alias, table_name, static_cast<int>(i), cols[i].name,
+                        cols[i].type});
+    }
+  }
+
+  /// FK-style join: find a table with a single-column primary key whose key
+  /// type matches some in-scope column (preferring *_sk columns, which are
+  /// the TPC-DS surrogate keys), and join on equality against that key. This
+  /// keeps the join bounded by the probe side's cardinality.
+  bool GenerateJoin(const std::vector<std::string>& tables,
+                    const std::string& alias, FuzzJoin* join) {
+    std::vector<std::string> shuffled = tables;
+    std::shuffle(shuffled.begin(), shuffled.end(), rng_);
+    for (const auto& name : shuffled) {
+      auto table = catalog_.GetTable(name);
+      if (!table.ok() || (*table)->primary_key().size() != 1) continue;
+      int pk = (*table)->primary_key()[0];
+      const TableColumn& key = (*table)->columns()[pk];
+      std::vector<const ScopeCol*> candidates;
+      for (const ScopeCol& col : scope_) {
+        if (col.type != key.type) continue;
+        bool sk_like = col.name.size() > 3 &&
+                       col.name.compare(col.name.size() - 3, 3, "_sk") == 0;
+        if (sk_like || col.name == key.name) candidates.push_back(&col);
+      }
+      if (candidates.empty()) continue;
+      const ScopeCol* probe = Pick(candidates);
+      join->table = name;
+      join->alias = alias;
+      join->left = Chance(0.25);
+      join->condition.text = probe->Ref() + " = " + alias + "." + key.name;
+      join->condition.aliases = {probe->alias, alias};
+      return true;
+    }
+    return false;
+  }
+
+  FuzzClause GeneratePredicate() {
+    const ScopeCol& col = Pick(scope_);
+    FuzzClause clause;
+    clause.aliases = {col.alias};
+    Value lit;
+    switch (Uniform(5)) {
+      case 0: {  // column vs column (same type, same or different table)
+        std::vector<const ScopeCol*> peers;
+        for (const ScopeCol& other : scope_) {
+          if (other.type == col.type &&
+              (other.alias != col.alias || other.name != col.name)) {
+            peers.push_back(&other);
+          }
+        }
+        if (!peers.empty()) {
+          const ScopeCol* peer = Pick(peers);
+          clause.text = col.Ref() + " " + PickCompareOp() + " " + peer->Ref();
+          clause.aliases.push_back(peer->alias);
+          return clause;
+        }
+        break;  // fall through to literal compare
+      }
+      case 1: {  // BETWEEN two sampled literals
+        Value lo, hi;
+        if (SampleLiteral(col, &lo) && SampleLiteral(col, &hi)) {
+          if (lo.Compare(hi) > 0) std::swap(lo, hi);
+          clause.text = col.Ref() + (Chance(0.2) ? " NOT BETWEEN " :
+                                                   " BETWEEN ") +
+                        SqlLiteral(lo) + " AND " + SqlLiteral(hi);
+          return clause;
+        }
+        break;
+      }
+      case 2: {  // IN list of sampled literals
+        std::vector<std::string> items;
+        for (size_t k = 1 + Uniform(4); k > 0; --k) {
+          if (SampleLiteral(col, &lit)) items.push_back(SqlLiteral(lit));
+        }
+        if (!items.empty()) {
+          std::string list;
+          for (size_t k = 0; k < items.size(); ++k) {
+            if (k > 0) list += ", ";
+            list += items[k];
+          }
+          clause.text = col.Ref() + (Chance(0.2) ? " NOT IN (" : " IN (") +
+                        list + ")";
+          return clause;
+        }
+        break;
+      }
+      case 3:  // IS [NOT] NULL
+        clause.text =
+            col.Ref() + (Chance(0.5) ? " IS NULL" : " IS NOT NULL");
+        return clause;
+      default:
+        break;
+    }
+    // Default / fallback: compare against a sampled literal.
+    if (SampleLiteral(col, &lit)) {
+      clause.text = col.Ref() + " " + PickCompareOp() + " " + SqlLiteral(lit);
+    } else {
+      clause.text = col.Ref() + " IS NOT NULL";
+    }
+    return clause;
+  }
+
+  std::string PickCompareOp() {
+    static const char* kOps[] = {"=", "<>", "<", "<=", ">", ">="};
+    return kOps[Uniform(6)];
+  }
+
+  void GenerateAggregated(FuzzQuerySpec* spec) {
+    size_t num_groups = 1 + Uniform(2);
+    for (size_t g = 0; g < num_groups; ++g) {
+      const ScopeCol& col = Pick(scope_);
+      // Duplicate group keys are legal SQL but add nothing; skip repeats.
+      bool dup = false;
+      for (const FuzzClause& existing : spec->group_by) {
+        if (existing.text == col.Ref()) dup = true;
+      }
+      if (dup) continue;
+      spec->group_by.push_back({col.Ref(), {col.alias}});
+      spec->select.push_back({col.Ref(), {col.alias}});
+    }
+    size_t num_aggs = 1 + Uniform(3);
+    std::vector<AggChoice> aggs;
+    for (size_t a = 0; a < num_aggs; ++a) {
+      aggs.push_back(GenerateAggregate());
+      spec->select.push_back(aggs.back().clause);
+    }
+    // HAVING compares against a small integer literal, so only aggregates
+    // with a numeric result are eligible (MIN/MAX of a string column keep
+    // the string type and would fail to bind).
+    std::vector<AggChoice> numeric_aggs;
+    for (const AggChoice& a : aggs) {
+      if (a.numeric) numeric_aggs.push_back(a);
+    }
+    if (!numeric_aggs.empty() && Chance(0.3)) {
+      // HAVING over one of the aggregates (binder dedupes the repeated call
+      // by fingerprint, so this also exercises aggregate reuse).
+      const AggChoice& agg = Pick(numeric_aggs);
+      spec->having.text = agg.clause.text + " " + PickCompareOp() + " " +
+                          std::to_string(Uniform(6));
+      spec->having.aliases = agg.clause.aliases;
+    }
+  }
+
+  struct AggChoice {
+    FuzzClause clause;
+    bool numeric = true;  // result type comparable with an integer literal
+  };
+
+  AggChoice GenerateAggregate() {
+    const ScopeCol& col = Pick(scope_);
+    AggChoice agg;
+    FuzzClause& clause = agg.clause;
+    clause.aliases = {col.alias};
+    switch (Uniform(6)) {
+      case 0:
+        clause.text = "COUNT(*)";
+        clause.aliases.clear();
+        break;
+      case 1:
+        clause.text = "COUNT(" + col.Ref() + ")";
+        break;
+      case 2:
+        clause.text = "COUNT(DISTINCT " + col.Ref() + ")";
+        break;
+      case 3:
+        if (NumericArith(col.type)) {
+          clause.text = (Chance(0.5) ? "SUM(" : "AVG(") + col.Ref() + ")";
+          break;
+        }
+        [[fallthrough]];
+      default:
+        clause.text = (Chance(0.5) ? "MIN(" : "MAX(") + col.Ref() + ")";
+        agg.numeric = NumericArith(col.type);
+        break;
+    }
+    return agg;
+  }
+
+  FuzzClause GenerateSelectExpr() {
+    const ScopeCol& col = Pick(scope_);
+    FuzzClause clause;
+    clause.aliases = {col.alias};
+    switch (Uniform(4)) {
+      case 0:  // arithmetic against a small constant
+        if (NumericArith(col.type)) {
+          static const char* kOps[] = {" + ", " - ", " * "};
+          clause.text = col.Ref() + kOps[Uniform(3)] +
+                        std::to_string(1 + Uniform(9));
+          return clause;
+        }
+        break;
+      case 1: {  // NULL-handling CASE, type-preserving
+        std::string fallback;
+        if (col.type == DataType::kInt64) {
+          fallback = "0";
+        } else if (col.type == DataType::kFloat64) {
+          fallback = "0.0";
+        } else if (col.type == DataType::kString) {
+          fallback = "''";
+        }
+        if (!fallback.empty()) {
+          clause.text = "CASE WHEN " + col.Ref() + " IS NULL THEN " +
+                        fallback + " ELSE " + col.Ref() + " END";
+          return clause;
+        }
+        break;
+      }
+      case 2:  // negation
+        if (NumericArith(col.type)) {
+          clause.text = "-" + col.Ref();
+          return clause;
+        }
+        break;
+      default:
+        break;
+    }
+    clause.text = col.Ref();
+    return clause;
+  }
+
+  void RegenerateWhere(FuzzQuerySpec* spec) {
+    // Rebuild the scope the core was generated under, then swap in fresh
+    // predicates (the only part of a UNION branch allowed to differ).
+    scope_.clear();
+    AddTableToScope(spec->from_table, spec->from_alias);
+    for (const FuzzJoin& join : spec->joins) {
+      AddTableToScope(join.table, join.alias);
+    }
+    size_t num_where = Uniform(4);
+    spec->where.clear();
+    for (size_t w = 0; w < num_where; ++w) {
+      spec->where.push_back(GeneratePredicate());
+    }
+  }
+
+  const Catalog& catalog_;
+  const ValuePool& pool_;
+  std::mt19937_64& rng_;
+  std::vector<ScopeCol> scope_;
+};
+
+void RenderCore(const FuzzQuerySpec& spec, bool alias_items,
+                std::ostringstream* out) {
+  *out << "SELECT ";
+  for (size_t i = 0; i < spec.select.size(); ++i) {
+    if (i > 0) *out << ", ";
+    *out << spec.select[i].text;
+    if (alias_items) *out << " AS c" << i;
+  }
+  *out << " FROM " << spec.from_table << " " << spec.from_alias;
+  for (const FuzzJoin& join : spec.joins) {
+    *out << (join.left ? " LEFT JOIN " : " JOIN ") << join.table << " "
+         << join.alias << " ON " << join.condition.text;
+  }
+  for (size_t i = 0; i < spec.where.size(); ++i) {
+    *out << (i == 0 ? " WHERE " : " AND ") << spec.where[i].text;
+  }
+  for (size_t i = 0; i < spec.group_by.size(); ++i) {
+    *out << (i == 0 ? " GROUP BY " : ", ") << spec.group_by[i].text;
+  }
+  if (!spec.having.text.empty()) *out << " HAVING " << spec.having.text;
+}
+
+}  // namespace
+
+std::string SqlLiteral(const Value& v) {
+  if (v.is_null()) return "NULL";
+  switch (v.type()) {
+    case DataType::kBool:
+      return v.bool_value() ? "TRUE" : "FALSE";
+    case DataType::kInt64:
+    case DataType::kDate:
+      return std::to_string(v.int_value());
+    case DataType::kFloat64: {
+      // The lexer has no exponent syntax, so render plain fixed-point. The
+      // exact decimal only shifts predicate selectivity — every mode sees
+      // the identical literal text, so precision loss cannot cause
+      // divergence.
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6f", v.double_value());
+      return buf;
+    }
+    case DataType::kString: {
+      std::string quoted = "'";
+      for (char c : v.string_value()) {
+        if (c == '\'') quoted += "''";
+        quoted += c;
+      }
+      quoted += "'";
+      return quoted;
+    }
+  }
+  return "NULL";
+}
+
+std::string FuzzQuerySpec::ToSql() const {
+  std::ostringstream out;
+  RenderCore(*this, /*alias_items=*/true, &out);
+  if (union_branch != nullptr) {
+    out << " UNION ALL ";
+    RenderCore(*union_branch, /*alias_items=*/false, &out);
+  }
+  // Total order over every output position: with LIMIT this pins exactly
+  // which rows survive, so all optimizer modes and both executor backends
+  // must return byte-identical results.
+  for (size_t i = 0; i < select.size(); ++i) {
+    out << (i == 0 ? " ORDER BY " : ", ") << (i + 1);
+  }
+  if (limit >= 0) out << " LIMIT " << limit;
+  return out.str();
+}
+
+FuzzQuerySpec GenerateQuery(const Catalog& catalog, const ValuePool& pool,
+                            std::mt19937_64& rng) {
+  Generator gen(catalog, pool, rng);
+  return gen.Generate();
+}
+
+namespace {
+
+bool AliasReferenced(const FuzzQuerySpec& spec, const std::string& alias,
+                     size_t ignore_join_index) {
+  auto in = [&](const FuzzClause& c) {
+    return std::find(c.aliases.begin(), c.aliases.end(), alias) !=
+           c.aliases.end();
+  };
+  for (const auto& c : spec.select) {
+    if (in(c)) return true;
+  }
+  for (const auto& c : spec.where) {
+    if (in(c)) return true;
+  }
+  for (const auto& c : spec.group_by) {
+    if (in(c)) return true;
+  }
+  if (in(spec.having)) return true;
+  for (size_t j = 0; j < spec.joins.size(); ++j) {
+    if (j != ignore_join_index && in(spec.joins[j].condition)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<FuzzQuerySpec> Reductions(const FuzzQuerySpec& spec) {
+  std::vector<FuzzQuerySpec> out;
+  if (spec.union_branch != nullptr) {
+    FuzzQuerySpec no_union = spec;
+    no_union.union_branch = nullptr;
+    out.push_back(std::move(no_union));
+    FuzzQuerySpec branch_only = *spec.union_branch;
+    branch_only.limit = spec.limit;
+    out.push_back(std::move(branch_only));
+  }
+  if (spec.limit >= 0) {
+    FuzzQuerySpec r = spec;
+    r.limit = -1;
+    out.push_back(std::move(r));
+  }
+  if (!spec.having.text.empty()) {
+    FuzzQuerySpec r = spec;
+    r.having = FuzzClause{};
+    out.push_back(std::move(r));
+  }
+  for (size_t w = 0; w < spec.where.size(); ++w) {
+    FuzzQuerySpec r = spec;
+    r.where.erase(r.where.begin() + static_cast<ptrdiff_t>(w));
+    out.push_back(std::move(r));
+  }
+  if (spec.union_branch != nullptr) {
+    for (size_t w = 0; w < spec.union_branch->where.size(); ++w) {
+      FuzzQuerySpec r = spec;
+      r.union_branch = std::make_shared<FuzzQuerySpec>(*spec.union_branch);
+      r.union_branch->where.erase(r.union_branch->where.begin() +
+                                  static_cast<ptrdiff_t>(w));
+      out.push_back(std::move(r));
+    }
+  }
+  if (spec.select.size() > 1) {
+    for (size_t s = 0; s < spec.select.size(); ++s) {
+      FuzzQuerySpec r = spec;
+      r.select.erase(r.select.begin() + static_cast<ptrdiff_t>(s));
+      if (r.union_branch != nullptr &&
+          s < r.union_branch->select.size()) {
+        // Positional drop in both branches so UNION arity stays aligned.
+        r.union_branch = std::make_shared<FuzzQuerySpec>(*r.union_branch);
+        r.union_branch->select.erase(r.union_branch->select.begin() +
+                                     static_cast<ptrdiff_t>(s));
+      }
+      out.push_back(std::move(r));
+    }
+  }
+  // Drop a join when nothing references its alias. Only for non-UNION specs:
+  // the branches share their FROM clause shape and would both need the edit.
+  if (spec.union_branch == nullptr) {
+    for (size_t j = spec.joins.size(); j > 0; --j) {
+      size_t idx = j - 1;
+      if (AliasReferenced(spec, spec.joins[idx].alias, idx)) continue;
+      FuzzQuerySpec r = spec;
+      r.joins.erase(r.joins.begin() + static_cast<ptrdiff_t>(idx));
+      out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+}  // namespace fusiondb::sql

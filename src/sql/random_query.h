@@ -1,0 +1,85 @@
+// Seeded random SQL generator for the differential fuzz harness
+// (tests/sql_fuzz_test.cc, EXPERIMENTS.md "fuzz protocol").
+//
+// Queries are generated as structured specs, rendered to SQL text, and
+// constrained so every generated query is (a) valid in the engine's dialect
+// and (b) deterministic across optimizer modes and executor backends:
+// whenever a LIMIT is emitted the query also ORDER BYs *all* of its output
+// columns, so ties cannot select different rows under different plans.
+// Joins always carry at least one equi condition, FK-style against the
+// joined table's single-column primary key, so join cardinality stays
+// bounded by the left side.
+//
+// Keeping the spec structured (instead of flat text) is what makes failure
+// minimization possible: Reductions() enumerates the one-step-smaller specs
+// (drop a WHERE conjunct, a SELECT item, an unused join, ...) and the
+// harness greedily keeps any reduction that still reproduces a divergence.
+#ifndef FUSIONDB_SQL_RANDOM_QUERY_H_
+#define FUSIONDB_SQL_RANDOM_QUERY_H_
+
+#include <map>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "types/value.h"
+
+namespace fusiondb::sql {
+
+/// Sampled rows per table (inner vectors align with Table::columns()).
+/// Filled by the harness from real scans so generated literals land in each
+/// column's actual value range instead of selecting nothing.
+struct ValuePool {
+  std::map<std::string, std::vector<std::vector<Value>>> rows;
+};
+
+/// One rendered clause plus the table aliases it references (used by the
+/// minimizer to know when a join becomes droppable).
+struct FuzzClause {
+  std::string text;
+  std::vector<std::string> aliases;
+};
+
+struct FuzzJoin {
+  std::string table;
+  std::string alias;
+  bool left = false;  // LEFT OUTER instead of INNER
+  FuzzClause condition;
+};
+
+/// One generated SELECT statement (optionally UNION ALL of two cores that
+/// differ only in their WHERE literals, so output types always line up).
+struct FuzzQuerySpec {
+  std::string from_table;
+  std::string from_alias;
+  std::vector<FuzzJoin> joins;
+  std::vector<FuzzClause> where;      // conjuncts, ANDed
+  std::vector<FuzzClause> group_by;   // plain qualified columns
+  std::vector<FuzzClause> select;     // rendered items; aliased c0..cN
+  FuzzClause having;                  // empty text when absent
+  std::shared_ptr<FuzzQuerySpec> union_branch;  // second UNION ALL core
+  int64_t limit = -1;                 // -1 == none; implies ORDER BY all
+
+  /// Renders the spec as one SQL statement (always ORDER BY every output
+  /// position, so results are totally ordered across modes).
+  std::string ToSql() const;
+};
+
+/// Renders a Value as a SQL literal ('' -escaped strings, NULL as NULL).
+std::string SqlLiteral(const Value& v);
+
+/// Generates one random-but-valid query over `catalog`. Deterministic in
+/// the rng state: the same seed sequence yields the same query stream.
+FuzzQuerySpec GenerateQuery(const Catalog& catalog, const ValuePool& pool,
+                            std::mt19937_64& rng);
+
+/// All one-step reductions of `spec` (each drops exactly one optional
+/// element), ordered from coarsest (drop the UNION branch) to finest. The
+/// minimizer keeps the first reduction that still fails and recurses.
+std::vector<FuzzQuerySpec> Reductions(const FuzzQuerySpec& spec);
+
+}  // namespace fusiondb::sql
+
+#endif  // FUSIONDB_SQL_RANDOM_QUERY_H_

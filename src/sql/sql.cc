@@ -1,0 +1,33 @@
+#include "sql/sql.h"
+
+#include "sql/binder.h"
+#include "sql/parser.h"
+
+namespace fusiondb::sql {
+
+std::string ParseResult::FormatErrors() const {
+  std::string out;
+  for (const SqlDiagnostic& d : diagnostics) {
+    out += FormatDiagnostic(text, d);
+  }
+  return out;
+}
+
+ParseResult ParseAndBind(const std::string& text, const Catalog& catalog,
+                         PlanContext* ctx) {
+  ParseResult result;
+  result.text = text;
+  std::unique_ptr<Statement> stmt = Parse(text, &result.diagnostics);
+  if (stmt == nullptr) return result;
+  result.plan = Bind(*stmt, catalog, ctx, &result.diagnostics);
+  return result;
+}
+
+Result<PlanPtr> BindSql(const std::string& text, const Catalog& catalog,
+                        PlanContext* ctx) {
+  ParseResult parsed = ParseAndBind(text, catalog, ctx);
+  if (!parsed.ok()) return parsed.status();
+  return parsed.plan;
+}
+
+}  // namespace fusiondb::sql

@@ -1,0 +1,49 @@
+// Public SQL front-end entry points: text -> bound logical plan.
+//
+//   PlanContext ctx;
+//   auto parsed = sql::ParseAndBind("SELECT ... FROM ...", catalog, &ctx);
+//   if (!parsed.ok()) { std::cerr << parsed.FormatErrors(); ... }
+//   PlanPtr plan = parsed.plan;
+//
+// Or, when only a Status is wanted: sql::BindSql(text, catalog, &ctx).
+#ifndef FUSIONDB_SQL_SQL_H_
+#define FUSIONDB_SQL_SQL_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "plan/logical_plan.h"
+#include "plan/plan_context.h"
+#include "sql/diagnostics.h"
+
+namespace fusiondb::sql {
+
+/// Outcome of parsing + binding one SQL statement. On failure `plan` is null
+/// and `diagnostics` holds at least one entry pointing into `text`.
+struct ParseResult {
+  std::string text;
+  PlanPtr plan;
+  std::vector<SqlDiagnostic> diagnostics;
+
+  bool ok() const { return plan != nullptr; }
+
+  /// All diagnostics rendered as compiler-style caret snippets.
+  std::string FormatErrors() const;
+
+  /// First diagnostic as a Status (OK when the parse succeeded).
+  Status status() const { return DiagnosticsToStatus(text, diagnostics); }
+};
+
+/// Parses and binds one SELECT statement against `catalog`, minting plan
+/// columns in `ctx`.
+ParseResult ParseAndBind(const std::string& text, const Catalog& catalog,
+                         PlanContext* ctx);
+
+/// Status-only variant for callers that do not need positional diagnostics.
+Result<PlanPtr> BindSql(const std::string& text, const Catalog& catalog,
+                        PlanContext* ctx);
+
+}  // namespace fusiondb::sql
+
+#endif  // FUSIONDB_SQL_SQL_H_

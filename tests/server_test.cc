@@ -1,7 +1,12 @@
-// Cross-query fusion server (src/server): N concurrent sessions over one
-// SessionManager must return exactly what N isolated runs would — same
+// Cross-query fusion server (src/server), driven through the
+// fusiondb::Engine front door: N concurrent sessions over the engine's
+// server must return exactly what N isolated engine runs would — same
 // schema ids/names/types, same rows in the same order — while fused groups
 // scan strictly fewer bytes than their members would in isolation.
+//
+// Batch composition is probed deterministically via SubmitBatch on the
+// SessionManager that StartServer returns; the admission-window path is
+// exercised through Engine::Submit in the concurrency test.
 #include <gtest/gtest.h>
 
 #include <thread>
@@ -14,12 +19,15 @@ namespace {
 using testutil::SharedTpcds;
 using testutil::Unwrap;
 
-/// The isolated reference: the same plan optimized and executed on its
-/// own, exactly as a standalone client would.
-QueryResult IsolatedRun(const PlanPtr& plan, PlanContext* ctx,
-                        const OptimizerOptions& options) {
-  PlanPtr optimized = Unwrap(Optimizer(options).Optimize(plan, ctx));
-  return Unwrap(ExecutePlan(optimized));
+/// The isolated reference: the same query prepared, optimized and executed
+/// on its own, exactly as a standalone client would.
+QueryResult IsolatedRun(Engine* engine, const Engine::PlanBuilder& build,
+                        const OptimizerOptions& optimizer) {
+  PreparedQuery query = Unwrap(engine->Prepare(build));
+  QueryOptions options;
+  options.optimizer = optimizer;
+  PlanPtr optimized = Unwrap(engine->Optimize(&query, options));
+  return Unwrap(engine->ExecuteOptimized(optimized, options));
 }
 
 /// Byte-identical: schema (ids, names, types) and rows, order-sensitive.
@@ -52,11 +60,25 @@ OptimizerOptions ModeOptions(const std::string& mode) {
   return OptimizerOptions::Fused();
 }
 
+/// Prepares kClients copies of the query (each with its own column-id
+/// space, as independent clients would) and returns their plans; the
+/// PreparedQuery objects stay alive in `out`.
+std::vector<PlanPtr> PreparePlans(Engine* engine,
+                                  const Engine::PlanBuilder& build, int clients,
+                                  std::vector<PreparedQuery>* out) {
+  std::vector<PlanPtr> plans;
+  for (int i = 0; i < clients; ++i) {
+    out->push_back(Unwrap(engine->Prepare(build)));
+    plans.push_back(out->back().plan());
+  }
+  return plans;
+}
+
 // N identical queries through the server == N isolated runs, under every
 // optimizer mode. Cross-query sharing composes with — never alters — the
 // within-plan optimization the mode selects.
 TEST(ServerTest, ByteIdenticalToIsolatedAcrossModes) {
-  const Catalog& catalog = SharedTpcds();
+  Engine engine(SharedTpcds());
   const tpcds::TpcdsQuery& query = *FusionQueries().front();
   constexpr int kClients = 4;
   for (const std::string mode :
@@ -64,64 +86,55 @@ TEST(ServerTest, ByteIdenticalToIsolatedAcrossModes) {
     SCOPED_TRACE(mode);
     ServerOptions options;
     options.optimizer = ModeOptions(mode);
-    SessionManager manager(options);
+    SessionManager& manager = *Unwrap(engine.StartServer(options));
 
-    std::vector<PlanContext> contexts(kClients);
-    std::vector<PlanPtr> plans;
-    for (int i = 0; i < kClients; ++i) {
-      plans.push_back(Unwrap(query.build(catalog, &contexts[i])));
-    }
-    std::vector<SessionPtr> sessions = manager.SubmitBatch(plans);
+    std::vector<PreparedQuery> prepared;
+    std::vector<SessionPtr> sessions = manager.SubmitBatch(
+        PreparePlans(&engine, query.build, kClients, &prepared));
     for (int i = 0; i < kClients; ++i) {
       SCOPED_TRACE(i);
       ASSERT_TRUE(sessions[static_cast<size_t>(i)]->Wait().ok())
           << sessions[static_cast<size_t>(i)]->Wait().status().ToString();
-      // Fresh context per reference run: the isolated client never saw the
+      // Fresh prepare per reference run: the isolated client never saw the
       // server's renumbered id space.
-      PlanContext ref_ctx;
-      PlanPtr ref_plan = Unwrap(query.build(catalog, &ref_ctx));
-      QueryResult isolated = IsolatedRun(ref_plan, &ref_ctx, options.optimizer);
+      QueryResult isolated =
+          IsolatedRun(&engine, query.build, options.optimizer);
       ExpectIdentical(*sessions[static_cast<size_t>(i)]->Wait(), isolated);
     }
+    engine.StopServer();
   }
 }
 
 // Results do not depend on how many sessions share the batch.
 TEST(ServerTest, SessionCountInvariance) {
-  const Catalog& catalog = SharedTpcds();
+  Engine engine(SharedTpcds());
   const tpcds::TpcdsQuery& query = *FusionQueries().front();
-  PlanContext ref_ctx;
-  QueryResult isolated = IsolatedRun(Unwrap(query.build(catalog, &ref_ctx)),
-                                     &ref_ctx, OptimizerOptions::Fused());
+  QueryResult isolated =
+      IsolatedRun(&engine, query.build, OptimizerOptions::Fused());
   for (int n : {1, 2, 5, 8}) {
     SCOPED_TRACE(n);
-    SessionManager manager;
-    std::vector<PlanContext> contexts(static_cast<size_t>(n));
-    std::vector<PlanPtr> plans;
-    for (int i = 0; i < n; ++i) {
-      plans.push_back(Unwrap(query.build(catalog, &contexts[static_cast<size_t>(i)])));
-    }
-    std::vector<SessionPtr> sessions = manager.SubmitBatch(plans);
+    SessionManager& manager = *Unwrap(engine.StartServer());
+    std::vector<PreparedQuery> prepared;
+    std::vector<SessionPtr> sessions =
+        manager.SubmitBatch(PreparePlans(&engine, query.build, n, &prepared));
     for (const SessionPtr& s : sessions) {
       ASSERT_TRUE(s->Wait().ok()) << s->Wait().status().ToString();
       ExpectIdentical(*s->Wait(), isolated);
       EXPECT_EQ(s->shared(), n >= 2);
     }
+    engine.StopServer();
   }
 }
 
 // The headline property: >= 2 identical concurrent queries pay one scan.
 TEST(ServerTest, SharedGroupScansFewerBytesThanIsolated) {
-  const Catalog& catalog = SharedTpcds();
+  Engine engine(SharedTpcds());
   const tpcds::TpcdsQuery& query = *FusionQueries().front();
   constexpr int kClients = 4;
-  SessionManager manager;
-  std::vector<PlanContext> contexts(kClients);
-  std::vector<PlanPtr> plans;
-  for (int i = 0; i < kClients; ++i) {
-    plans.push_back(Unwrap(query.build(catalog, &contexts[i])));
-  }
-  std::vector<SessionPtr> sessions = manager.SubmitBatch(plans);
+  SessionManager& manager = *Unwrap(engine.StartServer());
+  std::vector<PreparedQuery> prepared;
+  std::vector<SessionPtr> sessions = manager.SubmitBatch(
+      PreparePlans(&engine, query.build, kClients, &prepared));
   for (const SessionPtr& s : sessions) ASSERT_TRUE(s->Wait().ok());
 
   BatchReport report = manager.last_batch_report();
@@ -160,22 +173,20 @@ TEST(ServerTest, SharedGroupScansFewerBytesThanIsolated) {
   std::string json = ProfileToJson(profile);
   EXPECT_NE(json.find("\"sharing\""), std::string::npos);
   EXPECT_NE(json.find("\"consumers\":4"), std::string::npos);
+  engine.StopServer();
 }
 
 // An admission batch of one cannot share: window/batch boundaries isolate.
 TEST(ServerTest, BatchOfOneNeverShares) {
-  const Catalog& catalog = SharedTpcds();
+  Engine engine(SharedTpcds());
   const tpcds::TpcdsQuery& query = *FusionQueries().front();
   ServerOptions options;
   options.window.max_batch = 1;  // window of 1: every query its own batch
-  SessionManager manager(options);
+  SessionManager& manager = *Unwrap(engine.StartServer(options));
   constexpr int kClients = 3;
-  std::vector<PlanContext> contexts(kClients);
-  std::vector<PlanPtr> plans;
-  for (int i = 0; i < kClients; ++i) {
-    plans.push_back(Unwrap(query.build(catalog, &contexts[i])));
-  }
-  std::vector<SessionPtr> sessions = manager.SubmitBatch(plans);
+  std::vector<PreparedQuery> prepared;
+  std::vector<SessionPtr> sessions = manager.SubmitBatch(
+      PreparePlans(&engine, query.build, kClients, &prepared));
   int64_t solo_bytes = 0;
   for (const SessionPtr& s : sessions) {
     ASSERT_TRUE(s->Wait().ok());
@@ -187,83 +198,90 @@ TEST(ServerTest, BatchOfOneNeverShares) {
   EXPECT_EQ(manager.total_bytes_scanned(), solo_bytes);
   EXPECT_EQ(manager.total_isolated_bytes_scanned(), solo_bytes);
   EXPECT_EQ(manager.total_shared_sessions(), 0);
+  engine.StopServer();
 }
 
 // Overlapping-but-different queries: same scan, different filters. Fuse
 // widens to the disjunction and each session's compensating filter
 // restores exactly its own rows.
 TEST(ServerTest, DifferentFiltersShareOneScan) {
-  const Catalog& catalog = SharedTpcds();
-  TablePtr store_sales = Unwrap(catalog.GetTable("store_sales"));
+  Engine engine(SharedTpcds());
 
-  auto build = [&](PlanContext* ctx, int64_t lo, int64_t hi) {
-    PlanBuilder b = PlanBuilder::Scan(
-        ctx, store_sales, {"ss_item_sk", "ss_quantity", "ss_sales_price"});
-    b.Filter(eb::And({eb::Ge(b.Ref("ss_quantity"), eb::Int(lo)),
-                      eb::Lt(b.Ref("ss_quantity"), eb::Int(hi))}));
-    return b.Build();
+  auto make_build = [](int64_t lo, int64_t hi) -> Engine::PlanBuilder {
+    return [lo, hi](const Catalog& catalog,
+                    PlanContext* ctx) -> Result<PlanPtr> {
+      TablePtr store_sales = Unwrap(catalog.GetTable("store_sales"));
+      PlanBuilder b = PlanBuilder::Scan(
+          ctx, store_sales, {"ss_item_sk", "ss_quantity", "ss_sales_price"});
+      b.Filter(eb::And({eb::Ge(b.Ref("ss_quantity"), eb::Int(lo)),
+                        eb::Lt(b.Ref("ss_quantity"), eb::Int(hi))}));
+      return b.Build();
+    };
   };
 
-  PlanContext ctx1, ctx2, ref1, ref2;
-  std::vector<PlanPtr> plans = {build(&ctx1, 0, 50), build(&ctx2, 25, 80)};
-  SessionManager manager;
-  std::vector<SessionPtr> sessions = manager.SubmitBatch(plans);
+  PreparedQuery q1 = Unwrap(engine.Prepare(make_build(0, 50)));
+  PreparedQuery q2 = Unwrap(engine.Prepare(make_build(25, 80)));
+  SessionManager& manager = *Unwrap(engine.StartServer());
+  std::vector<SessionPtr> sessions =
+      manager.SubmitBatch({q1.plan(), q2.plan()});
   for (const SessionPtr& s : sessions) ASSERT_TRUE(s->Wait().ok());
 
   ExpectIdentical(*sessions[0]->Wait(),
-                  IsolatedRun(build(&ref1, 0, 50), &ref1,
+                  IsolatedRun(&engine, make_build(0, 50),
                               OptimizerOptions::Fused()));
   ExpectIdentical(*sessions[1]->Wait(),
-                  IsolatedRun(build(&ref2, 25, 80), &ref2,
+                  IsolatedRun(&engine, make_build(25, 80),
                               OptimizerOptions::Fused()));
   // Both were served from one fused scan.
   EXPECT_TRUE(sessions[0]->shared());
   EXPECT_TRUE(sessions[1]->shared());
   EXPECT_LT(manager.total_bytes_scanned(),
             manager.total_isolated_bytes_scanned());
+  engine.StopServer();
 }
 
-// Submitting after Stop() fails the session instead of hanging it.
+// Submitting before StartServer is an error; submitting after Stop() fails
+// the session instead of hanging it.
 TEST(ServerTest, SubmitAfterStopFails) {
-  const Catalog& catalog = SharedTpcds();
+  Engine engine(SharedTpcds());
   const tpcds::TpcdsQuery& query = *FusionQueries().front();
-  PlanContext ctx;
-  PlanPtr plan = Unwrap(query.build(catalog, &ctx));
-  SessionManager manager;
+  PreparedQuery prepared = Unwrap(engine.Prepare(query.build));
+  EXPECT_FALSE(engine.Submit(prepared).ok());  // no server running yet
+  SessionManager& manager = *Unwrap(engine.StartServer());
   manager.Stop();
-  SessionPtr session = manager.Submit(plan);
+  SessionPtr session = Unwrap(engine.Submit(prepared));
   EXPECT_FALSE(session->Wait().ok());
+  engine.StopServer();
 }
 
 // ExecuteSync is Submit + Wait through the same admission pipeline.
 TEST(ServerTest, ExecuteSyncMatchesIsolated) {
-  const Catalog& catalog = SharedTpcds();
+  Engine engine(SharedTpcds());
   const tpcds::TpcdsQuery& query = *FusionQueries().front();
-  PlanContext ctx, ref_ctx;
-  SessionManager manager;
-  Result<QueryResult> result =
-      manager.ExecuteSync(Unwrap(query.build(catalog, &ctx)));
+  PreparedQuery prepared = Unwrap(engine.Prepare(query.build));
+  SessionManager& manager = *Unwrap(engine.StartServer());
+  Result<QueryResult> result = manager.ExecuteSync(prepared.plan());
   ASSERT_TRUE(result.ok()) << result.status().ToString();
-  QueryResult isolated = IsolatedRun(Unwrap(query.build(catalog, &ref_ctx)),
-                                     &ref_ctx, OptimizerOptions::Fused());
+  QueryResult isolated =
+      IsolatedRun(&engine, query.build, OptimizerOptions::Fused());
   ExpectIdentical(*result, isolated);
+  engine.StopServer();
 }
 
-// Concurrent submission from many client threads through the coordinator
+// Concurrent submission from many client threads through Engine::Submit
 // (admission window path). Runs under ThreadSanitizer via the `parallel`
 // ctest label; a generous window keeps the batch composition stable
 // enough that at least some sessions share, but correctness must hold for
 // every composition the scheduler produces.
 TEST(ServerTest, ConcurrentSubmissionIsCorrect) {
-  const Catalog& catalog = SharedTpcds();
+  Engine engine(SharedTpcds());
   const tpcds::TpcdsQuery& query = *FusionQueries().front();
-  PlanContext ref_ctx;
-  QueryResult isolated = IsolatedRun(Unwrap(query.build(catalog, &ref_ctx)),
-                                     &ref_ctx, OptimizerOptions::Fused());
+  QueryResult isolated =
+      IsolatedRun(&engine, query.build, OptimizerOptions::Fused());
 
   ServerOptions options;
   options.window.window_ms = 100;  // hold the batch open for all clients
-  SessionManager manager(options);
+  SessionManager& manager = *Unwrap(engine.StartServer(options));
   constexpr int kThreads = 8;
   std::vector<SessionPtr> sessions(kThreads);
   {
@@ -271,16 +289,17 @@ TEST(ServerTest, ConcurrentSubmissionIsCorrect) {
     clients.reserve(kThreads);
     for (int i = 0; i < kThreads; ++i) {
       clients.emplace_back([&, i] {
-        PlanContext ctx;
-        PlanPtr plan = Unwrap(query.build(catalog, &ctx));
-        sessions[static_cast<size_t>(i)] = manager.Submit(plan);
+        PreparedQuery client_query = Unwrap(engine.Prepare(query.build));
+        sessions[static_cast<size_t>(i)] =
+            Unwrap(engine.Submit(client_query));
         sessions[static_cast<size_t>(i)]->Wait();
       });
     }
     for (std::thread& t : clients) t.join();
   }
-  manager.Stop();
+  manager.Stop();  // drain before reading the totals
   EXPECT_EQ(manager.total_queries(), kThreads);
+  engine.StopServer();
   for (const SessionPtr& s : sessions) {
     ASSERT_TRUE(s->Wait().ok()) << s->Wait().status().ToString();
     ExpectIdentical(*s->Wait(), isolated);
@@ -289,16 +308,15 @@ TEST(ServerTest, ConcurrentSubmissionIsCorrect) {
 
 // Cross-query decisions land in the caller-provided optimizer trace.
 TEST(ServerTest, TraceRecordsCrossQueryDecisions) {
-  const Catalog& catalog = SharedTpcds();
+  Engine engine(SharedTpcds());
   const tpcds::TpcdsQuery& query = *FusionQueries().front();
   OptimizerTrace trace;
   ServerOptions options;
   options.trace = &trace;
-  SessionManager manager(options);
-  std::vector<PlanContext> contexts(2);
-  std::vector<PlanPtr> plans = {Unwrap(query.build(catalog, &contexts[0])),
-                                Unwrap(query.build(catalog, &contexts[1]))};
-  for (const SessionPtr& s : manager.SubmitBatch(plans)) {
+  SessionManager& manager = *Unwrap(engine.StartServer(options));
+  std::vector<PreparedQuery> prepared;
+  for (const SessionPtr& s : manager.SubmitBatch(
+           PreparePlans(&engine, query.build, 2, &prepared))) {
     ASSERT_TRUE(s->Wait().ok());
   }
   bool found = false;
@@ -310,6 +328,33 @@ TEST(ServerTest, TraceRecordsCrossQueryDecisions) {
   }
   EXPECT_TRUE(found);
   EXPECT_NE(trace.ToString().find("[cross-query]"), std::string::npos);
+  engine.StopServer();
+}
+
+// SQL text submitted to the server: Prepare parses + binds against the
+// engine's catalog; the session result matches the isolated SQL run.
+TEST(ServerTest, SqlSessionMatchesIsolated) {
+  Engine engine(SharedTpcds());
+  const std::string sql =
+      "SELECT ss_item_sk, SUM(ss_sales_price) AS total "
+      "FROM store_sales WHERE ss_quantity > 10 "
+      "GROUP BY ss_item_sk ORDER BY ss_item_sk LIMIT 50";
+  PreparedQuery reference = Unwrap(engine.Prepare(sql));
+  QueryResult isolated = Unwrap(engine.Execute(&reference));
+
+  SessionManager& manager = *Unwrap(engine.StartServer());
+  std::vector<PreparedQuery> clients;
+  std::vector<PlanPtr> plans;
+  for (int i = 0; i < 2; ++i) {
+    clients.push_back(Unwrap(engine.Prepare(sql)));
+    plans.push_back(clients.back().plan());
+  }
+  for (const SessionPtr& s : manager.SubmitBatch(plans)) {
+    ASSERT_TRUE(s->Wait().ok()) << s->Wait().status().ToString();
+    ASSERT_EQ(s->Wait()->num_rows(), isolated.num_rows());
+    EXPECT_TRUE(ResultsEqualOrdered(*s->Wait(), isolated));
+  }
+  engine.StopServer();
 }
 
 }  // namespace

@@ -23,6 +23,11 @@
 #      than 5% on the whole workload — and pipeline_micro off vs on, where
 #      the compiled loop must beat the interpreted pull operators by at
 #      least 10% summed over the fused-chain shapes (threshold -10)
+#   9. SQL front door: run_query --sql positive + malformed-SQL negative
+#      (caret diagnostic, exit 2), then the differential fuzz smoke — a
+#      second fixed seed beyond the one tier-1 already ran, >= 200
+#      generated queries, every one executed under all four optimizer
+#      modes and both pipeline backends
 #
 # Usage: tools/check.sh [-j N]
 set -eu
@@ -38,12 +43,12 @@ done
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
-echo "== [1/8] tier-1 build + tests =="
+echo "== [1/9] tier-1 build + tests =="
 cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure -j"$JOBS"
 
-echo "== [2/8] semantic verification (FUSIONDB_VERIFY_SEMANTICS=1) =="
+echo "== [2/9] semantic verification (FUSIONDB_VERIFY_SEMANTICS=1) =="
 # Every optimizer mode's full TPC-DS sweep, plus the server's cross-plan
 # folds, with the semantic tier re-proving each rewrite's obligations.
 # plan_props_test covers derivation + the per-tag negative cases;
@@ -66,20 +71,20 @@ python3 tools/bench_diff.py \
   build/bench/BENCH_tpcds_overall.semantics_off.json \
   build/bench/BENCH_tpcds_overall.semantics_on.json --threshold 5 --total
 
-echo "== [3/8] ThreadSanitizer (parallel tests) =="
+echo "== [3/9] ThreadSanitizer (parallel tests) =="
 cmake -B build-tsan -S . -DFUSIONDB_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$JOBS"
 ctest --test-dir build-tsan --output-on-failure -L parallel
 
-echo "== [4/8] UndefinedBehaviorSanitizer (full suite) =="
+echo "== [4/9] UndefinedBehaviorSanitizer (full suite) =="
 cmake -B build-ubsan -S . -DFUSIONDB_SANITIZE=undefined >/dev/null
 cmake --build build-ubsan -j"$JOBS"
 ctest --test-dir build-ubsan --output-on-failure -j"$JOBS"
 
-echo "== [5/8] lint =="
+echo "== [5/9] lint =="
 tools/lint.sh build
 
-echo "== [6/8] bench smoke + adaptive regression gate =="
+echo "== [6/9] bench smoke + adaptive regression gate =="
 # Tiny scale, one repeat: this checks the benches run and that their
 # cross-config result-equivalence assertions hold, and gates adaptive
 # mode against the best static policy. Latency numbers at this scale are
@@ -105,7 +110,7 @@ python3 tools/bench_diff.py \
   build/bench/BENCH_multi_client_throughput.solo.json \
   build/bench/BENCH_multi_client_throughput.shared.json --threshold 10
 
-echo "== [7/8] service metrics smoke + overhead gate =="
+echo "== [7/9] service metrics smoke + overhead gate =="
 # Smoke: a server run with the full telemetry surface on. run_query itself
 # exits nonzero when the registry's counters fail to reconcile with the
 # summed per-session attribution blocks, or when any telemetry write
@@ -160,7 +165,7 @@ python3 tools/bench_diff.py \
   build/bench/BENCH_tpcds_overall.metrics_off.json \
   build/bench/BENCH_tpcds_overall.metrics_on.json --threshold 2 --total
 
-echo "== [8/8] compiled pipelines: overhead + speedup gates =="
+echo "== [8/9] compiled pipelines: overhead + speedup gates =="
 # Whole-workload gate: pipeline compilation (on by default) must not cost
 # more than 5% summed over the TPC-DS sweep — joins, sorts and windows
 # break most chains there, so this bounds the bind-time compilation cost
@@ -217,5 +222,35 @@ python3 tools/bench_diff.py \
 # trajectory and uploaded as an artifact).
 cp build/bench/BENCH_pipeline_micro.compile_on.json \
   build/bench/BENCH_pipeline_micro.json
+
+echo "== [9/9] SQL front door + differential fuzz smoke =="
+# Positive: SQL text through the engine front door matches the named-query
+# path's own self-checks (the binary exits nonzero on any mismatch).
+build/examples/run_query --sql \
+  'SELECT ss_item_sk, SUM(ss_sales_price) AS total FROM store_sales
+   WHERE ss_quantity > 5 GROUP BY ss_item_sk ORDER BY total DESC LIMIT 10' \
+  0.01 >/dev/null
+# Negative: malformed SQL must produce a caret diagnostic and exit 2 —
+# not 0 (silently accepted) and not 1 (crashed past the parser).
+set +e
+build/examples/run_query --sql 'SELECT nope FROM store_sales' 0.01 \
+  >/dev/null 2>"$METRICS_DIR/sql_err.txt"
+sql_rc=$?
+set -e
+if [ "$sql_rc" -ne 2 ]; then
+  echo "check: malformed SQL exited $sql_rc, want 2" >&2
+  cat "$METRICS_DIR/sql_err.txt" >&2
+  exit 1
+fi
+grep -q '\^' "$METRICS_DIR/sql_err.txt" || {
+  echo "check: malformed SQL produced no caret snippet:" >&2
+  cat "$METRICS_DIR/sql_err.txt" >&2
+  exit 1
+}
+# Fuzz smoke at a second fixed seed (tier-1 ctest already covered the
+# default seed 20260807 at 500 queries). Divergences write minimized
+# sql_fuzz_repro_*.sql reproducers into build/tests, which CI uploads.
+(cd build/tests &&
+  FUSIONDB_FUZZ_SEED=31337 FUSIONDB_FUZZ_QUERIES=250 ./sql_fuzz_test)
 
 echo "check: all gates passed"

@@ -54,19 +54,26 @@ if grep -n 'EvalRow(' src/exec/simple_exec.cc src/exec/aggregate_exec.cc \
   note_failure 'hot-path executors must use EvalAll/EvalFilter, not per-row EvalRow'
 fi
 
-# ExecutePlan takes ExecOptions; the positional (chunk_size, parallelism,
-# profile) overload is a deprecated migration shim. New call sites must use
-# designated initializers — `ExecutePlan(plan, {.parallelism = 4})` — so a
-# reader never has to count argument positions. The heuristic: any second
+# ExecutePlan takes ExecOptions as designated initializers —
+# `ExecutePlan(plan, {.parallelism = 4})` — so a reader never has to count
+# argument positions. The old positional (chunk_size, parallelism, profile)
+# shim is gone; this keeps it from growing back. The heuristic: any second
 # argument that is not a braced ExecOptions initializer is positional.
-# The shim's own declaration/definition in src/exec/executor.{h,cc} is the
-# one allowed occurrence.
 if grep -rn --include='*.cc' --include='*.h' --include='*.cpp' \
     'ExecutePlan([^(){}]*,[[:space:]]*[^{[:space:]]' \
     src tests bench examples 2>/dev/null \
-    | grep -v 'ExecOptions' \
-    | grep -v '^src/exec/executor\.\(h\|cc\):'; then
-  note_failure 'positional ExecutePlan(plan, chunk, ...) is deprecated; pass ExecOptions: ExecutePlan(plan, {.chunk_size = ...})'
+    | grep -v 'ExecOptions\|exec_options'; then
+  note_failure 'positional ExecutePlan(plan, chunk, ...) was removed; pass ExecOptions: ExecutePlan(plan, {.chunk_size = ...})'
+fi
+
+# Examples are the user-facing front door and must go through
+# fusiondb::Engine (Prepare/Optimize/Execute): a raw PlanContext on the
+# stack means an example is wiring the layers by hand again. PlanContext*
+# parameters (the Engine::PlanBuilder callback shape) are fine — only
+# construction is banned.
+if grep -rn --include='*.cpp' 'PlanContext[[:space:]]\+[A-Za-z_][A-Za-z0-9_]*\s*[;({]' \
+    examples 2>/dev/null; then
+  note_failure 'examples/ must not construct PlanContext directly; go through fusiondb::Engine (Prepare/Optimize/Execute)'
 fi
 
 # Compiled pipelines are push-based by construction: the whole point of
